@@ -1,0 +1,82 @@
+// Command daggen generates workflow DAGs — random DAGs parameterized by the
+// dissertation's eight characteristics, or Montage workflows — as JSON (for
+// the other tools) or Graphviz DOT.
+//
+// Usage:
+//
+//	daggen -type random -size 1000 -ccr 0.1 -alpha 0.6 -beta 0.5 -o dag.json
+//	daggen -type montage4469 -ccr 0.01 -format dot -o montage.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rsgen"
+)
+
+func main() {
+	var (
+		typ    = flag.String("type", "random", "random | montage1629 | montage4469")
+		size   = flag.Int("size", 1000, "random: number of tasks")
+		ccr    = flag.Float64("ccr", 0.1, "communication-to-computation ratio")
+		alpha  = flag.Float64("alpha", 0.5, "random: parallelism in [0,1]")
+		delta  = flag.Float64("density", 0.5, "random: density in (0,1]")
+		beta   = flag.Float64("beta", 0.5, "random: regularity ≤ 1")
+		omega  = flag.Float64("meancost", 40, "random: mean task cost (reference seconds)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		format = flag.String("format", "json", "json | dot")
+		out    = flag.String("o", "-", "output file (- for stdout)")
+		stats  = flag.Bool("stats", false, "print the DAG characteristics to stderr")
+	)
+	flag.Parse()
+
+	d, err := build(*typ, *size, *ccr, *alpha, *delta, *beta, *omega, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		err = d.Encode(w)
+	case "dot":
+		err = d.WriteDOT(w)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, d.Characteristics())
+	}
+}
+
+func build(typ string, size int, ccr, alpha, delta, beta, omega float64, seed uint64) (*rsgen.DAG, error) {
+	switch typ {
+	case "random":
+		return rsgen.GenerateDAG(rsgen.DAGSpec{
+			Size: size, CCR: ccr, Parallelism: alpha,
+			Density: delta, Regularity: beta, MeanCost: omega,
+		}, rsgen.NewRNG(seed))
+	case "montage1629":
+		return rsgen.Montage1629(ccr)
+	case "montage4469":
+		return rsgen.Montage4469(ccr)
+	}
+	return nil, fmt.Errorf("unknown type %q (random | montage1629 | montage4469)", typ)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "daggen:", err)
+	os.Exit(1)
+}

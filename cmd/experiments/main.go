@@ -1,0 +1,84 @@
+// Command experiments reproduces the dissertation's tables and figures.
+//
+// Usage:
+//
+//	experiments -list               # show every experiment id
+//	experiments -run fig-iv-5       # one experiment, quick scale
+//	experiments -run all -full      # everything at paper scale (hours)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rsgen/internal/expt"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		run    = flag.String("run", "", "experiment id, or 'all'")
+		full   = flag.Bool("full", false, "paper-scale grids (much slower)")
+		seed   = flag.Uint64("seed", 1, "experiment seed")
+		format = flag.String("format", "text", "text | csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range expt.IDs() {
+			e, _ := expt.Get(id)
+			fmt.Printf("%-12s %-28s %s\n", id, e.Ref, e.Desc)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "experiments: use -list or -run <id|all>")
+		os.Exit(2)
+	}
+	cfg := expt.Config{Full: *full, Seed: *seed}
+	ids := []string{*run}
+	if *run == "all" {
+		// Aliases share runners; run each primary id once.
+		ids = primaryIDs()
+	}
+	runner := expt.Run
+	switch *format {
+	case "text":
+	case "csv":
+		runner = expt.RunCSV
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown -format %q\n", *format)
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := runner(id, cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// primaryIDs filters out the registered aliases so -run all does each sweep
+// once.
+func primaryIDs() []string {
+	aliases := map[string]bool{
+		"fig-iv-8": true, "fig-v-4": true,
+		"fig-v-9": true, "fig-v-10": true, "fig-v-11": true,
+		"fig-v-17": true,
+		"fig-v-19": true, "fig-v-20": true, "fig-v-21": true, "fig-v-22": true,
+		"fig-v-23": true, "fig-v-24": true,
+		"fig-vi-5":  true,
+		"fig-vii-4": true, "fig-vii-5": true,
+	}
+	var out []string
+	for _, id := range expt.IDs() {
+		if !aliases[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

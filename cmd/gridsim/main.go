@@ -1,0 +1,128 @@
+// Command gridsim schedules a DAG onto a synthetic LSDE and reports the
+// turn-around breakdown (scheduling time + makespan), optionally comparing
+// every heuristic: a one-shot version of the dissertation's Chapter IV
+// experiments.
+//
+// Usage:
+//
+//	gridsim -montage 1629 -clusters 150 -rc top:935 -heuristic MCP
+//	gridsim -dag dag.json -rc size:64 -heuristic all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"rsgen"
+	"rsgen/internal/dag"
+)
+
+func main() {
+	var (
+		dagPath   = flag.String("dag", "", "DAG JSON file (daggen output)")
+		montage   = flag.String("montage", "", "built-in workflow: 1629 | 4469")
+		ccr       = flag.Float64("ccr", 0.01, "CCR for built-in Montage")
+		clusters  = flag.Int("clusters", 150, "platform clusters")
+		year      = flag.Int("year", 2006, "platform technology year (2003-2010)")
+		seed      = flag.Uint64("seed", 1, "platform seed")
+		rcFlag    = flag.String("rc", "universe", "universe | top:<k> | size:<k> (homogeneous 2.8GHz)")
+		heuristic = flag.String("heuristic", "MCP", "MCP | Greedy | DLS | FCA | FCFS | all")
+		scr       = flag.Float64("scr", 1, "scheduler clock ratio (1 = 2.80 GHz reference)")
+	)
+	flag.Parse()
+
+	d, err := loadDAG(*dagPath, *montage, *ccr)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := rsgen.GeneratePlatform(rsgen.PlatformSpec{Clusters: *clusters, Year: *year}, rsgen.NewRNG(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	rc, rcDesc, err := buildRC(p, *rcFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	var hs []rsgen.Heuristic
+	if *heuristic == "all" {
+		hs = rsgen.Heuristics()
+	} else {
+		h, err := rsgen.HeuristicByName(*heuristic)
+		if err != nil {
+			fatal(err)
+		}
+		hs = []rsgen.Heuristic{h}
+	}
+
+	fmt.Printf("dag: %v\n", d.Characteristics())
+	fmt.Printf("platform: %d clusters, %d hosts; rc: %s (%d hosts)\n\n",
+		len(p.Clusters), p.NumHosts(), rcDesc, rc.Size())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "heuristic\tsched time (s)\tmakespan (s)\tturn-around (s)\tutilization")
+	for _, h := range hs {
+		s, err := h.Schedule(d, rc)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rsgen.ValidateSchedule(d, rc, s); err != nil {
+			fatal(fmt.Errorf("%s produced an invalid schedule: %w", h.Name(), err))
+		}
+		res, err := rsgen.ExecuteSchedule(d, rc, s)
+		if err != nil {
+			fatal(err)
+		}
+		st := rsgen.SchedulingTime(s.Ops, *scr)
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%.1f%%\n",
+			h.Name(), st, s.Makespan, st+s.Makespan, res.Utilization*100)
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+func loadDAG(path, montage string, ccr float64) (*rsgen.DAG, error) {
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dag.Decode(f)
+	case montage == "1629":
+		return rsgen.Montage1629(ccr)
+	case montage == "4469":
+		return rsgen.Montage4469(ccr)
+	}
+	return nil, fmt.Errorf("provide -dag <file> or -montage 1629|4469")
+}
+
+func buildRC(p *rsgen.Platform, spec string) (*rsgen.ResourceCollection, string, error) {
+	switch {
+	case spec == "universe":
+		return rsgen.UniverseRC(p), "universe", nil
+	case strings.HasPrefix(spec, "top:"):
+		k, err := strconv.Atoi(spec[len("top:"):])
+		if err != nil || k < 1 {
+			return nil, "", fmt.Errorf("bad -rc %q", spec)
+		}
+		return rsgen.TopHostsRC(p, k), fmt.Sprintf("top %d hosts", k), nil
+	case strings.HasPrefix(spec, "size:"):
+		k, err := strconv.Atoi(spec[len("size:"):])
+		if err != nil || k < 1 {
+			return nil, "", fmt.Errorf("bad -rc %q", spec)
+		}
+		return rsgen.HomogeneousRC(k, 2.8, 1000), fmt.Sprintf("homogeneous %d × 2.8 GHz", k), nil
+	}
+	return nil, "", fmt.Errorf("unknown -rc %q (universe | top:<k> | size:<k>)", spec)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gridsim:", err)
+	os.Exit(1)
+}

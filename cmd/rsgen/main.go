@@ -1,0 +1,144 @@
+// Command rsgen is the automatic resource specification generator: given a
+// workflow DAG it predicts the best scheduling heuristic and resource
+// collection size and emits the resource specification in vgDL, Condor
+// ClassAd and SWORD XML forms (dissertation Chapter VII).
+//
+// Models are trained on first use (QuickGenerator scale) and can be cached:
+//
+//	rsgen -dag dag.json -save-models models.json
+//	rsgen -dag dag.json -models models.json -clock 3.0 -het 0.3 -lang vgdl
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rsgen"
+	"rsgen/internal/dag"
+	"rsgen/internal/heurpred"
+	"rsgen/internal/knee"
+)
+
+// modelEnvelope is the on-disk form of a trained generator: both models in
+// one JSON document.
+type modelEnvelope struct {
+	Size      *knee.ModelSet  `json:"size"`
+	Heuristic *heurpred.Model `json:"heuristic,omitempty"`
+}
+
+func main() {
+	var (
+		dagPath    = flag.String("dag", "", "DAG JSON file (daggen output); empty uses -montage")
+		montage    = flag.String("montage", "", "built-in workflow: 1629 | 4469")
+		ccr        = flag.Float64("ccr", 0.01, "CCR for the built-in Montage workflows")
+		modelPath  = flag.String("models", "", "load a trained size-model set (JSON)")
+		saveModels = flag.String("save-models", "", "save the (possibly just-trained) size models")
+		seed       = flag.Uint64("seed", 1, "training seed when models are trained on the fly")
+		clock      = flag.Float64("clock", 3.0, "preferred host clock rate (GHz)")
+		het        = flag.Float64("het", 0.0, "tolerated clock heterogeneity fraction")
+		threshold  = flag.Float64("threshold", 0, "knee threshold (0 = 0.1% default)")
+		lambda     = flag.Float64("lambda", 0, "utility trade-off: relative cost per unit degradation")
+		lang       = flag.String("lang", "all", "all | vgdl | classad | sword | summary")
+	)
+	flag.Parse()
+
+	d, err := loadDAG(*dagPath, *montage, *ccr)
+	if err != nil {
+		fatal(err)
+	}
+
+	gen, err := loadGenerator(*modelPath, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *saveModels != "" {
+		f, err := os.Create(*saveModels)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(modelEnvelope{Size: gen.Size, Heuristic: gen.Heur}); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	s, err := gen.Generate(d, rsgen.Options{
+		ClockGHz:               *clock,
+		HeterogeneityTolerance: *het,
+		Threshold:              *threshold,
+		UtilityLambda:          *lambda,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *lang {
+	case "vgdl":
+		fmt.Print(s.VgDL)
+	case "classad":
+		fmt.Println(s.ClassAd)
+	case "sword":
+		fmt.Println(s.SwordXML)
+	case "summary":
+		fmt.Print(s.Summary())
+	case "all":
+		fmt.Printf("# %s\n\n", d.Characteristics())
+		fmt.Print(s.Summary())
+		fmt.Println("\n--- vgDL (vgES) ---")
+		fmt.Print(s.VgDL)
+		fmt.Println("\n--- ClassAd (Condor) ---")
+		fmt.Println(s.ClassAd)
+		fmt.Println("\n--- XML (SWORD) ---")
+		fmt.Println(s.SwordXML)
+	default:
+		fatal(fmt.Errorf("unknown -lang %q", *lang))
+	}
+}
+
+func loadDAG(path, montage string, ccr float64) (*rsgen.DAG, error) {
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dag.Decode(f)
+	case montage == "1629":
+		return rsgen.Montage1629(ccr)
+	case montage == "4469":
+		return rsgen.Montage4469(ccr)
+	}
+	return nil, fmt.Errorf("provide -dag <file> or -montage 1629|4469")
+}
+
+func loadGenerator(modelPath string, seed uint64) (*rsgen.Generator, error) {
+	if modelPath == "" {
+		fmt.Fprintln(os.Stderr, "rsgen: training quick models (cache with -save-models)...")
+		return rsgen.QuickGenerator(seed)
+	}
+	f, err := os.Open(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var env modelEnvelope
+	if err := json.NewDecoder(f).Decode(&env); err != nil {
+		return nil, fmt.Errorf("decode models: %w", err)
+	}
+	if env.Size == nil || len(env.Size.Models) == 0 {
+		return nil, fmt.Errorf("model file %s has no size models", modelPath)
+	}
+	return &rsgen.Generator{Size: env.Size, Heur: env.Heuristic}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rsgen:", err)
+	os.Exit(1)
+}

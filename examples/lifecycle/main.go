@@ -1,0 +1,172 @@
+// Lifecycle: all six steps of executing an application on an LSDE
+// (dissertation §II.2) driven end-to-end — discovery/selection via a
+// generated specification, binding through per-cluster resource managers,
+// the Chapter VII fallback to an alternative specification when the optimal
+// one cannot be bound in time, scheduling with the predicted heuristic,
+// simulated execution, and vgMON-style monitoring with a failure injected
+// mid-run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rsgen"
+	"rsgen/internal/knee"
+)
+
+func main() {
+	// The application: a mid-size workflow.
+	d, err := rsgen.GenerateDAG(rsgen.DAGSpec{
+		Size: 400, CCR: 0.1, Parallelism: 0.6, Density: 0.5, Regularity: 0.5, MeanCost: 40,
+	}, rsgen.NewRNG(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("application:", d.Characteristics())
+
+	// The environment: a synthetic LSDE plus its binding layer. Batch
+	// queues average 20 minutes — deep enough that some requests miss
+	// our deadline.
+	p, err := rsgen.GeneratePlatform(rsgen.PlatformSpec{Clusters: 150, Year: 2007}, rsgen.NewRNG(12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid := rsgen.NewBindingGrid(p, 1200, rsgen.NewRNG(13))
+	fmt.Printf("platform: %d clusters, %d hosts; binding deadline 300 s\n\n", len(p.Clusters), p.NumHosts())
+
+	// Step 1+2 (discovery & selection): generate the optimal spec and
+	// resolve it with the vgES-style finder.
+	fmt.Println("training prediction models...")
+	gen, err := rsgen.QuickGenerator(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := gen.Generate(d, rsgen.Options{ClockGHz: 3.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noptimal specification:")
+	fmt.Print(base.Summary())
+
+	const bindDeadline = 300 // seconds we are willing to wait for resources
+
+	// Step 3 (binding), with the Chapter VII fallback loop: if the
+	// optimal request cannot be selected or bound, degrade to the next
+	// alternative (slower clock class, measured-equivalent size).
+	specs := []*rsgen.Specification{base}
+	alts, err := gen.Alternatives(d, base, []float64{3.0, 2.8, 2.4, 2.0}, knee.SweepConfig{}, 0.15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range alts {
+		specs = append(specs, a.Spec)
+	}
+	var bound *rsgen.Binding
+	var used *rsgen.Specification
+	var excluded []int // clusters whose managers stalled or refused
+	attempt := 0
+	for _, s := range specs {
+		if bound != nil {
+			break
+		}
+		// Up to three re-selections per specification, excluding
+		// clusters the binding probe showed to be too slow.
+		for retry := 0; retry < 3; retry++ {
+			attempt++
+			rc, err := rsgen.ResolveVgDLExcluding(p, s.VgDL, excluded)
+			if err != nil {
+				fmt.Printf("attempt %d (%.1f GHz × %d): selection failed: %v\n", attempt, s.MaxClockGHz, s.RCSize, err)
+				break // try the next (degraded) specification
+			}
+			b, err := grid.Bind(rc, bindDeadline)
+			if err == nil {
+				bound, used = b, s
+				fmt.Printf("attempt %d (%.1f GHz × %d): bound, resources available in %.0f s\n",
+					attempt, s.MaxClockGHz, s.RCSize, b.AvailableAt)
+				break
+			}
+			fmt.Printf("attempt %d (%.1f GHz × %d): binding failed: %v\n", attempt, s.MaxClockGHz, s.RCSize, err)
+			// Mark the stalled clusters and re-select around them.
+			for cluster, at := range grid.Probe(rc) {
+				if at > bindDeadline {
+					excluded = append(excluded, cluster)
+				}
+			}
+		}
+	}
+	if bound == nil {
+		// Last resort: best-effort binding of the base selection.
+		rc, err := rsgen.ResolveVgDL(p, base.VgDL)
+		if err != nil {
+			log.Fatal("no specification selectable: ", err)
+		}
+		bound, err = grid.BindBestEffort(rc, bindDeadline)
+		if err != nil {
+			log.Fatal("nothing bindable: ", err)
+		}
+		used = base
+		fmt.Printf("fallback: best-effort binding kept %d of %d hosts\n", bound.RC.Size(), rc.Size())
+	}
+
+	// Step 4 (scheduling) with the predicted heuristic.
+	heuristic, err := rsgen.HeuristicByName(used.Heuristic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schedule, err := heuristic.Schedule(d, bound.RC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rsgen.ValidateSchedule(d, bound.RC, schedule); err != nil {
+		log.Fatal("invalid schedule: ", err)
+	}
+	st := rsgen.SchedulingTime(schedule.Ops, 1)
+	fmt.Printf("\nscheduled with %s: makespan %.1f s, turn-around %.1f s (incl. %.0f s binding wait)\n",
+		used.Heuristic, schedule.Makespan, bound.AvailableAt+st+schedule.Makespan, bound.AvailableAt)
+
+	// Step 5 (launch/execute): replay on the independent simulator.
+	res, err := rsgen.ExecuteSchedule(d, bound.RC, schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated execution: makespan %.1f s, utilization %.1f%%\n", res.Makespan, res.Utilization*100)
+
+	// Step 6 (monitoring): watch the run; inject a failure halfway.
+	mon, err := rsgen.NewMonitor(bound.RC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mon.AttachSchedule(d, schedule); err != nil {
+		log.Fatal(err)
+	}
+	half := schedule.Makespan / 2
+	busiest := 0
+	for h := 1; h < bound.RC.Size(); h++ {
+		if mon.ExpectedBusy(h, half) {
+			busiest = h
+			break
+		}
+	}
+	fmt.Printf("\ninjecting a failure on host %d at t=%.0f s:\n", busiest, half)
+	for _, v := range mon.Apply(rsgen.MonitorEvent{Time: half, HostIndex: busiest, Down: true}) {
+		fmt.Println(" ", v)
+	}
+	impacted := mon.ImpactedTasks(d, schedule, busiest, half)
+	fmt.Printf("  %d scheduled tasks on that host still pending → migrating\n", len(impacted))
+
+	// React: re-plan the lost and pending work onto the survivors.
+	rescued, impact, err := rsgen.AssessRescueImpact(d, bound.RC, schedule, busiest, half)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rsgen.ValidateSchedule(d, bound.RC, rescued); err != nil {
+		log.Fatal("rescued schedule invalid: ", err)
+	}
+	fmt.Printf("  rescue moved %d tasks; makespan %.1f s → %.1f s (%+.1f%%)\n",
+		impact.MovedTasks, impact.OldMakespan, impact.NewMakespan, impact.RelativeLoss*100)
+
+	// The same failure after the run is benign (§II.2.6).
+	after := mon.Apply(rsgen.MonitorEvent{Time: schedule.Makespan + 60, HostIndex: busiest, Down: true})
+	fmt.Printf("  the same failure after the makespan raises %d violations (benign idleness)\n", len(after))
+}

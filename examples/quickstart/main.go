@@ -1,0 +1,56 @@
+// Quickstart: generate a workflow DAG, train the prediction models, and
+// produce a resource specification — the minimal end-to-end use of the
+// library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rsgen"
+)
+
+func main() {
+	// A medium workflow: 800 tasks, light communication, fairly parallel.
+	d, err := rsgen.GenerateDAG(rsgen.DAGSpec{
+		Size:        800,
+		CCR:         0.1,
+		Parallelism: 0.6,
+		Density:     0.5,
+		Regularity:  0.5,
+		MeanCost:    40, // seconds on the 1.5 GHz reference host
+	}, rsgen.NewRNG(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("workflow:", d.Characteristics())
+	fmt.Println("width:   ", d.Width(), "tasks (the naive RC size 'current practice' would request)")
+
+	// Train the size and heuristic prediction models. QuickGenerator uses
+	// a compact observation grid; production users train wider grids once
+	// and cache them.
+	fmt.Println("\ntraining prediction models...")
+	gen, err := rsgen.QuickGenerator(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate the specification: target 3.0 GHz hosts, tolerate hosts
+	// down to 30% slower.
+	s, err := gen.Generate(d, rsgen.Options{
+		ClockGHz:               3.0,
+		HeterogeneityTolerance: 0.3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ngenerated specification:")
+	fmt.Print(s.Summary())
+
+	fmt.Println("\nvgDL (for vgES):")
+	fmt.Print(s.VgDL)
+	fmt.Println("\nClassAd (for Condor):")
+	fmt.Println(s.ClassAd)
+	fmt.Println("\nXML (for SWORD):")
+	fmt.Println(s.SwordXML)
+}

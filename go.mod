@@ -1,0 +1,3 @@
+module rsgen
+
+go 1.22

@@ -1,0 +1,263 @@
+// Package bind models resource binding (§II.2.3, §III.2.3): after a
+// selector returns a resource collection, the application must acquire the
+// hosts from their local resource managers before scheduling can assume
+// dedicated access. The dissertation assumes "the underlying Grid middleware
+// can interact with each resource manager and bind the resources"; this
+// package is that middleware substrate — a GRAM-like uniform interface over
+// the three manager disciplines §II.2.3 names: immediate dedicated access,
+// batch queues, and advance reservations.
+//
+// Binding outcomes feed Chapter VII's alternative-specification path: when
+// the optimal collection cannot be bound (queues too deep, reservations
+// unavailable), the generator's degraded specifications are tried instead.
+package bind
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rsgen/internal/platform"
+	"rsgen/internal/xrand"
+)
+
+// Discipline is a local resource manager's access policy.
+type Discipline int
+
+// The §II.2.3 manager disciplines.
+const (
+	// Dedicated grants immediate exclusive access.
+	Dedicated Discipline = iota
+	// BatchQueue admits jobs after a queue wait.
+	BatchQueue
+	// Reservation grants access from the next free reservation slot.
+	Reservation
+)
+
+// String returns the discipline name.
+func (d Discipline) String() string {
+	switch d {
+	case Dedicated:
+		return "dedicated"
+	case BatchQueue:
+		return "batch-queue"
+	case Reservation:
+		return "reservation"
+	}
+	return "unknown"
+}
+
+// Manager is one cluster's local resource manager.
+type Manager struct {
+	Cluster    int
+	Discipline Discipline
+	// QueueWait is the current queue delay in seconds (BatchQueue).
+	QueueWait float64
+	// NextSlot is the next reservation start in seconds from now
+	// (Reservation).
+	NextSlot float64
+	// MaxHosts is the largest request this manager will admit at once;
+	// 0 means unlimited.
+	MaxHosts int
+}
+
+// availableAt returns when a request for n hosts would gain access, or
+// ok=false if the manager refuses it outright.
+func (m Manager) availableAt(n int) (float64, bool) {
+	if m.MaxHosts > 0 && n > m.MaxHosts {
+		return 0, false
+	}
+	switch m.Discipline {
+	case Dedicated:
+		return 0, true
+	case BatchQueue:
+		return m.QueueWait, true
+	case Reservation:
+		return m.NextSlot, true
+	}
+	return 0, false
+}
+
+// Grid is the binding layer over a platform: one manager per cluster.
+type Grid struct {
+	p        *platform.Platform
+	managers []Manager
+}
+
+// NewGrid assigns synthetic managers to every cluster: a third dedicated, a
+// third batch-queued (waits exponential around meanQueueWait), a third
+// reservation-based (slots uniform within one day), drawn from rng.
+func NewGrid(p *platform.Platform, meanQueueWait float64, rng *xrand.RNG) *Grid {
+	g := &Grid{p: p, managers: make([]Manager, len(p.Clusters))}
+	for i := range p.Clusters {
+		m := Manager{Cluster: i}
+		switch rng.Intn(3) {
+		case 0:
+			m.Discipline = Dedicated
+		case 1:
+			m.Discipline = BatchQueue
+			m.QueueWait = rng.Exp(meanQueueWait)
+		default:
+			m.Discipline = Reservation
+			m.NextSlot = rng.Uniform(0, 86400)
+		}
+		g.managers[i] = m
+	}
+	return g
+}
+
+// Manager returns the manager for a cluster.
+func (g *Grid) Manager(cluster int) Manager { return g.managers[cluster] }
+
+// SetManager overrides a cluster's manager (tests and what-if analyses).
+func (g *Grid) SetManager(m Manager) {
+	g.managers[m.Cluster] = m
+}
+
+// Binding is the result of acquiring a resource collection.
+type Binding struct {
+	// RC is the bound collection (same hosts as requested).
+	RC *platform.ResourceCollection
+	// AvailableAt is when every host is accessible: the maximum manager
+	// delay across the involved clusters. Scheduling starts then, so it
+	// adds to turn-around exactly like vgES selection time does.
+	AvailableAt float64
+	// PerCluster reports each involved cluster's delay.
+	PerCluster map[int]float64
+}
+
+// Bind acquires every host of the collection through its cluster's manager.
+// maxWait bounds the acceptable delay (seconds); requests whose slowest
+// manager exceeds it fail, modeling the §VII "specification cannot be
+// fulfilled" condition.
+func (g *Grid) Bind(rc *platform.ResourceCollection, maxWait float64) (*Binding, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	counts := map[int]int{}
+	for _, h := range rc.Hosts {
+		counts[h.Cluster]++
+	}
+	b := &Binding{RC: rc, PerCluster: make(map[int]float64, len(counts))}
+	for cluster, n := range counts {
+		if cluster < 0 || cluster >= len(g.managers) {
+			return nil, fmt.Errorf("bind: host references cluster %d outside the grid", cluster)
+		}
+		m := g.managers[cluster]
+		at, ok := m.availableAt(n)
+		if !ok {
+			return nil, fmt.Errorf("bind: cluster %d (%s) refuses a %d-host request (max %d)",
+				cluster, m.Discipline, n, m.MaxHosts)
+		}
+		if at > maxWait {
+			return nil, fmt.Errorf("bind: cluster %d (%s) available in %.0f s, above the %.0f s bound",
+				cluster, m.Discipline, at, maxWait)
+		}
+		b.PerCluster[cluster] = at
+		if at > b.AvailableAt {
+			b.AvailableAt = at
+		}
+	}
+	return b, nil
+}
+
+// Probe reports, per cluster of the collection, when its manager would
+// grant the request (math.Inf(1) for refusals): the reconnaissance a rebind
+// loop needs to exclude stalled clusters before re-selecting.
+func (g *Grid) Probe(rc *platform.ResourceCollection) map[int]float64 {
+	counts := map[int]int{}
+	for _, h := range rc.Hosts {
+		counts[h.Cluster]++
+	}
+	out := make(map[int]float64, len(counts))
+	for cluster, n := range counts {
+		if cluster < 0 || cluster >= len(g.managers) {
+			continue
+		}
+		if at, ok := g.managers[cluster].availableAt(n); ok {
+			out[cluster] = at
+		} else {
+			out[cluster] = math.Inf(1)
+		}
+	}
+	return out
+}
+
+// BindBestEffort binds the subset of the collection's hosts whose managers
+// answer within maxWait, dropping the rest. It returns an error only when
+// no host is bindable. The returned collection preserves the original
+// network model.
+func (g *Grid) BindBestEffort(rc *platform.ResourceCollection, maxWait float64) (*Binding, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	counts := map[int]int{}
+	for _, h := range rc.Hosts {
+		counts[h.Cluster]++
+	}
+	admitted := map[int]float64{}
+	for cluster, n := range counts {
+		if cluster < 0 || cluster >= len(g.managers) {
+			continue
+		}
+		if at, ok := g.managers[cluster].availableAt(n); ok && at <= maxWait {
+			admitted[cluster] = at
+		}
+	}
+	if len(admitted) == 0 {
+		return nil, fmt.Errorf("bind: no cluster of the collection is bindable within %.0f s", maxWait)
+	}
+	var hosts []platform.Host
+	var idx []int
+	for i, h := range rc.Hosts {
+		if _, ok := admitted[h.Cluster]; ok {
+			hosts = append(hosts, h)
+			idx = append(idx, i)
+		}
+	}
+	b := &Binding{
+		RC:         &platform.ResourceCollection{Hosts: hosts, Net: remapNet{inner: rc.Net, idx: idx}},
+		PerCluster: admitted,
+	}
+	for _, at := range admitted {
+		if at > b.AvailableAt {
+			b.AvailableAt = at
+		}
+	}
+	return b, nil
+}
+
+// remapNet preserves the original network model under host-subset index
+// remapping.
+type remapNet struct {
+	inner platform.Network
+	idx   []int
+}
+
+func (n remapNet) TransferTime(edgeCost float64, a, b int) float64 {
+	return n.inner.TransferTime(edgeCost, n.idx[a], n.idx[b])
+}
+
+// Summary renders the binding one line per cluster, slowest first.
+func (b *Binding) Summary() string {
+	type row struct {
+		cluster int
+		at      float64
+	}
+	rows := make([]row, 0, len(b.PerCluster))
+	for c, at := range b.PerCluster {
+		rows = append(rows, row{cluster: c, at: at})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].at != rows[j].at {
+			return rows[i].at > rows[j].at
+		}
+		return rows[i].cluster < rows[j].cluster
+	})
+	out := fmt.Sprintf("%d hosts across %d clusters, available in %.0f s\n",
+		b.RC.Size(), len(b.PerCluster), b.AvailableAt)
+	for _, r := range rows {
+		out += fmt.Sprintf("  cluster %4d: %.0f s\n", r.cluster, r.at)
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package bind
+
+import (
+	"strings"
+	"testing"
+
+	"rsgen/internal/platform"
+	"rsgen/internal/xrand"
+)
+
+func testGrid(t *testing.T) (*Grid, *platform.Platform) {
+	t.Helper()
+	p := platform.MustGenerate(platform.GenSpec{Clusters: 30, Year: 2006}, xrand.New(2))
+	return NewGrid(p, 600, xrand.New(3)), p
+}
+
+func TestGridAssignsAllDisciplines(t *testing.T) {
+	g, p := testGrid(t)
+	seen := map[Discipline]bool{}
+	for c := range p.Clusters {
+		m := g.Manager(c)
+		if m.Cluster != c {
+			t.Fatalf("manager %d claims cluster %d", c, m.Cluster)
+		}
+		seen[m.Discipline] = true
+	}
+	for _, d := range []Discipline{Dedicated, BatchQueue, Reservation} {
+		if !seen[d] {
+			t.Errorf("no cluster uses %s", d)
+		}
+	}
+}
+
+func TestDisciplineString(t *testing.T) {
+	if Dedicated.String() != "dedicated" || BatchQueue.String() != "batch-queue" ||
+		Reservation.String() != "reservation" || Discipline(9).String() != "unknown" {
+		t.Error("discipline names wrong")
+	}
+}
+
+func TestBindDedicatedImmediate(t *testing.T) {
+	g, p := testGrid(t)
+	// Force cluster 0 dedicated and bind only its hosts.
+	g.SetManager(Manager{Cluster: 0, Discipline: Dedicated})
+	c0 := p.Clusters[0]
+	var hosts []platform.Host
+	for i := 0; i < c0.NumHosts; i++ {
+		hosts = append(hosts, p.Hosts[int(c0.FirstHost)+i])
+	}
+	rc := platform.SubsetRC(p, hosts)
+	b, err := g.Bind(rc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.AvailableAt != 0 {
+		t.Errorf("dedicated binding available at %v", b.AvailableAt)
+	}
+	if b.RC.Size() != len(hosts) {
+		t.Errorf("bound %d hosts, want %d", b.RC.Size(), len(hosts))
+	}
+	if !strings.Contains(b.Summary(), "cluster") {
+		t.Error("summary missing cluster rows")
+	}
+}
+
+func TestBindQueueWaitRespectsBound(t *testing.T) {
+	g, p := testGrid(t)
+	g.SetManager(Manager{Cluster: 1, Discipline: BatchQueue, QueueWait: 900})
+	c1 := p.Clusters[1]
+	rc := platform.SubsetRC(p, []platform.Host{p.Hosts[c1.FirstHost]})
+	if _, err := g.Bind(rc, 600); err == nil {
+		t.Fatal("900 s queue accepted under a 600 s bound")
+	}
+	b, err := g.Bind(rc, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.AvailableAt != 900 {
+		t.Errorf("available at %v, want 900", b.AvailableAt)
+	}
+}
+
+func TestBindMaxHostsRefusal(t *testing.T) {
+	g, p := testGrid(t)
+	g.SetManager(Manager{Cluster: 2, Discipline: Dedicated, MaxHosts: 1})
+	c2 := p.Clusters[2]
+	if c2.NumHosts < 2 {
+		t.Skip("cluster too small for the refusal case")
+	}
+	rc := platform.SubsetRC(p, []platform.Host{p.Hosts[c2.FirstHost], p.Hosts[c2.FirstHost+1]})
+	if _, err := g.Bind(rc, 1e9); err == nil {
+		t.Fatal("over-limit request bound")
+	}
+}
+
+func TestBindTakesSlowestCluster(t *testing.T) {
+	g, p := testGrid(t)
+	g.SetManager(Manager{Cluster: 0, Discipline: Dedicated})
+	g.SetManager(Manager{Cluster: 1, Discipline: Reservation, NextSlot: 500})
+	rc := platform.SubsetRC(p, []platform.Host{
+		p.Hosts[p.Clusters[0].FirstHost],
+		p.Hosts[p.Clusters[1].FirstHost],
+	})
+	b, err := g.Bind(rc, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.AvailableAt != 500 {
+		t.Errorf("available at %v, want 500 (slowest manager)", b.AvailableAt)
+	}
+	if len(b.PerCluster) != 2 {
+		t.Errorf("per-cluster entries = %d", len(b.PerCluster))
+	}
+}
+
+func TestBindBestEffortDropsSlowClusters(t *testing.T) {
+	g, p := testGrid(t)
+	g.SetManager(Manager{Cluster: 0, Discipline: Dedicated})
+	g.SetManager(Manager{Cluster: 1, Discipline: BatchQueue, QueueWait: 1e6})
+	a := p.Hosts[p.Clusters[0].FirstHost]
+	bHost := p.Hosts[p.Clusters[1].FirstHost]
+	rc := platform.SubsetRC(p, []platform.Host{a, bHost})
+	bd, err := g.BindBestEffort(rc, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.RC.Size() != 1 || bd.RC.Hosts[0].ID != a.ID {
+		t.Fatalf("best effort kept %d hosts", bd.RC.Size())
+	}
+	// Network model still answers for the remapped subset.
+	if got := bd.RC.Net.TransferTime(1, 0, 0); got != 0 {
+		t.Errorf("self transfer = %v", got)
+	}
+	// All clusters too slow → error.
+	g.SetManager(Manager{Cluster: 0, Discipline: BatchQueue, QueueWait: 1e6})
+	if _, err := g.BindBestEffort(rc, 600); err == nil {
+		t.Fatal("unbindable collection accepted")
+	}
+}
+
+func TestBindBestEffortPreservesTransfers(t *testing.T) {
+	g, p := testGrid(t)
+	// Two dedicated clusters: both hosts admitted; cross-host transfer
+	// must match the platform's.
+	g.SetManager(Manager{Cluster: 3, Discipline: Dedicated})
+	g.SetManager(Manager{Cluster: 4, Discipline: Dedicated})
+	a := p.Hosts[p.Clusters[3].FirstHost]
+	b := p.Hosts[p.Clusters[4].FirstHost]
+	rc := platform.SubsetRC(p, []platform.Host{a, b})
+	bd, err := g.BindBestEffort(rc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.TransferTime(2, a.ID, b.ID)
+	if got := bd.RC.Net.TransferTime(2, 0, 1); got != want {
+		t.Errorf("remapped transfer = %v, want %v", got, want)
+	}
+}
+
+func TestBindRejectsInvalidRC(t *testing.T) {
+	g, _ := testGrid(t)
+	empty := &platform.ResourceCollection{Net: platform.UniformNetwork{Mbps: 1}}
+	if _, err := g.Bind(empty, 10); err == nil {
+		t.Error("empty RC bound")
+	}
+	if _, err := g.BindBestEffort(empty, 10); err == nil {
+		t.Error("empty RC best-effort bound")
+	}
+}

@@ -1,0 +1,392 @@
+// Package classad implements the Condor Classified Advertisement language
+// subset the dissertation relies on (§II.4.2): record-structured ads whose
+// attributes are expressions, a recursive-descent parser, an evaluator with
+// label-qualified attribute references (cpu.KFlops), bilateral Matchmaking
+// and the multilateral Gangmatching extension (ports binding candidate ads,
+// Fig. II-2).
+package classad
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Value is the result of evaluating an expression: one of float64, string,
+// bool, or Undefined.
+type Value struct {
+	Kind  Kind
+	Num   float64
+	Str   string
+	Bool  bool
+	List  []Value
+	AdVal *Ad
+}
+
+// Kind discriminates Value variants.
+type Kind int
+
+// Value kinds.
+const (
+	Undefined Kind = iota
+	Number
+	String
+	Boolean
+	ListKind
+	AdKind
+)
+
+// Undef is the undefined value, the result of missing attributes.
+var Undef = Value{Kind: Undefined}
+
+// Num returns a numeric value.
+func Num(f float64) Value { return Value{Kind: Number, Num: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: String, Str: s} }
+
+// Bol returns a boolean value.
+func Bol(b bool) Value { return Value{Kind: Boolean, Bool: b} }
+
+// IsTrue reports whether the value is boolean true (Condor's requirement
+// semantics: undefined or non-boolean is not a match).
+func (v Value) IsTrue() bool { return v.Kind == Boolean && v.Bool }
+
+// AsNumber coerces numbers and booleans to float64.
+func (v Value) AsNumber() (float64, bool) {
+	switch v.Kind {
+	case Number:
+		return v.Num, true
+	case Boolean:
+		if v.Bool {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// Expr is a ClassAd expression node.
+type Expr interface {
+	// Eval evaluates under the environment.
+	Eval(env *Env) Value
+	// String renders ClassAd source.
+	String() string
+}
+
+// Env resolves attribute references during evaluation. Unqualified names
+// resolve in Self; label-qualified names (label.attr) resolve in the ad
+// bound to the label. MY and TARGET are pre-bound for bilateral matching.
+type Env struct {
+	Self   *Ad
+	Labels map[string]*Ad
+	// depth guards against reference cycles.
+	depth int
+}
+
+const maxEvalDepth = 64
+
+// Lookup resolves a possibly-qualified attribute.
+func (e *Env) Lookup(label, attr string) Value {
+	if e == nil || e.depth > maxEvalDepth {
+		return Undef
+	}
+	var ad *Ad
+	if label == "" {
+		ad = e.Self
+	} else if e.Labels != nil {
+		ad = e.Labels[strings.ToLower(label)]
+	}
+	if ad == nil {
+		return Undef
+	}
+	ex, ok := ad.Get(attr)
+	if !ok {
+		return Undef
+	}
+	sub := &Env{Self: ad, Labels: e.Labels, depth: e.depth + 1}
+	return ex.Eval(sub)
+}
+
+// Ad is one classified advertisement: an ordered attribute → expression
+// record. Attribute names are case-insensitive, per Condor.
+type Ad struct {
+	names []string
+	attrs map[string]Expr
+}
+
+// NewAd returns an empty ad.
+func NewAd() *Ad { return &Ad{attrs: make(map[string]Expr)} }
+
+// Set assigns an attribute, preserving first-insertion order.
+func (a *Ad) Set(name string, e Expr) {
+	key := strings.ToLower(name)
+	if _, exists := a.attrs[key]; !exists {
+		a.names = append(a.names, name)
+	}
+	a.attrs[key] = e
+}
+
+// SetNum, SetStr and SetBool are literal-assignment conveniences.
+func (a *Ad) SetNum(name string, f float64) { a.Set(name, Lit{Num(f)}) }
+
+// SetStr assigns a string literal.
+func (a *Ad) SetStr(name, s string) { a.Set(name, Lit{Str(s)}) }
+
+// SetBool assigns a boolean literal.
+func (a *Ad) SetBool(name string, b bool) { a.Set(name, Lit{Bol(b)}) }
+
+// Get returns the attribute's expression.
+func (a *Ad) Get(name string) (Expr, bool) {
+	e, ok := a.attrs[strings.ToLower(name)]
+	return e, ok
+}
+
+// EvalAttr evaluates one of the ad's own attributes under the environment's
+// label bindings.
+func (a *Ad) EvalAttr(name string, labels map[string]*Ad) Value {
+	e, ok := a.Get(name)
+	if !ok {
+		return Undef
+	}
+	return e.Eval(&Env{Self: a, Labels: labels})
+}
+
+// Names returns the attribute names in insertion order.
+func (a *Ad) Names() []string { return append([]string(nil), a.names...) }
+
+// String renders the ad in bracketed ClassAd syntax.
+func (a *Ad) String() string {
+	var b strings.Builder
+	b.WriteString("[\n")
+	for _, n := range a.names {
+		e := a.attrs[strings.ToLower(n)]
+		fmt.Fprintf(&b, "  %s = %s;\n", n, e.String())
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Lit is a literal expression.
+type Lit struct{ V Value }
+
+// Eval implements Expr.
+func (l Lit) Eval(*Env) Value { return l.V }
+
+// String implements Expr.
+func (l Lit) String() string {
+	switch l.V.Kind {
+	case Number:
+		if l.V.Num == math.Trunc(l.V.Num) && math.Abs(l.V.Num) < 1e15 {
+			return fmt.Sprintf("%d", int64(l.V.Num))
+		}
+		return fmt.Sprintf("%g", l.V.Num)
+	case String:
+		return fmt.Sprintf("%q", l.V.Str)
+	case Boolean:
+		if l.V.Bool {
+			return "true"
+		}
+		return "false"
+	case ListKind:
+		parts := make([]string, len(l.V.List))
+		for i, v := range l.V.List {
+			parts[i] = Lit{v}.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	}
+	return "undefined"
+}
+
+// Ref is an attribute reference, optionally label-qualified (Label.Attr).
+type Ref struct {
+	Label string
+	Attr  string
+}
+
+// Eval implements Expr.
+func (r Ref) Eval(env *Env) Value { return env.Lookup(r.Label, r.Attr) }
+
+// String implements Expr.
+func (r Ref) String() string {
+	if r.Label == "" {
+		return r.Attr
+	}
+	return r.Label + "." + r.Attr
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Eval implements Expr with Condor's three-valued logic: undefined operands
+// propagate, except that || short-circuits on true and && on false.
+func (b Binary) Eval(env *Env) Value {
+	switch b.Op {
+	case "&&":
+		l := b.L.Eval(env)
+		if l.Kind == Boolean && !l.Bool {
+			return Bol(false)
+		}
+		r := b.R.Eval(env)
+		if r.Kind == Boolean && !r.Bool {
+			return Bol(false)
+		}
+		if l.IsTrue() && r.IsTrue() {
+			return Bol(true)
+		}
+		return Undef
+	case "||":
+		l := b.L.Eval(env)
+		if l.IsTrue() {
+			return Bol(true)
+		}
+		r := b.R.Eval(env)
+		if r.IsTrue() {
+			return Bol(true)
+		}
+		if l.Kind == Boolean && r.Kind == Boolean {
+			return Bol(false)
+		}
+		return Undef
+	}
+	l := b.L.Eval(env)
+	r := b.R.Eval(env)
+	if l.Kind == Undefined || r.Kind == Undefined {
+		return Undef
+	}
+	// String equality.
+	if l.Kind == String && r.Kind == String {
+		switch b.Op {
+		case "==":
+			return Bol(strings.EqualFold(l.Str, r.Str))
+		case "!=":
+			return Bol(!strings.EqualFold(l.Str, r.Str))
+		}
+		return Undef
+	}
+	ln, lok := l.AsNumber()
+	rn, rok := r.AsNumber()
+	if !lok || !rok {
+		return Undef
+	}
+	switch b.Op {
+	case "+":
+		return Num(ln + rn)
+	case "-":
+		return Num(ln - rn)
+	case "*":
+		return Num(ln * rn)
+	case "/":
+		if rn == 0 {
+			return Undef
+		}
+		return Num(ln / rn)
+	case "==":
+		return Bol(ln == rn)
+	case "!=":
+		return Bol(ln != rn)
+	case "<":
+		return Bol(ln < rn)
+	case "<=":
+		return Bol(ln <= rn)
+	case ">":
+		return Bol(ln > rn)
+	case ">=":
+		return Bol(ln >= rn)
+	}
+	return Undef
+}
+
+// String implements Expr.
+func (b Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L.String(), b.Op, b.R.String())
+}
+
+// Unary is unary minus or logical not.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Eval implements Expr.
+func (u Unary) Eval(env *Env) Value {
+	v := u.X.Eval(env)
+	switch u.Op {
+	case "-":
+		if n, ok := v.AsNumber(); ok {
+			return Num(-n)
+		}
+	case "!":
+		if v.Kind == Boolean {
+			return Bol(!v.Bool)
+		}
+	}
+	return Undef
+}
+
+// String implements Expr.
+func (u Unary) String() string { return u.Op + u.X.String() }
+
+// Match performs bilateral matchmaking (§II.4.2.1): both ads' Requirements
+// must evaluate true with the other ad bound to both TARGET and OTHER.
+func Match(a, b *Ad) bool {
+	envA := &Env{Self: a, Labels: map[string]*Ad{"target": b, "other": b, "my": a}}
+	envB := &Env{Self: b, Labels: map[string]*Ad{"target": a, "other": a, "my": b}}
+	ra, okA := a.Get("Requirements")
+	rb, okB := b.Get("Requirements")
+	if okA && !ra.Eval(envA).IsTrue() {
+		return false
+	}
+	if okB && !rb.Eval(envB).IsTrue() {
+		return false
+	}
+	return okA || okB
+}
+
+// Rank evaluates a's Rank with b bound to TARGET/OTHER; missing or
+// non-numeric rank is 0, per Condor.
+func Rank(a, b *Ad) float64 {
+	r, ok := a.Get("Rank")
+	if !ok {
+		return 0
+	}
+	env := &Env{Self: a, Labels: map[string]*Ad{"target": b, "other": b, "my": a}}
+	if n, okN := r.Eval(env).AsNumber(); okN {
+		return n
+	}
+	return 0
+}
+
+// MatchBest returns the highest-ranked matching candidates (up to limit) in
+// descending request-rank order, ties broken by candidate order.
+func MatchBest(request *Ad, candidates []*Ad, limit int) []*Ad {
+	type scored struct {
+		ad   *Ad
+		rank float64
+		idx  int
+	}
+	var ms []scored
+	for i, c := range candidates {
+		if Match(request, c) {
+			ms = append(ms, scored{ad: c, rank: Rank(request, c), idx: i})
+		}
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].rank != ms[j].rank {
+			return ms[i].rank > ms[j].rank
+		}
+		return ms[i].idx < ms[j].idx
+	})
+	if limit > 0 && len(ms) > limit {
+		ms = ms[:limit]
+	}
+	out := make([]*Ad, len(ms))
+	for i, m := range ms {
+		out[i] = m.ad
+	}
+	return out
+}

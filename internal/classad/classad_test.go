@@ -1,0 +1,317 @@
+package classad
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rsgen/internal/platform"
+	"rsgen/internal/xrand"
+)
+
+func mustParse(t *testing.T, src string) *Ad {
+	t.Helper()
+	ad, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return ad
+}
+
+func mustExpr(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func evalNum(t *testing.T, src string) float64 {
+	t.Helper()
+	v := mustExpr(t, src).Eval(&Env{})
+	n, ok := v.AsNumber()
+	if !ok {
+		t.Fatalf("%q did not evaluate to a number: %+v", src, v)
+	}
+	return n
+}
+
+func TestExpressionArithmetic(t *testing.T) {
+	cases := map[string]float64{
+		"1 + 2 * 3":      7,
+		"(1 + 2) * 3":    9,
+		"10 / 4":         2.5,
+		"2 * 3 - 1":      5,
+		"-4 + 1":         -3,
+		"100M / 1M":      100,
+		"1K":             1024,
+		"2.5e2":          250,
+		"7 - 2 - 1":      4, // left associative
+		"16 / 2 / 2":     4,
+		"1 + 2 + 3 + 4":  10,
+		"3 * (2 + 2) /2": 6,
+	}
+	for src, want := range cases {
+		if got := evalNum(t, src); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestExpressionLogic(t *testing.T) {
+	boolCases := map[string]bool{
+		"1 < 2":                    true,
+		"2 <= 2":                   true,
+		"3 > 4":                    false,
+		"1 == 1 && 2 == 2":         true,
+		"1 == 2 || 2 == 2":         true,
+		"!(1 == 2)":                true,
+		`"LINUX" == "linux"`:       true, // case-insensitive strings
+		`"LINUX" != "SOLARIS"`:     true,
+		"true && false":            false,
+		"false || false":           false,
+		"1 + 1 == 2 && 3 * 2 == 6": true,
+	}
+	for src, want := range boolCases {
+		v := mustExpr(t, src).Eval(&Env{})
+		if v.Kind != Boolean || v.Bool != want {
+			t.Errorf("%q = %+v, want %v", src, v, want)
+		}
+	}
+}
+
+func TestUndefinedSemantics(t *testing.T) {
+	// Missing attributes are undefined; comparisons with undefined are
+	// undefined (not matches); && short-circuits on false.
+	ad := mustParse(t, `[ X = 5 ]`)
+	env := &Env{Self: ad}
+	if v := mustExpr(t, "Y > 3").Eval(env); v.Kind != Undefined {
+		t.Errorf("Y > 3 with missing Y = %+v, want undefined", v)
+	}
+	if v := mustExpr(t, "Y > 3 && 1 == 2").Eval(env); !(v.Kind == Boolean && !v.Bool) {
+		t.Errorf("undefined && false = %+v, want false", v)
+	}
+	if v := mustExpr(t, "Y > 3 || 1 == 1").Eval(env); !v.IsTrue() {
+		t.Errorf("undefined || true = %+v, want true", v)
+	}
+	if v := mustExpr(t, "1/0").Eval(env); v.Kind != Undefined {
+		t.Errorf("1/0 = %+v, want undefined", v)
+	}
+}
+
+func TestParseWorkstationAd(t *testing.T) {
+	// The Figure II-3 style workstation advertisement.
+	src := `[
+	  Type = "Machine";
+	  Name = "froth.cs.wisc.edu";
+	  Arch = "INTEL";
+	  OpSys = "LINUX";
+	  Memory = 1024;
+	  KFlops = 842536;
+	  LoadAvg = 0.04;
+	  KeyboardIdle = 1243;
+	  Requirements = LoadAvg <= 0.3 && KeyboardIdle > 15*60;
+	]`
+	ad := mustParse(t, src)
+	if v := ad.EvalAttr("Memory", nil); v.Num != 1024 {
+		t.Errorf("Memory = %v", v)
+	}
+	if v := ad.EvalAttr("Requirements", nil); !v.IsTrue() {
+		t.Errorf("Requirements should self-evaluate true, got %+v", v)
+	}
+	// Round-trip: rendering and re-parsing preserves evaluation.
+	again := mustParse(t, ad.String())
+	if v := again.EvalAttr("Requirements", nil); !v.IsTrue() {
+		t.Errorf("round-tripped Requirements = %+v", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"[ X = ]",
+		"[ X 5 ]",
+		"[ X = 5 ",
+		"[ X = (1 + ]",
+		`[ S = "unterminated ]`,
+		"[ X = 5 ] trailing",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+	if _, err := ParseExpr("1 +"); err == nil {
+		t.Error("ParseExpr(1 +) succeeded")
+	}
+	if _, err := ParseExpr("1 2"); err == nil {
+		t.Error("ParseExpr(1 2) succeeded")
+	}
+}
+
+func TestBilateralMatch(t *testing.T) {
+	job := mustParse(t, `[
+	  Type = "Job";
+	  ImageSize = 512;
+	  Requirements = other.Type == "Machine" && other.Memory >= my.ImageSize;
+	  Rank = other.KFlops;
+	]`)
+	bigMachine := mustParse(t, `[ Type = "Machine"; Memory = 1024; KFlops = 900; Requirements = other.ImageSize <= 2048; ]`)
+	smallMachine := mustParse(t, `[ Type = "Machine"; Memory = 256; KFlops = 990; Requirements = true; ]`)
+	picky := mustParse(t, `[ Type = "Machine"; Memory = 4096; KFlops = 100; Requirements = other.ImageSize <= 16; ]`)
+
+	if !Match(job, bigMachine) {
+		t.Error("job should match big machine")
+	}
+	if Match(job, smallMachine) {
+		t.Error("job should not match small machine (memory)")
+	}
+	if Match(job, picky) {
+		t.Error("machine requirements should reject the job")
+	}
+	got := MatchBest(job, []*Ad{smallMachine, picky, bigMachine}, 0)
+	if len(got) != 1 || got[0] != bigMachine {
+		t.Fatalf("MatchBest returned %d ads", len(got))
+	}
+}
+
+func TestMatchBestRanking(t *testing.T) {
+	job := mustParse(t, `[ Requirements = other.Memory >= 100; Rank = other.KFlops; ]`)
+	var ads []*Ad
+	for _, kf := range []float64{100, 900, 500} {
+		ad := NewAd()
+		ad.SetNum("Memory", 256)
+		ad.SetNum("KFlops", kf)
+		ads = append(ads, ad)
+	}
+	got := MatchBest(job, ads, 2)
+	if len(got) != 2 {
+		t.Fatalf("limit ignored: %d results", len(got))
+	}
+	if got[0].EvalAttr("KFlops", nil).Num != 900 || got[1].EvalAttr("KFlops", nil).Num != 500 {
+		t.Errorf("rank order wrong: %v, %v",
+			got[0].EvalAttr("KFlops", nil).Num, got[1].EvalAttr("KFlops", nil).Num)
+	}
+}
+
+func TestGangmatchFigureII2(t *testing.T) {
+	// The Fig. II-2 request: two ports, an Opteron Linux machine and an
+	// Intel Linux machine, each ranked by KFlops.
+	req := mustParse(t, `[
+	  Type = "Job";
+	  Owner = "somedude";
+	  Cmd = "run_simulation";
+	  Ports = {
+	    [
+	      Label = "cpu";
+	      ImageSize = 100M;
+	      Rank = cpu.KFlops/1E3 + cpu.Memory/32;
+	      Constraint = cpu.Type == "Machine" && cpu.Arch == "OPTERON" && cpu.OpSys == "LINUX";
+	    ],
+	    [
+	      Label = "cpu2";
+	      ImageSize = 100M;
+	      Rank = cpu2.KFlops/1E3 + cpu2.Memory/32;
+	      Constraint = cpu2.Type == "Machine" && cpu2.Arch == "INTEL" && cpu2.OpSys == "LINUX";
+	    ]
+	  };
+	]`)
+	mk := func(arch string, kflops float64) *Ad {
+		ad := NewAd()
+		ad.SetStr("Type", "Machine")
+		ad.SetStr("Arch", arch)
+		ad.SetStr("OpSys", "LINUX")
+		ad.SetNum("Memory", 2048)
+		ad.SetNum("KFlops", kflops)
+		return ad
+	}
+	opt1, opt2 := mk("OPTERON", 100), mk("OPTERON", 900)
+	intel := mk("INTEL", 500)
+	sun := mk("SUN", 999)
+
+	got, err := Gangmatch(req, []*Ad{opt1, intel, sun, opt2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["cpu"] != opt2 {
+		t.Errorf("port cpu bound to wrong machine (want the faster Opteron)")
+	}
+	if got["cpu2"] != intel {
+		t.Errorf("port cpu2 bound to wrong machine")
+	}
+	// Unsatisfiable: no Intel machines at all.
+	if _, err := Gangmatch(req, []*Ad{opt1, opt2, sun}); err == nil {
+		t.Error("gangmatch should fail without an Intel machine")
+	}
+}
+
+func TestGangmatchBacktracks(t *testing.T) {
+	// One machine satisfies both ports' constraints but higher-ranked for
+	// port 1; a second machine satisfies only port 1. Greedy-without-
+	// backtracking would bind the flexible machine to port 1 and die.
+	req := mustParse(t, `[
+	  Ports = {
+	    [ Label = "a"; Rank = a.Score; Constraint = a.CanA == 1; ],
+	    [ Label = "b"; Constraint = b.CanB == 1; ]
+	  };
+	]`)
+	flexible := NewAd() // can do A and B, high score
+	flexible.SetNum("CanA", 1)
+	flexible.SetNum("CanB", 1)
+	flexible.SetNum("Score", 10)
+	onlyA := NewAd()
+	onlyA.SetNum("CanA", 1)
+	onlyA.SetNum("Score", 1)
+	got, err := Gangmatch(req, []*Ad{flexible, onlyA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] != onlyA || got["b"] != flexible {
+		t.Error("backtracking failed to find the only consistent gang")
+	}
+}
+
+func TestPortsOfErrors(t *testing.T) {
+	if _, err := PortsOf(mustParse(t, "[ X = 1 ]")); err == nil {
+		t.Error("PortsOf accepted ad without Ports")
+	}
+	if _, err := PortsOf(mustParse(t, "[ Ports = 5 ]")); err == nil {
+		t.Error("PortsOf accepted non-list Ports")
+	}
+	if _, err := PortsOf(mustParse(t, "[ Ports = { 5 } ]")); err == nil {
+		t.Error("PortsOf accepted non-ad port")
+	}
+	if _, err := PortsOf(mustParse(t, "[ Ports = { [ Rank = 1 ] } ]")); err == nil {
+		t.Error("PortsOf accepted port without label")
+	}
+}
+
+func TestMachineAds(t *testing.T) {
+	p := platform.MustGenerate(platform.GenSpec{Clusters: 5, Year: 2006}, xrand.New(1))
+	ads := MachineAds(p)
+	if len(ads) != p.NumHosts() {
+		t.Fatalf("%d ads for %d hosts", len(ads), p.NumHosts())
+	}
+	// Every machine ad self-satisfies its own Requirements (idle state).
+	for i, ad := range ads[:3] {
+		if !ad.EvalAttr("Requirements", nil).IsTrue() {
+			t.Errorf("machine ad %d fails own requirements", i)
+		}
+		if got := ad.EvalAttr("Clock", nil).Num; math.Abs(got-p.Hosts[i].ClockGHz*1000) > 1e-9 {
+			t.Errorf("machine ad %d clock %v, want %v MHz", i, got, p.Hosts[i].ClockGHz*1000)
+		}
+	}
+	// A request for fast Linux machines matches only qualifying hosts.
+	req := mustParse(t, `[ Requirements = other.Clock >= 2800 && other.OpSys == "LINUX"; Rank = other.Clock; ]`)
+	matched := MatchBest(req, ads, 0)
+	for _, m := range matched {
+		if m.EvalAttr("Clock", nil).Num < 2800 {
+			t.Error("matched a sub-2.8GHz machine")
+		}
+	}
+	// Rendering includes canonical fields.
+	if s := ads[0].String(); !strings.Contains(s, "Type = \"Machine\"") {
+		t.Errorf("machine ad rendering missing type: %s", s)
+	}
+}

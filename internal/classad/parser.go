@@ -1,0 +1,403 @@
+package classad
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses one ClassAd in bracketed syntax:
+//
+//	[ Type = "Job"; Requirements = other.Memory >= 1024; Ports = { [...], [...] } ]
+//
+// Comments (// to end of line) are ignored. Numbers accept unit suffixes
+// K/M/G (binary, as in ImageSize = 100M).
+func Parse(src string) (*Ad, error) {
+	p := &parser{src: src}
+	p.skipSpace()
+	ad, err := p.parseAd()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.errorf("trailing input after ad")
+	}
+	return ad, nil
+}
+
+// ParseExpr parses a standalone expression.
+func ParseExpr(src string) (Expr, error) {
+	p := &parser{src: src}
+	p.skipSpace()
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.errorf("trailing input after expression")
+	}
+	return e, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("classad: offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/' {
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) accept(s string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if !p.accept(s) {
+		return p.errorf("expected %q", s)
+	}
+	return nil
+}
+
+func (p *parser) parseAd() (*Ad, error) {
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	ad := NewAd()
+	for {
+		p.skipSpace()
+		if p.accept("]") {
+			return ad, nil
+		}
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ad.Set(name, e)
+		p.skipSpace()
+		// Attribute separator: semicolon (optional before closing ]).
+		if p.accept(";") {
+			continue
+		}
+		if p.accept("]") {
+			return ad, nil
+		}
+		return nil, p.errorf("expected ';' or ']' after attribute %s", name)
+	}
+}
+
+func (p *parser) parseIdent() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || c == '_' || (p.pos > start && unicode.IsDigit(c)) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errorf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr   := or
+//	or     := and ('||' and)*
+//	and    := cmp ('&&' cmp)*
+//	cmp    := add (('=='|'!='|'<='|'>='|'<'|'>') add)?
+//	add    := mul (('+'|'-') mul)*
+//	mul    := unary (('*'|'/') unary)*
+//	unary  := ('-'|'!')? primary
+//	primary := number | string | bool | undefined | ref | '(' expr ')'
+//	         | '{' expr (',' expr)* '}' | ad
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(op) {
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept("+") {
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: "+", L: l, R: r}
+		} else if p.accept("-") {
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: "-", L: l, R: r}
+		} else {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept("*") {
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: "*", L: l, R: r}
+		} else if p.accept("/") {
+			// Guard against comment start.
+			if p.peek() == '/' {
+				p.pos--
+				return l, nil
+			}
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: "/", L: l, R: r}
+		} else {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept("!") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "!", X: x}, nil
+	}
+	if p.accept("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	p.skipSpace()
+	if p.eof() {
+		return nil, p.errorf("unexpected end of input")
+	}
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case c == '[':
+		ad, err := p.parseAd()
+		if err != nil {
+			return nil, err
+		}
+		return Lit{Value{Kind: AdKind, AdVal: ad}}, nil
+	case c == '{':
+		p.pos++
+		var vals []Value
+		p.skipSpace()
+		if !p.accept("}") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				// Lists hold evaluated literals in our subset; nested
+				// ads stay unevaluated inside their Lit wrapper.
+				vals = append(vals, e.Eval(&Env{}))
+				if p.accept(",") {
+					continue
+				}
+				if err := p.expect("}"); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+		return Lit{Value{Kind: ListKind, List: vals}}, nil
+	case c == '"' || c == '\'':
+		return p.parseString(c)
+	case unicode.IsDigit(rune(c)) || c == '.':
+		return p.parseNumber()
+	}
+	ident, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	switch strings.ToLower(ident) {
+	case "true":
+		return Lit{Bol(true)}, nil
+	case "false":
+		return Lit{Bol(false)}, nil
+	case "undefined":
+		return Lit{Undef}, nil
+	}
+	// Label-qualified reference?
+	if p.peek() == '.' {
+		p.pos++
+		attr, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		return Ref{Label: ident, Attr: attr}, nil
+	}
+	return Ref{Attr: ident}, nil
+}
+
+func (p *parser) parseString(quote byte) (Expr, error) {
+	p.pos++ // opening quote
+	var b strings.Builder
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == quote {
+			p.pos++
+			return Lit{Str(b.String())}, nil
+		}
+		if c == '\\' && p.pos+1 < len(p.src) {
+			p.pos++
+			c = p.src[p.pos]
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	return nil, p.errorf("unterminated string")
+}
+
+func (p *parser) parseNumber() (Expr, error) {
+	start := p.pos
+	for !p.eof() {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+			((c == '+' || c == '-') && p.pos > start && (p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E')) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	text := p.src[start:p.pos]
+	mult := 1.0
+	if !p.eof() {
+		switch p.src[p.pos] {
+		case 'K', 'k':
+			mult = 1 << 10
+			p.pos++
+		case 'M', 'm':
+			mult = 1 << 20
+			p.pos++
+		case 'G', 'g':
+			mult = 1 << 30
+			p.pos++
+		}
+	}
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return nil, p.errorf("bad number %q", text)
+	}
+	return Lit{Num(f * mult)}, nil
+}

@@ -1,0 +1,111 @@
+package classad
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// genExpr builds a random small arithmetic/boolean expression tree whose
+// rendering must re-parse to an equal evaluation: the parser/printer
+// round-trip property.
+func genExpr(seed uint64, depth int) Expr {
+	s := seed
+	next := func(n uint64) uint64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return (s >> 33) % n
+	}
+	var build func(d int) Expr
+	build = func(d int) Expr {
+		if d == 0 || next(4) == 0 {
+			switch next(3) {
+			case 0:
+				return Lit{Num(float64(int64(next(2000))) - 1000)}
+			case 1:
+				return Lit{Bol(next(2) == 0)}
+			default:
+				return Lit{Str(fmt.Sprintf("s%d", next(10)))}
+			}
+		}
+		ops := []string{"+", "-", "*", "/", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+		op := ops[next(uint64(len(ops)))]
+		return Binary{Op: op, L: build(d - 1), R: build(d - 1)}
+	}
+	return build(depth)
+}
+
+func sameValue(a, b Value) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Number:
+		return a.Num == b.Num
+	case Boolean:
+		return a.Bool == b.Bool
+	case String:
+		return a.Str == b.Str
+	}
+	return true // undefined == undefined
+}
+
+func TestPropertyExprRenderParseEval(t *testing.T) {
+	f := func(seed uint64, d8 uint8) bool {
+		e := genExpr(seed, int(d8%4)+1)
+		src := e.String()
+		parsed, err := ParseExpr(src)
+		if err != nil {
+			t.Logf("render %q failed to parse: %v", src, err)
+			return false
+		}
+		env := &Env{}
+		return sameValue(e.Eval(env), parsed.Eval(env))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAdRenderParseAttrs(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%6) + 1
+		ad := NewAd()
+		for i := 0; i < n; i++ {
+			ad.Set(fmt.Sprintf("Attr%d", i), genExpr(seed+uint64(i)*7919, 2))
+		}
+		parsed, err := Parse(ad.String())
+		if err != nil {
+			t.Logf("ad failed to re-parse: %v\n%s", err, ad.String())
+			return false
+		}
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("Attr%d", i)
+			if !sameValue(ad.EvalAttr(name, nil), parsed.EvalAttr(name, nil)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMatchSymmetricOnRequirements(t *testing.T) {
+	// Match(a, b) must equal Match(b, a): both sides' requirements are
+	// always consulted.
+	f := func(memA, memB uint16, needA, needB uint16) bool {
+		a := NewAd()
+		a.SetNum("Memory", float64(memA))
+		reqA, _ := ParseExpr(fmt.Sprintf("other.Memory >= %d", needA))
+		a.Set("Requirements", reqA)
+		b := NewAd()
+		b.SetNum("Memory", float64(memB))
+		reqB, _ := ParseExpr(fmt.Sprintf("other.Memory >= %d", needB))
+		b.Set("Requirements", reqB)
+		return Match(a, b) == Match(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package dag
+
+import (
+	"fmt"
+	"math"
+)
+
+// Characteristics holds the eight DAG characteristics of dissertation
+// §III.1.1. All are derived quantities; compute them with
+// (*DAG).Characteristics.
+type Characteristics struct {
+	// Size is n, the number of tasks.
+	Size int `json:"size"`
+	// Height is h, the number of levels (longest entry→exit path in nodes).
+	Height int `json:"height"`
+	// TasksPerLevel is τ = n / h.
+	TasksPerLevel float64 `json:"tasks_per_level"`
+	// CCR is the mean, over edges, of edge cost divided by the parent
+	// task's computational cost.
+	CCR float64 `json:"ccr"`
+	// Parallelism is α = log(τ) / log(n); 0 for a chain, 1 for a fully
+	// parallel single-level DAG.
+	Parallelism float64 `json:"parallelism"`
+	// Density is δ: the average, over non-entry tasks, of the fraction of
+	// tasks in the previous level the task depends on.
+	Density float64 `json:"density"`
+	// Regularity is β = 1 − max_l |size(l) − τ| / τ; 1 means all levels
+	// hold the same number of tasks.
+	Regularity float64 `json:"regularity"`
+	// MeanCost is ω, the mean task computational cost in reference seconds.
+	MeanCost float64 `json:"mean_cost"`
+}
+
+// String renders the characteristics compactly for logs and tables.
+func (c Characteristics) String() string {
+	return fmt.Sprintf("n=%d h=%d τ=%.3g CCR=%.3g α=%.3g δ=%.3g β=%.3g ω=%.3g",
+		c.Size, c.Height, c.TasksPerLevel, c.CCR, c.Parallelism, c.Density, c.Regularity, c.MeanCost)
+}
+
+// Characteristics computes all eight characteristics for the DAG.
+func (d *DAG) Characteristics() Characteristics {
+	n := d.Size()
+	h := d.Height()
+	tau := float64(n) / float64(h)
+
+	c := Characteristics{
+		Size:          n,
+		Height:        h,
+		TasksPerLevel: tau,
+		CCR:           d.CCR(),
+		Parallelism:   d.Parallelism(),
+		Density:       d.Density(),
+		Regularity:    d.Regularity(),
+		MeanCost:      d.MeanComputationalCost(),
+	}
+	return c
+}
+
+// CCR returns the communication-to-computation ratio:
+//
+//	CCR = (1/m) Σ_k  w_e(e_k) / w_v(parent(e_k))
+//
+// Both costs are in seconds, so CCR is dimensionless. A DAG with no edges
+// has CCR 0. Edges whose parent has zero cost are skipped (they would be
+// undefined); this matches treating no-work producers as pure forwarding.
+func (d *DAG) CCR() float64 {
+	if len(d.edges) == 0 {
+		return 0
+	}
+	sum := 0.0
+	m := 0
+	for _, e := range d.edges {
+		pc := d.tasks[e.From].Cost
+		if pc == 0 {
+			continue
+		}
+		sum += e.Cost / pc
+		m++
+	}
+	if m == 0 {
+		return 0
+	}
+	return sum / float64(m)
+}
+
+// Parallelism returns α = log(τ)/log(n). For n == 1 (where log(n) == 0) the
+// DAG is a single task and α is defined as 0.
+func (d *DAG) Parallelism() float64 {
+	n := d.Size()
+	if n <= 1 {
+		return 0
+	}
+	tau := float64(n) / float64(d.Height())
+	return math.Log(tau) / math.Log(float64(n))
+}
+
+// Density returns δ: the average over non-entry tasks of
+// |parents(v)| / size(level(v)−1). Entry tasks are excluded from the
+// average. A DAG consisting only of entry tasks has density 0.
+func (d *DAG) Density() float64 {
+	sum := 0.0
+	cnt := 0
+	for v := range d.tasks {
+		l := d.level[v]
+		if l == 0 {
+			continue
+		}
+		prev := float64(d.lsize[l-1])
+		sum += float64(len(d.pred[v])) / prev
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// Regularity returns β = 1 − max_l |size(l) − τ| / τ. Values below 0 are
+// possible for extremely irregular DAGs (the Montage workflows have negative
+// regularity, §V.3.4.1) and are returned as-is.
+func (d *DAG) Regularity() float64 {
+	tau := float64(d.Size()) / float64(d.Height())
+	maxDev := 0.0
+	for _, s := range d.lsize {
+		if dev := math.Abs(float64(s) - tau); dev > maxDev {
+			maxDev = dev
+		}
+	}
+	return 1 - maxDev/tau
+}
+
+// MeanComputationalCost returns ω, the mean task cost in reference seconds.
+func (d *DAG) MeanComputationalCost() float64 {
+	return d.TotalWork() / float64(d.Size())
+}

@@ -1,0 +1,192 @@
+package dag
+
+import (
+	"fmt"
+	"math"
+
+	"rsgen/internal/xrand"
+)
+
+// GenSpec parameterizes random DAG generation by the target characteristics
+// of §III.1.1. The generator constructs DAGs whose measured characteristics
+// match the spec by construction (Size, Parallelism via the level count,
+// CCR and Density exactly up to rounding, Regularity approximately via the
+// bounded level-size dispersal).
+type GenSpec struct {
+	// Size is n, the number of tasks (≥ 1).
+	Size int
+	// CCR is the target communication-to-computation ratio (≥ 0). Each
+	// edge's cost is CCR × its parent's cost, which yields an aggregate
+	// CCR of exactly CCR.
+	CCR float64
+	// Parallelism is α in [0, 1]; τ = n^α tasks per level.
+	Parallelism float64
+	// Density is δ in (0, 1]: each non-entry task depends on δ of the
+	// previous level (at least one parent).
+	Density float64
+	// Regularity is β ≤ 1: level sizes are drawn within ±(1−β)·τ of τ.
+	Regularity float64
+	// MeanCost is ω, the mean task cost in reference seconds (> 0).
+	// Individual costs are uniform in [0.5ω, 1.5ω].
+	MeanCost float64
+}
+
+// Validate reports whether the spec is generatable.
+func (s GenSpec) Validate() error {
+	switch {
+	case s.Size < 1:
+		return fmt.Errorf("dag: GenSpec.Size %d < 1", s.Size)
+	case s.CCR < 0:
+		return fmt.Errorf("dag: GenSpec.CCR %v < 0", s.CCR)
+	case s.Parallelism < 0 || s.Parallelism > 1:
+		return fmt.Errorf("dag: GenSpec.Parallelism %v outside [0,1]", s.Parallelism)
+	case s.Density <= 0 || s.Density > 1:
+		return fmt.Errorf("dag: GenSpec.Density %v outside (0,1]", s.Density)
+	case s.Regularity > 1:
+		return fmt.Errorf("dag: GenSpec.Regularity %v > 1", s.Regularity)
+	case s.MeanCost <= 0:
+		return fmt.Errorf("dag: GenSpec.MeanCost %v <= 0", s.MeanCost)
+	}
+	return nil
+}
+
+// DefaultGenSpec mirrors the default random-DAG configuration of Table IV-3.
+func DefaultGenSpec() GenSpec {
+	return GenSpec{
+		Size:        4469,
+		CCR:         1,
+		Parallelism: 0.5,
+		Density:     0.5,
+		Regularity:  0.5,
+		MeanCost:    40,
+	}
+}
+
+// Generate builds a random DAG matching the spec, drawing all randomness
+// from rng so generation is deterministic per seed.
+func Generate(spec GenSpec, rng *xrand.RNG) (*DAG, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := spec.Size
+	if n == 1 {
+		return New(
+			[]Task{{ID: 0, Name: "t0", Cost: spec.MeanCost}},
+			nil,
+		)
+	}
+
+	levels := levelSizes(spec, rng)
+	tasks := make([]Task, 0, n)
+	var edges []Edge
+
+	// Assign dense task IDs level by level so level structure is obvious
+	// from IDs; record the ID range of each level.
+	type span struct{ lo, hi int } // [lo, hi)
+	spans := make([]span, len(levels))
+	id := 0
+	for l, sz := range levels {
+		spans[l] = span{id, id + sz}
+		for i := 0; i < sz; i++ {
+			// Uniform in [0.5ω, 1.5ω): mean ω as specified.
+			cost := rng.Uniform(0.5*spec.MeanCost, 1.5*spec.MeanCost)
+			tasks = append(tasks, Task{ID: TaskID(id), Name: fmt.Sprintf("t%d", id), Cost: cost})
+			id++
+		}
+	}
+
+	for l := 1; l < len(levels); l++ {
+		prev := spans[l-1]
+		prevSize := prev.hi - prev.lo
+		// Each task in level l depends on δ of level l−1 (at least 1).
+		parents := int(math.Round(spec.Density * float64(prevSize)))
+		if parents < 1 {
+			parents = 1
+		}
+		if parents > prevSize {
+			parents = prevSize
+		}
+		for v := spans[l].lo; v < spans[l].hi; v++ {
+			for _, pi := range rng.Sample(prevSize, parents) {
+				p := TaskID(prev.lo + pi)
+				edges = append(edges, Edge{
+					From: p,
+					To:   TaskID(v),
+					Cost: spec.CCR * tasks[p].Cost,
+				})
+			}
+		}
+	}
+	return New(tasks, edges)
+}
+
+// MustGenerate is Generate but panics on error; for tests and examples with
+// known-valid specs.
+func MustGenerate(spec GenSpec, rng *xrand.RNG) *DAG {
+	d, err := Generate(spec, rng)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// levelSizes draws per-level task counts: h = round(n/τ) levels with sizes
+// within ±(1−β)·τ of τ = n^α, adjusted to sum exactly to n.
+func levelSizes(spec GenSpec, rng *xrand.RNG) []int {
+	n := spec.Size
+	tau := math.Pow(float64(n), spec.Parallelism)
+	h := int(math.Round(float64(n) / tau))
+	if h < 1 {
+		h = 1
+	}
+	if h > n {
+		h = n
+	}
+	// Recompute the achievable mean now that h is integral.
+	mean := float64(n) / float64(h)
+	disp := (1 - spec.Regularity) * mean
+	lo := int(math.Max(1, math.Ceil(mean-disp)))
+	hi := int(math.Floor(mean + disp))
+	if hi < lo {
+		hi = lo
+	}
+
+	sizes := make([]int, h)
+	total := 0
+	for l := range sizes {
+		sizes[l] = lo + rng.Intn(hi-lo+1)
+		total += sizes[l]
+	}
+	// Fix the sum to n, respecting [lo, hi] bounds where possible. If the
+	// bounds make n unreachable (rounding corner cases), relax them.
+	adjust(sizes, n-total, lo, hi, rng)
+	return sizes
+}
+
+// adjust distributes diff over sizes, keeping entries within [lo, hi] when
+// feasible and never below 1.
+func adjust(sizes []int, diff, lo, hi int, rng *xrand.RNG) {
+	h := len(sizes)
+	// First pass: random single-step adjustments within bounds.
+	for guard := 0; diff != 0 && guard < 64*h; guard++ {
+		l := rng.Intn(h)
+		if diff > 0 && sizes[l] < hi {
+			sizes[l]++
+			diff--
+		} else if diff < 0 && sizes[l] > lo && sizes[l] > 1 {
+			sizes[l]--
+			diff++
+		}
+	}
+	// Second pass: bounds were too tight — relax them and finish
+	// deterministically.
+	for l := 0; diff != 0 && l < h; l = (l + 1) % h {
+		if diff > 0 {
+			sizes[l]++
+			diff--
+		} else if sizes[l] > 1 {
+			sizes[l]--
+			diff++
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package dag
+
+import (
+	"fmt"
+
+	"rsgen/internal/xrand"
+)
+
+// MontageLevel describes one stage of a Montage astronomy workflow: its
+// task name, the number of task instances, and the per-task runtime in
+// seconds on the dissertation's 1.5 GHz reference host (Table IV-2).
+type MontageLevel struct {
+	Name    string
+	Purpose string
+	Count   int
+	Runtime float64
+}
+
+// montageRuntimes are the published per-level runtimes (Table IV-2).
+var montageRuntimes = []struct {
+	name, purpose string
+	runtime       float64
+}{
+	{"mProject", "re-projection of images", 8.2},
+	{"mDiffFit", "calculating difference in images", 2},
+	{"mConcatFit", "fitting images to common plane", 68},
+	{"mBgModel", "modeling background", 56},
+	{"mBackground", "background correction", 1},
+	{"mImgtbl", "adding images to get final mosaic", 6},
+	{"mAdd", "registering the mosaic", 40},
+}
+
+// MontageLevels4469 is the 4469-task Montage workflow of Tables IV-2/V-8:
+// a five-square-degree mosaic centered on M16.
+func MontageLevels4469() []MontageLevel { return montageLevels([]int{892, 2633, 1, 1, 892, 25, 25}) }
+
+// MontageLevels1629 is the 1629-task Montage workflow of Table V-8: a
+// three-square-degree mosaic.
+func MontageLevels1629() []MontageLevel { return montageLevels([]int{334, 935, 1, 1, 334, 12, 12}) }
+
+func montageLevels(counts []int) []MontageLevel {
+	out := make([]MontageLevel, len(montageRuntimes))
+	for i, r := range montageRuntimes {
+		out[i] = MontageLevel{Name: r.name, Purpose: r.purpose, Count: counts[i], Runtime: r.runtime}
+	}
+	return out
+}
+
+// Montage builds a Montage workflow DAG from a level table, with edge costs
+// set so the whole-DAG CCR equals ccr (per-edge cost = ccr × parent cost,
+// the same construction the dissertation uses in §IV.2.1 where file sizes
+// are derived from the desired CCR and the 10 Gb/s reference bandwidth).
+//
+// Structure (every level-k task has at least one level-(k−1) parent, as the
+// dissertation notes for Fig. IV-1):
+//
+//	mProject(×a) → mDiffFit(×b): each mDiffFit depends on two adjacent
+//	    mProject outputs (difference of overlapping images);
+//	mDiffFit → mConcatFit(×1): fan-in of all difference fits;
+//	mConcatFit → mBgModel(×1): chain;
+//	mBgModel → mBackground(×a): fan-out, one correction per image;
+//	mBackground → mImgtbl(×c): each table task gathers a contiguous block;
+//	mImgtbl → mAdd(×c): one registration per table task.
+//
+// rng is used only to jitter nothing — Montage runtimes are the published
+// deterministic model — but is accepted for interface symmetry with
+// Generate; pass nil.
+func Montage(levels []MontageLevel, ccr float64, rng *xrand.RNG) (*DAG, error) {
+	_ = rng
+	if len(levels) != 7 {
+		return nil, fmt.Errorf("dag: Montage needs the 7-level table, got %d levels", len(levels))
+	}
+	if ccr < 0 {
+		return nil, fmt.Errorf("dag: Montage ccr %v < 0", ccr)
+	}
+	total := 0
+	for _, l := range levels {
+		if l.Count < 1 {
+			return nil, fmt.Errorf("dag: Montage level %q has count %d", l.Name, l.Count)
+		}
+		total += l.Count
+	}
+
+	tasks := make([]Task, 0, total)
+	spans := make([][2]int, len(levels)) // [lo, hi) task-ID span per level
+	id := 0
+	for li, l := range levels {
+		spans[li] = [2]int{id, id + l.Count}
+		for i := 0; i < l.Count; i++ {
+			tasks = append(tasks, Task{
+				ID:   TaskID(id),
+				Name: fmt.Sprintf("%s_%d", l.Name, i),
+				Cost: l.Runtime,
+			})
+			id++
+		}
+	}
+
+	var edges []Edge
+	link := func(from, to int) {
+		edges = append(edges, Edge{
+			From: TaskID(from),
+			To:   TaskID(to),
+			Cost: ccr * tasks[from].Cost,
+		})
+	}
+
+	proj, diff, concat, bg, back, tbl, add := spans[0], spans[1], spans[2], spans[3], spans[4], spans[5], spans[6]
+	nProj := proj[1] - proj[0]
+	nDiff := diff[1] - diff[0]
+
+	// mProject → mDiffFit: difference-fit i compares images i%a and
+	// (i+1)%a — two parents each, every mProject feeding ≥1 diff.
+	for i := 0; i < nDiff; i++ {
+		a := proj[0] + i%nProj
+		b := proj[0] + (i+1)%nProj
+		link(a, diff[0]+i)
+		if b != a {
+			link(b, diff[0]+i)
+		}
+	}
+	// mDiffFit → mConcatFit: full fan-in.
+	for i := diff[0]; i < diff[1]; i++ {
+		link(i, concat[0])
+	}
+	// mConcatFit → mBgModel.
+	link(concat[0], bg[0])
+	// mBgModel → mBackground: full fan-out.
+	for i := back[0]; i < back[1]; i++ {
+		link(bg[0], i)
+	}
+	// mBackground → mImgtbl: contiguous blocks.
+	nBack := back[1] - back[0]
+	nTbl := tbl[1] - tbl[0]
+	for i := 0; i < nBack; i++ {
+		t := tbl[0] + i*nTbl/nBack
+		link(back[0]+i, t)
+	}
+	// mImgtbl → mAdd: 1:1.
+	for i := 0; i < nTbl; i++ {
+		link(tbl[0]+i, add[0]+i)
+	}
+
+	return New(tasks, edges)
+}
+
+// MustMontage is Montage but panics on error.
+func MustMontage(levels []MontageLevel, ccr float64) *DAG {
+	d, err := Montage(levels, ccr, nil)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,131 @@
+package dag
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rsgen/internal/xrand"
+)
+
+// clampSpec maps arbitrary quick-generated values into a valid GenSpec so
+// property tests explore the whole parameter space without tripping
+// validation.
+func clampSpec(size uint16, ccr, par, dens, reg, cost float64) GenSpec {
+	frac := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0.5
+		}
+		f := math.Abs(x) - math.Floor(math.Abs(x))
+		return f
+	}
+	return GenSpec{
+		Size:        int(size%2000) + 1,
+		CCR:         frac(ccr) * 2,
+		Parallelism: frac(par),
+		Density:     0.05 + 0.95*frac(dens),
+		Regularity:  0.01 + 0.99*frac(reg),
+		MeanCost:    1 + 99*frac(cost),
+	}
+}
+
+func TestPropertyGeneratedDAGsAreValid(t *testing.T) {
+	f := func(seed uint64, size uint16, ccr, par, dens, reg, cost float64) bool {
+		spec := clampSpec(size, ccr, par, dens, reg, cost)
+		d, err := Generate(spec, xrand.New(seed))
+		if err != nil {
+			t.Logf("generate failed for %+v: %v", spec, err)
+			return false
+		}
+		// Structural invariants: size, level consistency, no orphan
+		// non-entry tasks, acyclicity (guaranteed by New succeeding).
+		if d.Size() != spec.Size {
+			return false
+		}
+		for v := 0; v < d.Size(); v++ {
+			id := TaskID(v)
+			if d.Level(id) > 0 && len(d.Pred(id)) == 0 {
+				t.Logf("task %d at level %d has no parents", v, d.Level(id))
+				return false
+			}
+			for _, p := range d.Pred(id) {
+				if d.Level(p.Task) >= d.Level(id) {
+					t.Logf("parent level %d ≥ child level %d", d.Level(p.Task), d.Level(id))
+					return false
+				}
+			}
+		}
+		sum := 0
+		for _, s := range d.LevelSizes() {
+			if s < 1 {
+				return false
+			}
+			sum += s
+		}
+		return sum == d.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCharacteristicsInRange(t *testing.T) {
+	f := func(seed uint64, size uint16, ccr, par, dens, reg, cost float64) bool {
+		spec := clampSpec(size, ccr, par, dens, reg, cost)
+		d, err := Generate(spec, xrand.New(seed))
+		if err != nil {
+			return false
+		}
+		c := d.Characteristics()
+		if c.Parallelism < 0 || c.Parallelism > 1 {
+			t.Logf("α out of range: %v", c.Parallelism)
+			return false
+		}
+		if c.Density < 0 || c.Density > 1+1e-9 {
+			t.Logf("δ out of range: %v", c.Density)
+			return false
+		}
+		if c.Regularity > 1+1e-9 {
+			t.Logf("β > 1: %v", c.Regularity)
+			return false
+		}
+		if c.CCR < 0 {
+			return false
+		}
+		if c.MeanCost <= 0 {
+			return false
+		}
+		// Width never exceeds size; height × min level size ≤ size.
+		if d.Width() > d.Size() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBLevelDominatesChildren(t *testing.T) {
+	f := func(seed uint64, size uint16) bool {
+		spec := DefaultGenSpec()
+		spec.Size = int(size%500) + 2
+		d, err := Generate(spec, xrand.New(seed))
+		if err != nil {
+			return false
+		}
+		bl := d.BLevels()
+		for v := 0; v < d.Size(); v++ {
+			for _, a := range d.Succ(TaskID(v)) {
+				// b-level(v) ≥ cost(v) + edge + b-level(child).
+				if bl[v] < d.Task(TaskID(v)).Cost+a.Cost+bl[a.Task]-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

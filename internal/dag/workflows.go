@@ -1,0 +1,70 @@
+package dag
+
+import "fmt"
+
+// This file provides the two real-application workflow shapes §V.3.4 calls
+// out as NOT needing the size model, so their claims can be tested directly:
+//
+//   - SCEC (Southern California Earthquake Center) workflows "are composed
+//     of parallel chains. For such DAGs, the optimal size would equal the
+//     number of chains."
+//   - EMAN (electron micrograph analysis) workflows are computationally
+//     intensive with one dominant parallel phase: "choosing the DAG width
+//     as the RC size would yield the best application turn-around time."
+
+// ParallelChains builds an SCEC-style workflow: `chains` independent chains
+// of `length` tasks each. Every task costs taskCost reference seconds; every
+// intra-chain edge costs edgeCost reference seconds.
+func ParallelChains(chains, length int, taskCost, edgeCost float64) (*DAG, error) {
+	if chains < 1 || length < 1 {
+		return nil, fmt.Errorf("dag: ParallelChains needs ≥1 chain of ≥1 task, got %d×%d", chains, length)
+	}
+	if taskCost <= 0 || edgeCost < 0 {
+		return nil, fmt.Errorf("dag: ParallelChains costs invalid (%v, %v)", taskCost, edgeCost)
+	}
+	tasks := make([]Task, 0, chains*length)
+	var edges []Edge
+	id := 0
+	for c := 0; c < chains; c++ {
+		for l := 0; l < length; l++ {
+			tasks = append(tasks, Task{
+				ID:   TaskID(id),
+				Name: fmt.Sprintf("chain%d_step%d", c, l),
+				Cost: taskCost,
+			})
+			if l > 0 {
+				edges = append(edges, Edge{From: TaskID(id - 1), To: TaskID(id), Cost: edgeCost})
+			}
+			id++
+		}
+	}
+	return New(tasks, edges)
+}
+
+// EMANLike builds an EMAN-style refinement workflow: a preprocessing task
+// fans out to `width` heavy parallel refinement tasks (heavyCost reference
+// seconds each) which fan back into a postprocessing task. Light tasks cost
+// 1% of a heavy task; edges carry ccr × parent cost.
+func EMANLike(width int, heavyCost, ccr float64) (*DAG, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("dag: EMANLike needs width ≥ 1, got %d", width)
+	}
+	if heavyCost <= 0 || ccr < 0 {
+		return nil, fmt.Errorf("dag: EMANLike costs invalid (%v, %v)", heavyCost, ccr)
+	}
+	light := heavyCost / 100
+	tasks := make([]Task, 0, width+2)
+	tasks = append(tasks, Task{ID: 0, Name: "preprocess", Cost: light})
+	for i := 0; i < width; i++ {
+		tasks = append(tasks, Task{ID: TaskID(1 + i), Name: fmt.Sprintf("refine%d", i), Cost: heavyCost})
+	}
+	tasks = append(tasks, Task{ID: TaskID(width + 1), Name: "postprocess", Cost: light})
+	var edges []Edge
+	for i := 0; i < width; i++ {
+		edges = append(edges,
+			Edge{From: 0, To: TaskID(1 + i), Cost: ccr * light},
+			Edge{From: TaskID(1 + i), To: TaskID(width + 1), Cost: ccr * heavyCost},
+		)
+	}
+	return New(tasks, edges)
+}

@@ -1,0 +1,88 @@
+package dag
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParallelChainsStructure(t *testing.T) {
+	d, err := ParallelChains(5, 8, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 40 {
+		t.Fatalf("size = %d, want 40", d.Size())
+	}
+	if d.Height() != 8 {
+		t.Fatalf("height = %d, want 8", d.Height())
+	}
+	if d.Width() != 5 {
+		t.Fatalf("width = %d, want 5 (one task per chain per level)", d.Width())
+	}
+	if got := len(d.Entries()); got != 5 {
+		t.Errorf("entries = %d, want 5", got)
+	}
+	if got := len(d.Exits()); got != 5 {
+		t.Errorf("exits = %d, want 5", got)
+	}
+	// Each chain is a straight line: every non-entry task has exactly one
+	// parent.
+	for v := 0; v < d.Size(); v++ {
+		if d.Level(TaskID(v)) > 0 && len(d.Pred(TaskID(v))) != 1 {
+			t.Fatalf("task %d has %d parents", v, len(d.Pred(TaskID(v))))
+		}
+	}
+	// CCR = 0.5/10 = 0.05 by construction.
+	if got := d.CCR(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("CCR = %v, want 0.05", got)
+	}
+}
+
+func TestParallelChainsValidation(t *testing.T) {
+	cases := []struct{ chains, length int }{{0, 5}, {5, 0}, {-1, 3}}
+	for _, c := range cases {
+		if _, err := ParallelChains(c.chains, c.length, 1, 0); err == nil {
+			t.Errorf("ParallelChains(%d, %d) accepted", c.chains, c.length)
+		}
+	}
+	if _, err := ParallelChains(2, 2, 0, 0); err == nil {
+		t.Error("zero task cost accepted")
+	}
+	if _, err := ParallelChains(2, 2, 1, -1); err == nil {
+		t.Error("negative edge cost accepted")
+	}
+}
+
+func TestEMANLikeStructure(t *testing.T) {
+	d, err := EMANLike(30, 200, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 32 {
+		t.Fatalf("size = %d, want 32", d.Size())
+	}
+	if d.Height() != 3 {
+		t.Fatalf("height = %d, want 3", d.Height())
+	}
+	if d.Width() != 30 {
+		t.Fatalf("width = %d, want 30", d.Width())
+	}
+	// The heavy phase dominates total work (that is what makes EMAN
+	// "compute-intensive").
+	heavy := 30.0 * 200
+	if got := d.TotalWork(); got < heavy || got > heavy*1.05 {
+		t.Errorf("total work %v not dominated by the refinement phase %v", got, heavy)
+	}
+}
+
+func TestEMANLikeValidation(t *testing.T) {
+	if _, err := EMANLike(0, 10, 0.1); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := EMANLike(4, 0, 0.1); err == nil {
+		t.Error("zero cost accepted")
+	}
+	if _, err := EMANLike(4, 10, -1); err == nil {
+		t.Error("negative ccr accepted")
+	}
+}

@@ -1,0 +1,225 @@
+package expt
+
+// Chapter VI: predicting the best scheduling heuristic.
+
+import (
+	"fmt"
+	"math"
+
+	"rsgen/internal/heurpred"
+	"rsgen/internal/knee"
+	"rsgen/internal/sched"
+)
+
+// ch6Cfg returns the heuristic-prediction training grid (Table VI-1 at full
+// scale, a compact grid at quick scale).
+func ch6Cfg(cfg Config) heurpred.TrainConfig {
+	if cfg.Full {
+		return heurpred.TrainConfig{
+			Sizes:  []int{100, 500, 1000, 5000, 10000},
+			CCRs:   []float64{0.01, 0.1, 0.5, 1.0},
+			Alphas: []float64{0.4, 0.6, 0.8},
+			Betas:  []float64{0.1, 0.5, 1.0},
+			Reps:   5,
+			Seed:   cfg.seed(),
+		}
+	}
+	return heurpred.TrainConfig{
+		Sizes:  []int{50, 200, 600},
+		CCRs:   []float64{0.1, 0.5},
+		Alphas: []float64{0.5, 0.7},
+		Betas:  []float64{0.5},
+		Reps:   2,
+		Seed:   cfg.seed(),
+	}
+}
+
+func init() {
+	register(Experiment{
+		ID: "tab-vi-2", Ref: "Tables VI-2/VI-1",
+		Desc: "Turn-around per heuristic on the smallest observation DAGs",
+		Run: func(cfg Config) ([]*Table, error) {
+			tc := ch6Cfg(cfg)
+			size := tc.Sizes[0]
+			t := &Table{ID: "tab-vi-2", Title: fmt.Sprintf("Best turn-around per heuristic, DAG size %d", size),
+				Header: []string{"CCR", "α", "MCP (s)", "FCA (s)", "FCFS (s)", "Greedy (s)", "winner"}}
+			for _, ccr := range tc.CCRs {
+				for _, a := range tc.Alphas {
+					obs, err := heurpred.EvalCell(tc, size, ccr, a, tc.Betas[0])
+					if err != nil {
+						return nil, err
+					}
+					t.AddRow(f2(ccr), f2(a),
+						f1(obs.TurnAround["MCP"]), f1(obs.TurnAround["FCA"]),
+						f1(obs.TurnAround["FCFS"]), f1(obs.TurnAround["Greedy"]),
+						obs.Winner)
+				}
+			}
+			t.Notes = append(t.Notes, "paper: on small DAGs the heuristics' optima are close; MCP's makespan edge matters only with communication")
+			return []*Table{t}, nil
+		},
+	})
+
+	register(Experiment{
+		ID: "tab-vi-3", Ref: "Table VI-3",
+		Desc: "Degradation from using the heterogeneity-0.3 resource condition instead of 0",
+		Run: func(cfg Config) ([]*Table, error) {
+			// The paper's question: if the models are built assuming one
+			// resource condition (heterogeneity 0 vs 0.3), how much is
+			// lost by using the wrong condition's predicted RC size?
+			tc := ch6Cfg(cfg)
+			t := &Table{ID: "tab-vi-3", Title: "Degradation from sizing with the homogeneous model under heterogeneity 0.3",
+				Header: []string{"size", "heuristic", "hom knee", "het knee", "het optimum (s)", "at hom size (s)", "degradation"}}
+			for _, size := range tc.Sizes {
+				for _, h := range []sched.Heuristic{sched.MCP{}, sched.FCA{}} {
+					dags, err := tc.GenDAGs(size, tc.CCRs[0], tc.Alphas[0], tc.Betas[0])
+					if err != nil {
+						return nil, err
+					}
+					homSweep := tc.Sweep
+					homSweep.Heuristic = h
+					homCurve, err := knee.Sweep(dags, homSweep)
+					if err != nil {
+						return nil, err
+					}
+					homKnee, _ := homCurve.Knee(knee.DefaultThreshold)
+					hetSweep := homSweep
+					hetSweep.Heterogeneity = 0.3
+					hetSweep.Seed = cfg.seed()
+					hetCurve, err := knee.Sweep(dags, hetSweep)
+					if err != nil {
+						return nil, err
+					}
+					hetKnee, hetBest := hetCurve.Knee(knee.DefaultThreshold)
+					atHom, err := knee.EvalSize(dags, hetSweep, homKnee)
+					if err != nil {
+						return nil, err
+					}
+					deg := 0.0
+					if hetBest > 0 {
+						deg = atHom.TurnAround/hetBest - 1
+						if deg < 0 {
+							deg = 0
+						}
+					}
+					t.AddRow(itoa(size), h.Name(), itoa(homKnee), itoa(hetKnee),
+						f1(hetBest), f1(atHom.TurnAround), pct(deg))
+				}
+			}
+			t.Notes = append(t.Notes, "paper: the homogeneous model loses only a few percent under ±30% clock spread, so one model family suffices")
+			return []*Table{t}, nil
+		},
+	})
+
+	register(Experiment{
+		ID: "fig-vi-1", Ref: "Figure VI-1",
+		Desc: "Optimal turn-around per heuristic as a function of DAG size",
+		Run: func(cfg Config) ([]*Table, error) {
+			tc := ch6Cfg(cfg)
+			t := &Table{ID: "fig-vi-1", Title: "Optimal turn-around per heuristic vs DAG size",
+				Header: []string{"size", "MCP (s)", "FCA (s)", "FCFS (s)", "Greedy (s)", "winner"}}
+			for _, size := range tc.Sizes {
+				obs, err := heurpred.EvalCell(tc, size, tc.CCRs[0], tc.Alphas[len(tc.Alphas)-1], tc.Betas[0])
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(itoa(size),
+					f1(obs.TurnAround["MCP"]), f1(obs.TurnAround["FCA"]),
+					f1(obs.TurnAround["FCFS"]), f1(obs.TurnAround["Greedy"]),
+					obs.Winner)
+			}
+			t.Notes = append(t.Notes, "expected shape: MCP's scheduling cost grows fastest; the cheap heuristics close the gap as size grows")
+			return []*Table{t}, nil
+		},
+	})
+
+	register(Experiment{
+		ID: "fig-vi-2", Ref: "Figure VI-2",
+		Desc: "MCP↔FCA crossover surface over (CCR, α)",
+		Run: func(cfg Config) ([]*Table, error) {
+			tc := ch6Cfg(cfg)
+			m, err := heurpred.Train(tc)
+			if err != nil {
+				return nil, err
+			}
+			t := &Table{ID: "fig-vi-2", Title: "DAG size at which FCA starts beating MCP (∞ = MCP always wins, 0 = FCA always)"}
+			t.Header = []string{"CCR \\ α"}
+			for _, a := range tc.Alphas {
+				t.Header = append(t.Header, f2(a))
+			}
+			for _, ccr := range tc.CCRs {
+				row := []string{f2(ccr)}
+				for _, a := range tc.Alphas {
+					x := m.CrossoverSize(ccr, a)
+					switch {
+					case math.IsInf(x, 1):
+						row = append(row, "∞")
+					case x == 0:
+						row = append(row, "0")
+					default:
+						row = append(row, itoa(int(math.Round(x))))
+					}
+				}
+				t.AddRow(row...)
+			}
+			return []*Table{t}, nil
+		},
+	})
+
+	register(Experiment{
+		ID: "fig-vi-4", Ref: "Figures VI-4/VI-5, Tables VI-4/VI-5",
+		Desc: "Heuristic-model validation: outcome breakdown and mean degradation",
+		Run:  runFigVI45,
+	})
+	register(Experiment{
+		ID: "fig-vi-5", Ref: "Figures VI-4/VI-5",
+		Desc: "Alias of fig-vi-4",
+		Run:  runFigVI45,
+	})
+}
+
+func runFigVI45(cfg Config) ([]*Table, error) {
+	tc := ch6Cfg(cfg)
+	m, err := heurpred.Train(tc)
+	if err != nil {
+		return nil, err
+	}
+	// Validation points off the training grid (Table VI-4 picks points
+	// between observation values).
+	var points []heurpred.Observation
+	for i := 0; i+1 < len(tc.Sizes); i++ {
+		points = append(points, heurpred.Observation{
+			Size:        (tc.Sizes[i] + tc.Sizes[i+1]) / 2,
+			CCR:         tc.CCRs[0],
+			Parallelism: tc.Alphas[0],
+			Regularity:  tc.Betas[0],
+		})
+	}
+	points = append(points, heurpred.Observation{
+		Size: tc.Sizes[0], CCR: mid(tc.CCRs), Parallelism: mid(tc.Alphas), Regularity: tc.Betas[0],
+	})
+	vc := tc
+	vc.Seed = cfg.seed() + 17
+	vc.Sweep = knee.SweepConfig{}
+	sum, err := heurpred.Validate(m, vc, points)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig-vi-4", Title: "Heuristic prediction validation",
+		Header: []string{"size", "CCR", "α", "predicted", "actual", "degradation", "outcome"}}
+	for _, o := range sum.Outcomes {
+		t.AddRow(itoa(o.Size), f2(o.CCR), f2(o.Parallelism), o.Predicted, o.Actual, pct(o.Degradation), o.Kind.String())
+	}
+	t2 := &Table{ID: "fig-vi-5", Title: "Validation summary",
+		Header: []string{"matches", "near-matches", "misses", "mean degradation"}}
+	t2.AddRow(itoa(sum.Matches), itoa(sum.NearMatches), itoa(sum.Misses), pct(sum.MeanDegradation))
+	t2.Notes = append(t2.Notes, "paper: predictions achieve turn-around very close to the best heuristic's (Fig. VI-5)")
+	return []*Table{t, t2}, nil
+}
+
+func mid(xs []float64) float64 {
+	if len(xs) < 2 {
+		return xs[0]
+	}
+	return (xs[0] + xs[1]) / 2
+}

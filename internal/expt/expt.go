@@ -1,0 +1,179 @@
+// Package expt reproduces every table and figure of the dissertation's
+// evaluation chapters (IV–VII). Each experiment is registered under the id
+// used in DESIGN.md's experiment index (e.g. "fig-iv-5", "tab-v-2") and
+// produces one or more text tables with the same rows/series the paper
+// reports.
+//
+// Because the dissertation burned CPU-months on its full grids, every
+// experiment has two scales: the default quick scale (seconds to a few
+// minutes, smaller DAGs/platforms/grids, fewer repetitions) and the full
+// scale (Config.Full) matching the paper's parameters. The quick scale
+// preserves every qualitative shape — who wins, where knees and crossovers
+// fall — which is what reproduction validates.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Config controls experiment scale and determinism.
+type Config struct {
+	// Full selects the paper-scale grids instead of the quick defaults.
+	Full bool
+	// Seed drives all randomness; 0 defaults to 1.
+	Seed uint64
+}
+
+func (c Config) seed() uint64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+// Table is one rendered result table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the table as RFC-4180-ish CSV with a leading comment
+// line naming the table.
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Title)
+	writeCSVRow(w, t.Header)
+	for _, row := range t.Rows {
+		writeCSVRow(w, row)
+	}
+	fmt.Fprintln(w)
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		parts[i] = c
+	}
+	fmt.Fprintln(w, strings.Join(parts, ","))
+}
+
+// Experiment is one registered reproduction.
+type Experiment struct {
+	ID  string
+	Ref string // paper table/figure reference
+	// Desc says what the experiment shows.
+	Desc string
+	Run  func(cfg Config) ([]*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("expt: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the experiment registered under id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// Run executes one experiment and writes its tables to w as aligned text.
+func Run(id string, cfg Config, w io.Writer) error {
+	return run(id, cfg, w, (*Table).Render)
+}
+
+// RunCSV executes one experiment and writes its tables to w as CSV (one
+// header row and one record per table row, tables separated by a comment
+// line), for downstream plotting.
+func RunCSV(id string, cfg Config, w io.Writer) error {
+	return run(id, cfg, w, (*Table).RenderCSV)
+}
+
+func run(id string, cfg Config, w io.Writer, render func(*Table, io.Writer)) error {
+	e, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("expt: unknown experiment %q (use one of %v)", id, IDs())
+	}
+	tables, err := e.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("expt: %s: %w", id, err)
+	}
+	for _, t := range tables {
+		render(t, w)
+	}
+	return nil
+}
+
+// Formatting helpers shared by all chapters.
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string {
+	return fmt.Sprintf("%.2f%%", v*100)
+}
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,249 @@
+package expt
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every experiment id from the DESIGN.md index must be registered.
+	want := []string{
+		"tab-iv-2",
+		"fig-iv-5", "fig-iv-6", "fig-iv-7", "fig-iv-8", "fig-iv-9", "fig-iv-10",
+		"fig-iv-11", "fig-iv-12", "fig-iv-13", "fig-iv-14",
+		"fig-v-2", "fig-v-3", "tab-v-2", "fig-v-4", "fig-v-5", "fig-v-6",
+		"tab-v-5", "tab-v-6", "fig-v-7", "tab-v-7", "tab-v-9",
+		"fig-v-8", "fig-v-9", "fig-v-10", "fig-v-11", "fig-v-16", "fig-v-17",
+		"fig-v-18", "fig-v-19", "fig-v-20", "fig-v-21", "fig-v-22", "fig-v-23", "fig-v-24",
+		"tab-vi-2", "tab-vi-3", "fig-vi-1", "fig-vi-2", "fig-vi-4", "fig-vi-5",
+		"fig-vii-3", "fig-vii-4", "fig-vii-5", "fig-vii-6", "fig-vii-7", "tab-vii-1",
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if got := len(IDs()); got < len(want) {
+		t.Errorf("registry holds %d experiments, want ≥ %d", got, len(want))
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", Config{}, &buf); err == nil {
+		t.Error("unknown experiment ran")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Header: []string{"a", "bb"}, Notes: []string{"hello"}}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x — demo ==", "a", "bb", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// parse helpers for shape assertions.
+func cell(t *testing.T, tab *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("table %s has no cell (%d,%d)", tab.ID, row, col)
+	}
+	return tab.Rows[row][col]
+}
+
+func cellF(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(cell(t, tab, row, col), "%")
+	s = strings.TrimSuffix(s, " GHz")
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) of %s is not numeric: %q", row, col, tab.ID, cell(t, tab, row, col))
+	}
+	return f
+}
+
+func runOne(t *testing.T, id string) []*Table {
+	t.Helper()
+	e, ok := Get(id)
+	if !ok {
+		t.Fatalf("experiment %s missing", id)
+	}
+	tabs, err := e.Run(Config{Seed: 2})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tabs) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	return tabs
+}
+
+func TestTabIV2MontageLevels(t *testing.T) {
+	tabs := runOne(t, "tab-iv-2")
+	tab := tabs[0]
+	if len(tab.Rows) != 7 {
+		t.Fatalf("Montage table has %d rows, want 7", len(tab.Rows))
+	}
+	if cell(t, tab, 1, 1) != "mDiffFit" || cell(t, tab, 1, 2) != "2633" {
+		t.Errorf("level 2 row wrong: %v", tab.Rows[1])
+	}
+}
+
+func TestFigIV5Shape(t *testing.T) {
+	// The headline Chapter IV claims on the quick-scale platform:
+	// 1. MCP/Universe pays far more scheduling time than MCP/VG;
+	// 2. explicit selection (VG) turn-around beats MCP/Universe;
+	// 3. Greedy/VG within a few % of MCP/VG turn-around (low CCR).
+	tabs := runOne(t, "fig-iv-5")
+	tab := tabs[0]
+	byScheme := map[string][]string{}
+	for _, row := range tab.Rows {
+		byScheme[row[0]] = row
+	}
+	parse := func(scheme string, col int) float64 {
+		row := byScheme[scheme]
+		if row == nil {
+			t.Fatalf("missing scheme %s", scheme)
+		}
+		f, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[col])
+		}
+		return f
+	}
+	schedUni := parse("MCP/Universe", 1)
+	schedVG := parse("MCP/VG", 1)
+	if schedUni <= schedVG*5 {
+		t.Errorf("MCP scheduling time on universe (%v) not ≫ on VG (%v)", schedUni, schedVG)
+	}
+	turnUni := parse("MCP/Universe", 4)
+	turnVG := parse("MCP/VG", 4)
+	if turnVG >= turnUni {
+		t.Errorf("explicit selection turn-around %v not better than universe %v", turnVG, turnUni)
+	}
+	greedyVG := parse("Greedy/VG", 4)
+	if greedyVG > turnVG*1.10 {
+		t.Errorf("Greedy/VG %v more than 10%% above MCP/VG %v at low CCR", greedyVG, turnVG)
+	}
+}
+
+func TestTabV2KneeGrowsWithAlpha(t *testing.T) {
+	tabs := runOne(t, "tab-v-2")
+	tab := tabs[0]
+	// First α row's first β column vs last α row's: knee must grow.
+	first := cellF(t, tab, 0, 1)
+	last := cellF(t, tab, len(tab.Rows)-1, 1)
+	if last <= first {
+		t.Errorf("knee did not grow with α: %v → %v", first, last)
+	}
+	// The planar-fit note must be present.
+	found := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "planar fit") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("planar fit note missing")
+	}
+}
+
+func TestTabV7WidthWorse(t *testing.T) {
+	tabs := runOne(t, "tab-v-7")
+	tab := tabs[0]
+	modelCost := cellF(t, tab, 0, 3)
+	widthCost := cellF(t, tab, 1, 3)
+	if widthCost <= modelCost {
+		t.Errorf("width practice cost %v%% not above model %v%%", widthCost, modelCost)
+	}
+	modelDiff := cellF(t, tab, 0, 1)
+	widthDiff := cellF(t, tab, 1, 1)
+	if widthDiff <= modelDiff {
+		t.Errorf("width size diff %v%% not above model %v%%", widthDiff, modelDiff)
+	}
+}
+
+func TestFigVII7RelativeSizeGrows(t *testing.T) {
+	tabs := runOne(t, "fig-vii-7")
+	tab := tabs[0]
+	prev := 0.0
+	for i := range tab.Rows {
+		if cell(t, tab, i, 1) == "unreachable" {
+			continue
+		}
+		rel := cellF(t, tab, i, 2)
+		if rel < 1 {
+			t.Errorf("relative size %v < 1 at %s", rel, cell(t, tab, i, 0))
+		}
+		if rel < prev {
+			t.Errorf("relative size not non-decreasing as clock drops: %v after %v", rel, prev)
+		}
+		prev = rel
+	}
+}
+
+func TestFigVII3SpecificationsFulfillable(t *testing.T) {
+	tabs := runOne(t, "fig-vii-3")
+	if len(tabs) != 2 {
+		t.Fatalf("expected spec + fulfillment tables, got %d", len(tabs))
+	}
+	ful := tabs[1]
+	for _, row := range ful.Rows {
+		if strings.Contains(row[1], "failed to parse") || strings.Contains(row[1], "failed to decode") {
+			t.Errorf("%s: %s", row[0], row[1])
+		}
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	// Execute every registered primary experiment once at quick scale:
+	// each must produce at least one non-empty table without error.
+	// Aliases share runners with their primaries and are skipped.
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	aliases := map[string]bool{
+		"fig-iv-8": true, "fig-v-4": true,
+		"fig-v-9": true, "fig-v-10": true, "fig-v-11": true,
+		"fig-v-17": true,
+		"fig-v-19": true, "fig-v-20": true, "fig-v-21": true, "fig-v-22": true,
+		"fig-v-23": true, "fig-v-24": true,
+		"fig-vi-5":  true,
+		"fig-vii-4": true, "fig-vii-5": true,
+	}
+	for _, id := range IDs() {
+		if aliases[id] {
+			continue
+		}
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, _ := Get(id)
+			tabs, err := e.Run(Config{Seed: 3})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(tabs) == 0 {
+				t.Fatalf("%s produced no tables", id)
+			}
+			for _, tab := range tabs {
+				if len(tab.Header) == 0 || len(tab.Rows) == 0 {
+					t.Errorf("%s: table %s empty", id, tab.ID)
+				}
+				var buf bytes.Buffer
+				tab.Render(&buf)
+				tab.RenderCSV(&buf)
+				if buf.Len() == 0 {
+					t.Errorf("%s: table %s rendered nothing", id, tab.ID)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package expt
+
+// Extension experiments: not tables or figures of the dissertation, but
+// studies its text motivates and the implementation makes cheap to run.
+
+import (
+	"fmt"
+
+	"rsgen/internal/knee"
+	"rsgen/internal/sched"
+)
+
+func init() {
+	register(Experiment{
+		ID: "ext-baselines", Ref: "§IV.1.2 (extension)",
+		Desc: "Deployed-practice baselines (Random/RoundRobin/MinMin, as in Pegasus) vs the dissertation's heuristics",
+		Run:  runExtBaselines,
+	})
+	register(Experiment{
+		ID: "ext-spaceshared", Ref: "§III.2.3 (extension)",
+		Desc: "Space sharing: dedicated hosts vs the same hosts split into virtual processors",
+		Run:  runExtSpaceShared,
+	})
+}
+
+// runExtBaselines answers the question §IV.1.2 raises — "there has been no
+// clear demonstration that [sophisticated algorithms] would improve
+// application turn-around time in practice" — by comparing every heuristic,
+// each at its own best RC size, on the Table IV-3 default workload.
+func runExtBaselines(cfg Config) ([]*Table, error) {
+	p := ch5Scale(cfg)
+	dags := ch5DAGs(cfg.seed(), p.curveSize, 0.1, 0.6, 0.5, p.reps)
+	heuristics := []sched.Heuristic{
+		sched.MCP{}, sched.Greedy{}, sched.FCA{}, sched.FCFS{},
+		sched.MinMin{}, sched.RoundRobin{}, sched.Random{Seed: cfg.seed()},
+	}
+	t := &Table{ID: "ext-baselines",
+		Title:  fmt.Sprintf("Best turn-around per heuristic (n=%d, CCR=0.1, α=0.6, homogeneous)", p.curveSize),
+		Header: []string{"heuristic", "best RC size", "sched time (s)", "makespan (s)", "turn-around (s)"}}
+	for _, h := range heuristics {
+		curve, err := knee.Sweep(dags, knee.SweepConfig{Heuristic: h})
+		if err != nil {
+			return nil, err
+		}
+		size, _ := curve.Knee(knee.DefaultThreshold)
+		pt := curve.At(size)
+		t.AddRow(h.Name(), itoa(size), f2(pt.SchedTime), f1(pt.Makespan), f1(pt.TurnAround))
+	}
+	t.Notes = append(t.Notes,
+		"the Pegasus-era baselines (Random/RoundRobin) lose on makespan what they save on scheduling;",
+		"MinMin pays DLS-class scheduling cost — the §IV.1.2 complaint quantified")
+	return []*Table{t}, nil
+}
+
+// runExtSpaceShared quantifies the §III.2.3 space-sharing model: the same
+// physical hosts, dedicated vs split 4-ways into virtual processors.
+func runExtSpaceShared(cfg Config) ([]*Table, error) {
+	p := ch5Scale(cfg)
+	dags := ch5DAGs(cfg.seed(), p.curveSize, 0.1, 0.6, 0.5, p.reps)
+	t := &Table{ID: "ext-spaceshared",
+		Title:  "Dedicated vs space-shared (4-way) resource collections",
+		Header: []string{"configuration", "hosts/vps", "makespan (s)", "turn-around (s)"}}
+	for _, m := range []int{8, 16, 32} {
+		ded, err := knee.EvalSize(dags, knee.SweepConfig{}, m)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("dedicated %d × 2.8 GHz", m), itoa(m), f1(ded.Makespan), f1(ded.TurnAround))
+		// The space-shared view of the same iron: 4m virtual processors
+		// at 0.7 GHz — evaluated directly through the sweep config's
+		// homogeneous builder at the divided clock.
+		shared, err := knee.EvalSize(dags, knee.SweepConfig{ClockGHz: 2.8 / 4}, 4*m)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("space-shared %d × 4 vps × 0.7 GHz", m), itoa(4*m), f1(shared.Makespan), f1(shared.TurnAround))
+	}
+	t.Notes = append(t.Notes,
+		"same aggregate capacity: sharing wins only while the DAG has parallelism to fill the extra slots;",
+		"once the serial spine dominates, dedicated fast processors win (§III.2.3's virtual-processor model)")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,176 @@
+package expt
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Additional shape assertions over the experiment outputs: each test pins a
+// qualitative claim from the dissertation to the regenerated table.
+
+func TestFigIV6GreedyVGWinsAtCCR1(t *testing.T) {
+	tabs := runOne(t, "fig-iv-6")
+	byScheme := map[string][]string{}
+	for _, row := range tabs[0].Rows {
+		byScheme[row[0]] = row
+	}
+	turn := func(scheme string) float64 {
+		f, err := strconv.ParseFloat(byScheme[scheme][4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	// "Surprisingly, running the greedy algorithm on a VG produces a
+	// better makespan than running MCP on the resource universe" (§IV.3.1).
+	if turn("Greedy/VG") >= turn("MCP/Universe") {
+		t.Errorf("Greedy/VG %v not below MCP/Universe %v at CCR=1",
+			turn("Greedy/VG"), turn("MCP/Universe"))
+	}
+	// VG beats TopHosts when communication matters.
+	if turn("MCP/VG") >= turn("MCP/TopHosts") {
+		t.Errorf("MCP/VG %v not below MCP/TopHosts %v at CCR=1",
+			turn("MCP/VG"), turn("MCP/TopHosts"))
+	}
+}
+
+func TestFigV6KneeShrinksWithCCR(t *testing.T) {
+	tabs := runOne(t, "fig-v-6")
+	tab := tabs[0]
+	if len(tab.Rows) < 2 {
+		t.Fatalf("CCR sweep has %d rows", len(tab.Rows))
+	}
+	first := cellF(t, tab, 0, 1)
+	last := cellF(t, tab, len(tab.Rows)-1, 1)
+	if last >= first {
+		t.Errorf("knee did not shrink with CCR: %v → %v", first, last)
+	}
+}
+
+func TestFigV7LooserThresholdsCheaper(t *testing.T) {
+	tabs := runOne(t, "fig-v-7")
+	tab := tabs[0]
+	prevDeg, prevCost := -1.0, 1.0
+	for i := range tab.Rows {
+		deg := cellF(t, tab, i, 1)
+		cost := cellF(t, tab, i, 2)
+		if deg < prevDeg-1e-9 {
+			t.Errorf("degradation not non-decreasing across thresholds at row %d", i)
+		}
+		if cost > prevCost+1e-9 && i > 0 {
+			t.Errorf("relative cost not non-increasing across thresholds at row %d", i)
+		}
+		prevDeg, prevCost = deg, cost
+	}
+}
+
+func TestFigV16FCFSWorstUnderHeterogeneity(t *testing.T) {
+	tabs := runOne(t, "fig-v-16")
+	tab := tabs[0]
+	var fcfsHet, mcpHet float64
+	for i, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "heterogeneous") {
+			switch row[1] {
+			case "FCFS":
+				fcfsHet = cellF(t, tab, i, 4)
+			case "MCP":
+				mcpHet = cellF(t, tab, i, 4)
+			}
+		}
+	}
+	if fcfsHet <= mcpHet {
+		t.Errorf("FCFS degradation %v%% not above MCP %v%% under heterogeneity", fcfsHet, mcpHet)
+	}
+}
+
+func TestFigV18SCRNonDecreasing(t *testing.T) {
+	tabs := runOne(t, "fig-v-18")
+	tab := tabs[0]
+	for i := range tab.Rows {
+		prev := 0.0
+		for col := 1; col <= 5; col++ {
+			v := cellF(t, tab, i, col)
+			if v < prev-1e-9 {
+				t.Errorf("row %d: knee decreased with SCR (%v after %v)", i, v, prev)
+			}
+			prev = v
+		}
+		// Fitted exponent non-negative.
+		if exp := cellF(t, tab, i, 6); exp < -0.05 {
+			t.Errorf("row %d: negative SCR exponent %v", i, exp)
+		}
+	}
+}
+
+func TestTabVI3DegradationBounded(t *testing.T) {
+	tabs := runOne(t, "tab-vi-3")
+	tab := tabs[0]
+	for i := range tab.Rows {
+		deg := cellF(t, tab, i, 6)
+		if deg < 0 || deg > 30 {
+			t.Errorf("row %d: hom-model degradation %v%% implausible", i, deg)
+		}
+	}
+}
+
+func TestFigVI1CheapHeuristicsCloseTheGap(t *testing.T) {
+	tabs := runOne(t, "fig-vi-1")
+	tab := tabs[0]
+	// The FCA:MCP ratio must not grow with DAG size (FCA's relative
+	// position improves as scheduling cost matters more).
+	prevRatio := math.Inf(1)
+	for i := range tab.Rows {
+		mcp := cellF(t, tab, i, 1)
+		fca := cellF(t, tab, i, 2)
+		ratio := fca / mcp
+		if ratio > prevRatio*1.05 {
+			t.Errorf("FCA/MCP ratio grew with size at row %d: %v after %v", i, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestFigVII6FasterClockAlwaysFaster(t *testing.T) {
+	tabs := runOne(t, "fig-vii-6")
+	tab := tabs[0]
+	// Within each column, turn-around must decrease going down the rows
+	// (rows are ascending clock).
+	for col := 1; col < len(tab.Header); col++ {
+		prev := math.Inf(1)
+		for i := range tab.Rows {
+			v := cellF(t, tab, i, col)
+			if v > prev+1e-9 {
+				t.Errorf("col %d row %d: faster clock slower (%v after %v)", col, i, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunCSV("tab-iv-2", Config{Seed: 2}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# tab-iv-2") {
+		t.Errorf("CSV missing table comment:\n%s", out)
+	}
+	if !strings.Contains(out, "1,mProject,892,334,8.2") {
+		t.Errorf("CSV missing data row:\n%s", out)
+	}
+	// Quoting: a synthetic table with commas.
+	tab := &Table{ID: "x", Title: "t", Header: []string{"a,b", `q"q`}}
+	tab.AddRow("1,2", "plain")
+	var b2 bytes.Buffer
+	tab.RenderCSV(&b2)
+	if !strings.Contains(b2.String(), `"a,b","q""q"`) {
+		t.Errorf("CSV quoting wrong: %s", b2.String())
+	}
+	if err := RunCSV("nope", Config{}, &buf); err == nil {
+		t.Error("unknown id accepted")
+	}
+}

@@ -1,0 +1,308 @@
+// Package heurpred implements the scheduling-heuristic prediction model of
+// dissertation Chapter VI: given a DAG's characteristics, predict which
+// scheduling heuristic — used together with its best resource-collection
+// size — minimizes application turn-around time.
+//
+// The model is empirical, like the size model: an observation grid over DAG
+// configurations is scheduled with every candidate heuristic, each at its
+// own optimal RC size (best point of its turn-around curve); the winner per
+// cell is recorded. Prediction is nearest-neighbor in normalized
+// characteristic space, and the MCP↔FCA crossover surface of Fig. VI-2 is
+// derived from the same observations.
+package heurpred
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/knee"
+	"rsgen/internal/sched"
+	"rsgen/internal/stats"
+	"rsgen/internal/xrand"
+)
+
+// Observation is one grid cell: the DAG configuration, every candidate's
+// optimal turn-around (minimum over RC sizes), and the winner.
+type Observation struct {
+	Size        int                `json:"size"`
+	CCR         float64            `json:"ccr"`
+	Parallelism float64            `json:"alpha"`
+	Regularity  float64            `json:"beta"`
+	TurnAround  map[string]float64 `json:"turn_around"` // heuristic → best turn-around
+	BestRCSize  map[string]int     `json:"best_rc_size"`
+	Winner      string             `json:"winner"`
+}
+
+// Model predicts the best heuristic by nearest neighbor over the
+// observation grid in (log10 size, CCR, α, β) space. The distance metric
+// normalizes each axis by the grid's span so no characteristic dominates.
+type Model struct {
+	Observations []Observation `json:"observations"`
+	Heuristics   []string      `json:"heuristics"`
+
+	spanLogSize, spanCCR, spanAlpha, spanBeta float64
+}
+
+// TrainConfig is the Chapter VI observation grid (Table VI-1 uses DAG sizes
+// spanning 100–10,000 with the Table IV-3 defaults for the remaining
+// characteristics).
+type TrainConfig struct {
+	Sizes  []int
+	CCRs   []float64
+	Alphas []float64
+	Betas  []float64
+	Reps   int
+	// Heuristics are the candidates; nil defaults to {MCP, FCA, FCFS,
+	// Greedy} (DLS is excluded by default: its scheduling cost makes it
+	// dominated on every configuration large enough to matter, §VI.1).
+	Heuristics []sched.Heuristic
+	Density    float64
+	MeanCost   float64
+	// Sweep fixes resource conditions (heterogeneity, SCR, bandwidth).
+	Sweep knee.SweepConfig
+	Seed  uint64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if len(c.Heuristics) == 0 {
+		c.Heuristics = []sched.Heuristic{sched.MCP{}, sched.FCA{}, sched.FCFS{}, sched.Greedy{}}
+	}
+	if c.Density == 0 {
+		c.Density = 0.5
+	}
+	if c.MeanCost == 0 {
+		c.MeanCost = 40
+	}
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+	return c
+}
+
+// genDAGs builds the deterministic repetition set for one configuration.
+func (c TrainConfig) genDAGs(size int, ccr, alpha, beta float64) ([]*dag.DAG, error) {
+	spec := dag.GenSpec{
+		Size: size, CCR: ccr, Parallelism: alpha,
+		Density: c.Density, Regularity: beta, MeanCost: c.MeanCost,
+	}
+	out := make([]*dag.DAG, c.Reps)
+	for r := 0; r < c.Reps; r++ {
+		rng := xrand.NewFrom(c.Seed, 0x6E55, uint64(size), math.Float64bits(ccr),
+			math.Float64bits(alpha), math.Float64bits(beta), uint64(r))
+		d, err := dag.Generate(spec, rng)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = d
+	}
+	return out, nil
+}
+
+// GenDAGs builds the deterministic DAG repetition set for one configuration
+// (defaults applied), letting callers evaluate the same instances the
+// observation grid uses.
+func (c TrainConfig) GenDAGs(size int, ccr, alpha, beta float64) ([]*dag.DAG, error) {
+	return c.withDefaults().genDAGs(size, ccr, alpha, beta)
+}
+
+// EvalCell computes every candidate's optimal turn-around for one
+// configuration and the winner.
+func EvalCell(cfg TrainConfig, size int, ccr, alpha, beta float64) (Observation, error) {
+	cfg = cfg.withDefaults()
+	dags, err := cfg.genDAGs(size, ccr, alpha, beta)
+	if err != nil {
+		return Observation{}, err
+	}
+	obs := Observation{
+		Size: size, CCR: ccr, Parallelism: alpha, Regularity: beta,
+		TurnAround: make(map[string]float64, len(cfg.Heuristics)),
+		BestRCSize: make(map[string]int, len(cfg.Heuristics)),
+	}
+	bestT := math.Inf(1)
+	for _, h := range cfg.Heuristics {
+		sw := cfg.Sweep
+		sw.Heuristic = h
+		curve, err := knee.Sweep(dags, sw)
+		if err != nil {
+			return Observation{}, err
+		}
+		s, t := curve.Best()
+		obs.TurnAround[h.Name()] = t
+		obs.BestRCSize[h.Name()] = s
+		if t < bestT {
+			bestT = t
+			obs.Winner = h.Name()
+		}
+	}
+	return obs, nil
+}
+
+// Train runs the observation grid and assembles the model.
+func Train(cfg TrainConfig) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Sizes) == 0 || len(cfg.CCRs) == 0 || len(cfg.Alphas) == 0 || len(cfg.Betas) == 0 {
+		return nil, errors.New("heurpred: empty training grid")
+	}
+	m := &Model{}
+	for _, h := range cfg.Heuristics {
+		m.Heuristics = append(m.Heuristics, h.Name())
+	}
+	for _, size := range cfg.Sizes {
+		for _, ccr := range cfg.CCRs {
+			for _, alpha := range cfg.Alphas {
+				for _, beta := range cfg.Betas {
+					obs, err := EvalCell(cfg, size, ccr, alpha, beta)
+					if err != nil {
+						return nil, err
+					}
+					m.Observations = append(m.Observations, obs)
+				}
+			}
+		}
+	}
+	m.computeSpans()
+	return m, nil
+}
+
+func (m *Model) computeSpans() {
+	minL, maxL := math.Inf(1), math.Inf(-1)
+	minC, maxC := math.Inf(1), math.Inf(-1)
+	minA, maxA := math.Inf(1), math.Inf(-1)
+	minB, maxB := math.Inf(1), math.Inf(-1)
+	for _, o := range m.Observations {
+		l := math.Log10(float64(o.Size))
+		minL, maxL = math.Min(minL, l), math.Max(maxL, l)
+		minC, maxC = math.Min(minC, o.CCR), math.Max(maxC, o.CCR)
+		minA, maxA = math.Min(minA, o.Parallelism), math.Max(maxA, o.Parallelism)
+		minB, maxB = math.Min(minB, o.Regularity), math.Max(maxB, o.Regularity)
+	}
+	span := func(lo, hi float64) float64 {
+		if s := hi - lo; s > 0 {
+			return s
+		}
+		return 1
+	}
+	m.spanLogSize = span(minL, maxL)
+	m.spanCCR = span(minC, maxC)
+	m.spanAlpha = span(minA, maxA)
+	m.spanBeta = span(minB, maxB)
+}
+
+// Predict returns the heuristic name expected to minimize turn-around for a
+// DAG with the given characteristics: the winner of the nearest observation.
+func (m *Model) Predict(c dag.Characteristics) (string, error) {
+	if len(m.Observations) == 0 {
+		return "", errors.New("heurpred: model has no observations")
+	}
+	if m.spanLogSize == 0 {
+		m.computeSpans()
+	}
+	best := -1
+	bestD := math.Inf(1)
+	lq := math.Log10(float64(c.Size))
+	for i, o := range m.Observations {
+		dl := (math.Log10(float64(o.Size)) - lq) / m.spanLogSize
+		dc := (o.CCR - c.CCR) / m.spanCCR
+		da := (o.Parallelism - c.Parallelism) / m.spanAlpha
+		db := (o.Regularity - c.Regularity) / m.spanBeta
+		d := dl*dl + dc*dc + da*da + db*db
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return m.Observations[best].Winner, nil
+}
+
+// PredictHeuristic is Predict but returns the instantiated heuristic.
+func (m *Model) PredictHeuristic(c dag.Characteristics) (sched.Heuristic, error) {
+	name, err := m.Predict(c)
+	if err != nil {
+		return nil, err
+	}
+	return sched.ByName(name)
+}
+
+// CrossoverSize derives the Fig. VI-2 decision surface: for a fixed (CCR,
+// α), the smallest observed DAG size at which the cheap heuristic (FCA)
+// starts winning over MCP, interpolated linearly between the bracketing
+// observations. Returns +Inf when MCP wins everywhere on the grid column
+// and 0 when FCA always wins.
+func (m *Model) CrossoverSize(ccr, alpha float64) float64 {
+	// Collect (size → margin) where margin = turn(MCP) − turn(FCA) for
+	// the observations nearest in (CCR, α, β ignored).
+	type pt struct {
+		size   float64
+		margin float64
+	}
+	bySize := map[int]*struct {
+		sum float64
+		n   int
+	}{}
+	for _, o := range m.Observations {
+		if math.Abs(o.CCR-ccr) > 1e-9 || math.Abs(o.Parallelism-alpha) > 1e-9 {
+			continue
+		}
+		mt, okM := o.TurnAround["MCP"]
+		ft, okF := o.TurnAround["FCA"]
+		if !okM || !okF {
+			continue
+		}
+		e := bySize[o.Size]
+		if e == nil {
+			e = &struct {
+				sum float64
+				n   int
+			}{}
+			bySize[o.Size] = e
+		}
+		e.sum += mt - ft
+		e.n++
+	}
+	var pts []pt
+	for size, e := range bySize {
+		pts = append(pts, pt{size: float64(size), margin: e.sum / float64(e.n)})
+	}
+	if len(pts) == 0 {
+		return math.Inf(1)
+	}
+	// Sort ascending by size.
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j].size < pts[j-1].size; j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+	if pts[0].margin > 0 {
+		return 0 // FCA already wins at the smallest size
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].margin > 0 {
+			// Linear interpolation for the zero crossing.
+			return stats.Lerp(pts[i-1].margin, pts[i-1].size, pts[i].margin, pts[i].size, 0)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Load reads a model saved with Save.
+func Load(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("heurpred: load: %w", err)
+	}
+	if len(m.Observations) == 0 {
+		return nil, errors.New("heurpred: loaded model has no observations")
+	}
+	m.computeSpans()
+	return &m, nil
+}

@@ -1,0 +1,257 @@
+package heurpred
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/knee"
+	"rsgen/internal/sched"
+)
+
+// quickCfg is a small training grid that still spans the MCP↔cheap-heuristic
+// trade-off: small DAGs (MCP's makespan advantage dominates) up to larger
+// DAGs where scheduling cost matters.
+func quickCfg() TrainConfig {
+	return TrainConfig{
+		Sizes:  []int{50, 400},
+		CCRs:   []float64{0.1},
+		Alphas: []float64{0.5, 0.7},
+		Betas:  []float64{0.5},
+		Reps:   2,
+		Seed:   3,
+		Sweep:  knee.SweepConfig{MaxSize: 120},
+	}
+}
+
+func TestTrainProducesWinners(t *testing.T) {
+	m, err := Train(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Observations) != 2*1*2*1 {
+		t.Fatalf("observations = %d, want 4", len(m.Observations))
+	}
+	valid := map[string]bool{"MCP": true, "FCA": true, "FCFS": true, "Greedy": true}
+	for _, o := range m.Observations {
+		if !valid[o.Winner] {
+			t.Errorf("winner %q not a candidate", o.Winner)
+		}
+		if len(o.TurnAround) != 4 {
+			t.Errorf("cell has %d turn-arounds", len(o.TurnAround))
+		}
+		best := o.TurnAround[o.Winner]
+		for name, tt := range o.TurnAround {
+			if tt < best-1e-9 {
+				t.Errorf("winner %s (%v) beaten by %s (%v)", o.Winner, best, name, tt)
+			}
+		}
+		for name, s := range o.BestRCSize {
+			if s < 1 {
+				t.Errorf("%s best RC size %d", name, s)
+			}
+		}
+	}
+}
+
+func TestTrainRejectsEmptyGrid(t *testing.T) {
+	if _, err := Train(TrainConfig{}); err == nil {
+		t.Error("Train accepted empty grid")
+	}
+}
+
+func TestPredictNearestNeighbor(t *testing.T) {
+	m, err := Train(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly on a grid point, prediction must equal that cell's winner.
+	for _, o := range m.Observations {
+		got, err := m.Predict(charsOf(o))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != o.Winner {
+			t.Errorf("on-grid prediction %s ≠ winner %s at %+v", got, o.Winner, o)
+		}
+	}
+	// Off-grid queries return some candidate.
+	got, err := m.Predict(dag.Characteristics{Size: 120, CCR: 0.3, Parallelism: 0.6, Regularity: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.ByName(got); err != nil {
+		t.Errorf("off-grid prediction %q not a heuristic", got)
+	}
+	// Empty model errors.
+	var empty Model
+	if _, err := empty.Predict(dag.Characteristics{Size: 10}); err == nil {
+		t.Error("empty model predicted")
+	}
+}
+
+func TestPredictHeuristicInstantiates(t *testing.T) {
+	m, err := Train(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.PredictHeuristic(dag.Characteristics{Size: 50, CCR: 0.1, Parallelism: 0.5, Regularity: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == nil || h.Name() == "" {
+		t.Error("PredictHeuristic returned nothing")
+	}
+}
+
+func TestMCPWinsSmallCommunicatingDAGs(t *testing.T) {
+	// Chapter VI's qualitative finding, at a fixed RC size: on a DAG
+	// with visible communication over a modest-bandwidth network, MCP's
+	// schedule (communication-aware) produces a makespan no worse than
+	// communication-oblivious FCFS.
+	cfg := TrainConfig{Reps: 2, Seed: 11, Sweep: knee.SweepConfig{BandwidthMbps: 622}}.withDefaults()
+	dags, err := cfg.genDAGs(60, 0.5, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcp, err := knee.EvalSize(dags, cfg.Sweep, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfsSweep := cfg.Sweep
+	fcfsSweep.Heuristic = sched.FCFS{}
+	fcfs, err := knee.EvalSize(dags, fcfsSweep, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcp.Makespan > fcfs.Makespan*1.001 {
+		t.Errorf("MCP makespan %v worse than FCFS %v on a communicating DAG",
+			mcp.Makespan, fcfs.Makespan)
+	}
+	// And at full-observation level, the extremes still hold: high-CCR
+	// cells are won at RC size 1 where all heuristics tie.
+	obs, err := EvalCell(cfg, 60, 1.0, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.BestRCSize[obs.Winner] > 4 {
+		t.Errorf("high-CCR low-bandwidth cell won at RC size %d, want near-serial",
+			obs.BestRCSize[obs.Winner])
+	}
+}
+
+func TestCrossoverSize(t *testing.T) {
+	// Hand-built observations: MCP wins at size 100 (margin −10), FCA at
+	// size 1000 (margin +10) → crossover at 550.
+	m := &Model{Observations: []Observation{
+		{Size: 100, CCR: 0.1, Parallelism: 0.5, Regularity: 0.5,
+			TurnAround: map[string]float64{"MCP": 90, "FCA": 100}, Winner: "MCP"},
+		{Size: 1000, CCR: 0.1, Parallelism: 0.5, Regularity: 0.5,
+			TurnAround: map[string]float64{"MCP": 110, "FCA": 100}, Winner: "FCA"},
+	}}
+	got := m.CrossoverSize(0.1, 0.5)
+	if math.Abs(got-550) > 1e-9 {
+		t.Errorf("crossover = %v, want 550", got)
+	}
+	// FCA everywhere → 0.
+	m2 := &Model{Observations: []Observation{
+		{Size: 100, CCR: 0.1, Parallelism: 0.5,
+			TurnAround: map[string]float64{"MCP": 110, "FCA": 100}, Winner: "FCA"},
+	}}
+	if got := m2.CrossoverSize(0.1, 0.5); got != 0 {
+		t.Errorf("all-FCA crossover = %v, want 0", got)
+	}
+	// MCP everywhere → +Inf.
+	m3 := &Model{Observations: []Observation{
+		{Size: 100, CCR: 0.1, Parallelism: 0.5,
+			TurnAround: map[string]float64{"MCP": 90, "FCA": 100}, Winner: "MCP"},
+	}}
+	if got := m3.CrossoverSize(0.1, 0.5); !math.IsInf(got, 1) {
+		t.Errorf("all-MCP crossover = %v, want +Inf", got)
+	}
+	// No matching column → +Inf.
+	if got := m3.CrossoverSize(0.9, 0.9); !math.IsInf(got, 1) {
+		t.Errorf("missing column crossover = %v, want +Inf", got)
+	}
+}
+
+func TestValidateCategorizes(t *testing.T) {
+	cfg := quickCfg()
+	m, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Validate on the training points themselves with the same seed:
+	// every outcome must be a Match with zero degradation.
+	points := []Observation{
+		{Size: 50, CCR: 0.1, Parallelism: 0.5, Regularity: 0.5},
+		{Size: 400, CCR: 0.1, Parallelism: 0.7, Regularity: 0.5},
+	}
+	sum, err := Validate(m, cfg, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Matches != 2 || sum.Misses != 0 || sum.NearMatches != 0 {
+		t.Errorf("self-validation: %d match %d near %d miss", sum.Matches, sum.NearMatches, sum.Misses)
+	}
+	if sum.MeanDegradation != 0 {
+		t.Errorf("self-validation degradation = %v", sum.MeanDegradation)
+	}
+	// Off-grid validation: outcomes must be categorized consistently and
+	// degradation small (the heuristics' optima are close in most cells).
+	off := []Observation{{Size: 150, CCR: 0.1, Parallelism: 0.6, Regularity: 0.5}}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	sum2, err := Validate(m, cfg2, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum2.Matches + sum2.NearMatches + sum2.Misses; got != 1 {
+		t.Errorf("outcome counts sum to %d", got)
+	}
+	for _, o := range sum2.Outcomes {
+		if o.Kind == Match && o.Degradation != 0 {
+			t.Errorf("match with degradation %v", o.Degradation)
+		}
+		if o.Degradation < 0 {
+			t.Errorf("negative degradation %v", o.Degradation)
+		}
+	}
+}
+
+func TestOutcomeKindString(t *testing.T) {
+	if Match.String() != "match" || NearMatch.String() != "near-match" || Miss.String() != "miss" {
+		t.Error("OutcomeKind strings wrong")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, err := Train(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dag.Characteristics{Size: 120, CCR: 0.1, Parallelism: 0.6, Regularity: 0.5}
+	a, err := m.Predict(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.Predict(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("round-trip prediction changed: %s vs %s", a, b)
+	}
+	if _, err := Load(bytes.NewBufferString("{}")); err == nil {
+		t.Error("Load accepted empty model")
+	}
+}

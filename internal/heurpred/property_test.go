@@ -1,0 +1,68 @@
+package heurpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/knee"
+)
+
+func TestPropertyPredictionsFromCandidateSet(t *testing.T) {
+	m, err := Train(TrainConfig{
+		Sizes:  []int{60, 250},
+		CCRs:   []float64{0.1, 0.6},
+		Alphas: []float64{0.5, 0.7},
+		Betas:  []float64{0.5},
+		Reps:   1,
+		Seed:   5,
+		Sweep:  knee.SweepConfig{MaxSize: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := map[string]bool{}
+	for _, h := range m.Heuristics {
+		candidates[h] = true
+	}
+	f := func(sizeQ uint16, ccrQ, aQ, bQ uint8) bool {
+		c := dag.Characteristics{
+			Size:        int(sizeQ%2000) + 2,
+			CCR:         float64(ccrQ%200) / 100,
+			Parallelism: float64(aQ%100) / 100,
+			Regularity:  float64(bQ%100) / 100,
+		}
+		name, err := m.Predict(c)
+		if err != nil {
+			return false
+		}
+		return candidates[name]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyWinnerHasMinimalTurnAround(t *testing.T) {
+	// Every stored observation's winner must hold the cell's minimum.
+	m, err := Train(TrainConfig{
+		Sizes:  []int{60},
+		CCRs:   []float64{0.1, 0.6},
+		Alphas: []float64{0.5, 0.7},
+		Betas:  []float64{0.3, 0.8},
+		Reps:   1,
+		Seed:   6,
+		Sweep:  knee.SweepConfig{MaxSize: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range m.Observations {
+		best := o.TurnAround[o.Winner]
+		for name, turn := range o.TurnAround {
+			if turn < best-1e-9 {
+				t.Errorf("cell %+v: %s (%v) beats winner %s (%v)", o, name, turn, o.Winner, best)
+			}
+		}
+	}
+}

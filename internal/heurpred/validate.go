@@ -1,0 +1,124 @@
+package heurpred
+
+import (
+	"rsgen/internal/dag"
+	"rsgen/internal/stats"
+)
+
+// charsOf lifts an observation's configuration into DAG characteristics for
+// prediction.
+func charsOf(o Observation) dag.Characteristics {
+	return dag.Characteristics{
+		Size:        o.Size,
+		CCR:         o.CCR,
+		Parallelism: o.Parallelism,
+		Regularity:  o.Regularity,
+	}
+}
+
+// OutcomeKind classifies one validation point (Table VI-5's possible
+// outcomes).
+type OutcomeKind int
+
+const (
+	// Match: the predicted heuristic is the actual best.
+	Match OutcomeKind = iota
+	// NearMatch: predicted ≠ best, but the turn-around degradation from
+	// using the prediction is within NearMatchTolerance.
+	NearMatch
+	// Miss: predicted ≠ best and the degradation exceeds the tolerance.
+	Miss
+)
+
+// NearMatchTolerance is the degradation bound separating NearMatch from
+// Miss.
+const NearMatchTolerance = 0.05
+
+func (k OutcomeKind) String() string {
+	switch k {
+	case Match:
+		return "match"
+	case NearMatch:
+		return "near-match"
+	default:
+		return "miss"
+	}
+}
+
+// Outcome is one validated point.
+type Outcome struct {
+	Size        int
+	CCR         float64
+	Parallelism float64
+	Regularity  float64
+	Predicted   string
+	Actual      string
+	// Degradation is turn(predicted)/turn(actual) − 1 (0 on a match).
+	Degradation float64
+	Kind        OutcomeKind
+}
+
+// ValidationSummary aggregates outcomes (Figs. VI-4/VI-5).
+type ValidationSummary struct {
+	Outcomes        []Outcome
+	Matches         int
+	NearMatches     int
+	Misses          int
+	MeanDegradation float64
+}
+
+// Validate evaluates the model at the given points: each point's cell is
+// re-measured with every candidate heuristic (fresh DAG instances via the
+// config seed), the model's prediction is compared against the measured
+// best, and degradations are aggregated.
+func Validate(m *Model, cfg TrainConfig, points []Observation) (*ValidationSummary, error) {
+	cfg = cfg.withDefaults()
+	sum := &ValidationSummary{}
+	var degs []float64
+	for _, p := range points {
+		obs, err := EvalCell(cfg, p.Size, p.CCR, p.Parallelism, p.Regularity)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := m.Predict(charsOf(p))
+		if err != nil {
+			return nil, err
+		}
+		o := Outcome{
+			Size: p.Size, CCR: p.CCR, Parallelism: p.Parallelism, Regularity: p.Regularity,
+			Predicted: pred,
+			Actual:    obs.Winner,
+		}
+		bestT := obs.TurnAround[obs.Winner]
+		predT, ok := obs.TurnAround[pred]
+		if !ok {
+			// The model predicted a heuristic outside the candidate
+			// set (e.g. a differently-configured training run);
+			// treat as a miss with the worst observed degradation.
+			predT = bestT
+			for _, t := range obs.TurnAround {
+				if t > predT {
+					predT = t
+				}
+			}
+		}
+		if bestT > 0 {
+			o.Degradation = predT/bestT - 1
+		}
+		switch {
+		case pred == obs.Winner:
+			o.Kind = Match
+			sum.Matches++
+		case o.Degradation <= NearMatchTolerance:
+			o.Kind = NearMatch
+			sum.NearMatches++
+		default:
+			o.Kind = Miss
+			sum.Misses++
+		}
+		degs = append(degs, o.Degradation)
+		sum.Outcomes = append(sum.Outcomes, o)
+	}
+	sum.MeanDegradation = stats.Mean(degs)
+	return sum, nil
+}

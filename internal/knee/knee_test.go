@@ -1,0 +1,430 @@
+package knee
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/sched"
+	"rsgen/internal/xrand"
+)
+
+// genSet builds the repetition set for one configuration.
+func genSet(t *testing.T, size int, ccr, alpha, beta float64, reps int) []*dag.DAG {
+	t.Helper()
+	spec := dag.GenSpec{Size: size, CCR: ccr, Parallelism: alpha, Density: 0.5, Regularity: beta, MeanCost: 40}
+	dags := make([]*dag.DAG, reps)
+	for r := range dags {
+		dags[r] = dag.MustGenerate(spec, xrand.NewFrom(99, uint64(r)))
+	}
+	return dags
+}
+
+func TestKneeDetectionSyntheticCurve(t *testing.T) {
+	// Hand-built curve: improves to 100 s at size 32, then flat, then
+	// grows. Knee at 0.1% must be 32; at 10% must be earlier.
+	c := Curve{Points: []Point{
+		{Size: 1, TurnAround: 1000},
+		{Size: 4, TurnAround: 400},
+		{Size: 8, TurnAround: 200},
+		{Size: 16, TurnAround: 108},
+		{Size: 32, TurnAround: 100},
+		{Size: 64, TurnAround: 100.02},
+		{Size: 128, TurnAround: 101},
+	}}
+	if k, turn := c.Knee(0.001); k != 32 || turn != 100 {
+		t.Errorf("knee(0.1%%) = %d (%v), want 32 (100)", k, turn)
+	}
+	// 10% threshold: size 16 improves only 8/108 = 7.4% < 10% → knee 16.
+	if k, _ := c.Knee(0.10); k != 16 {
+		t.Errorf("knee(10%%) = %d, want 16", k)
+	}
+	if b, bt := c.Best(); b != 32 || bt != 100 {
+		t.Errorf("best = %d (%v)", b, bt)
+	}
+	// Monotone-decreasing tail: knee falls back to the last point.
+	mono := Curve{Points: []Point{
+		{Size: 1, TurnAround: 100},
+		{Size: 2, TurnAround: 50},
+		{Size: 4, TurnAround: 25},
+	}}
+	if k, _ := mono.Knee(0.001); k != 4 {
+		t.Errorf("monotone knee = %d, want 4 (last)", k)
+	}
+}
+
+func TestKneeThresholdMonotone(t *testing.T) {
+	// Looser thresholds can only shrink (or keep) the knee: they accept
+	// more residual improvement.
+	dags := genSet(t, 300, 0.01, 0.6, 0.5, 3)
+	curve, err := Sweep(dags, SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.MaxInt
+	for _, thr := range Thresholds {
+		k, _ := curve.Knee(thr)
+		if k > prev {
+			t.Errorf("knee grew from %d to %d at threshold %v", prev, k, thr)
+		}
+		prev = k
+	}
+}
+
+func TestSweepCurveShape(t *testing.T) {
+	// The §V.2.2 shape: steep improvement at small sizes, then a plateau;
+	// the knee's turn-around within a few percent of the global best.
+	dags := genSet(t, 300, 0.01, 0.6, 0.5, 3)
+	curve, err := Sweep(dags, SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) < 10 {
+		t.Fatalf("sweep produced %d points", len(curve.Points))
+	}
+	first := curve.Points[0]
+	_, bestT := curve.Best()
+	if first.TurnAround < 4*bestT {
+		t.Errorf("1-host turn-around %v not ≫ best %v", first.TurnAround, bestT)
+	}
+	k, kt := curve.Knee(DefaultThreshold)
+	if kt > bestT*1.01 {
+		t.Errorf("knee turn-around %v more than 1%% above best %v", kt, bestT)
+	}
+	if k <= 1 {
+		t.Errorf("knee = %d for a wide parallel DAG", k)
+	}
+	// Scheduling time must increase with RC size (MCP is O(m) per task).
+	last := curve.Points[len(curve.Points)-1]
+	if last.SchedTime <= first.SchedTime {
+		t.Errorf("scheduling time not increasing: %v → %v", first.SchedTime, last.SchedTime)
+	}
+}
+
+func TestKneeGrowsWithParallelism(t *testing.T) {
+	// Table V-2's dominant trend: knee grows (roughly exponentially)
+	// with α.
+	knees := map[float64]int{}
+	for _, alpha := range []float64{0.4, 0.6, 0.8} {
+		dags := genSet(t, 300, 0.01, alpha, 0.5, 3)
+		curve, err := Sweep(dags, SweepConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		knees[alpha], _ = curve.Knee(DefaultThreshold)
+	}
+	if !(knees[0.4] < knees[0.6] && knees[0.6] < knees[0.8]) {
+		t.Errorf("knee not increasing in α: %v", knees)
+	}
+}
+
+func TestKneeShrinksWithCCR(t *testing.T) {
+	// §V.2.1: higher communication favors fewer hosts.
+	loCCR := genSet(t, 300, 0.01, 0.6, 0.5, 3)
+	hiCCR := genSet(t, 300, 1.0, 0.6, 0.5, 3)
+	cfg := SweepConfig{BandwidthMbps: 1000} // make communication visible
+	cl, err := Sweep(loCCR, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Sweep(hiCCR, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kLo, _ := cl.Knee(DefaultThreshold)
+	kHi, _ := ch.Knee(DefaultThreshold)
+	if kHi >= kLo {
+		t.Errorf("knee did not shrink with CCR: lo=%d hi=%d", kLo, kHi)
+	}
+}
+
+func TestEvalSizeErrors(t *testing.T) {
+	dags := genSet(t, 50, 0.1, 0.5, 0.5, 1)
+	if _, err := EvalSize(dags, SweepConfig{}, 0); err == nil {
+		t.Error("EvalSize accepted size 0")
+	}
+	if _, err := Sweep(nil, SweepConfig{}); err == nil {
+		t.Error("Sweep accepted empty DAG set")
+	}
+}
+
+func TestSearchCandidates(t *testing.T) {
+	c := SearchCandidates(100)
+	want := map[int]bool{100: true, 110: true, 90: true, 150: true, 50: true,
+		200: true, 250: true, 300: true, 25: true, 12: true, 6: true, 3: true, 1: true}
+	have := map[int]bool{}
+	for i := 1; i < len(c); i++ {
+		if c[i] <= c[i-1] {
+			t.Fatalf("candidates not strictly ascending: %v", c)
+		}
+	}
+	for _, v := range c {
+		have[v] = true
+	}
+	for v := range want {
+		if !have[v] {
+			t.Errorf("candidate set missing %d: %v", v, c)
+		}
+	}
+	// Degenerate predicted size.
+	if got := SearchCandidates(0); got[0] != 1 {
+		t.Errorf("SearchCandidates(0) = %v", got)
+	}
+}
+
+func TestSearchOptimalBeatsOrMatchesPrediction(t *testing.T) {
+	dags := genSet(t, 200, 0.1, 0.6, 0.5, 2)
+	cfg := SweepConfig{}
+	pred := 40
+	predPoint, err := EvalSize(dags, cfg, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := SearchOptimalSize(dags, cfg, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.TurnAround > predPoint.TurnAround+1e-9 {
+		t.Errorf("searched optimum %v worse than its own seed %v", opt.TurnAround, predPoint.TurnAround)
+	}
+}
+
+// quickTrain builds a small but real model for the remaining tests.
+func quickTrain(t *testing.T) *ModelSet {
+	t.Helper()
+	cfg := TrainConfig{
+		Sizes:      []int{100, 300},
+		CCRs:       []float64{0.01, 0.5},
+		Alphas:     []float64{0.4, 0.6, 0.8},
+		Betas:      []float64{0.1, 0.5, 1.0},
+		Reps:       2,
+		Density:    0.5,
+		MeanCost:   40,
+		Thresholds: []float64{0.001, 0.02},
+		Seed:       7,
+	}
+	ms, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func TestTrainAndPredict(t *testing.T) {
+	ms := quickTrain(t)
+	if len(ms.Models) != 2 {
+		t.Fatalf("trained %d models, want 2", len(ms.Models))
+	}
+	if len(ms.Observations) != 2*2*3*3 {
+		t.Fatalf("observations = %d, want 36", len(ms.Observations))
+	}
+	m := ms.Default()
+	if m.Threshold != 0.001 {
+		t.Fatalf("default threshold = %v", m.Threshold)
+	}
+	// Planar fit quality: the paper reports ≤16% mean relative error; on
+	// this small grid allow 40%.
+	if m.FitError > 0.40 {
+		t.Errorf("fit error %v too large", m.FitError)
+	}
+	// Predictions on grid points should be within a factor ~2 of the
+	// observed knees (planar fit + exponential transform tolerance).
+	for _, obs := range ms.Observations {
+		c := dag.Characteristics{
+			Size: obs.Size, CCR: obs.CCR,
+			Parallelism: obs.Parallelism, Regularity: obs.Regularity,
+		}
+		pred := m.PredictSize(c)
+		if pred < 1 {
+			t.Fatalf("prediction %d < 1", pred)
+		}
+		ratio := float64(pred) / float64(obs.Knee)
+		if ratio < 0.33 || ratio > 3 {
+			t.Errorf("config %+v: predicted %d vs observed %d (ratio %.2f)", obs, pred, obs.Knee, ratio)
+		}
+	}
+	// Interpolated query between grid points must land between the
+	// bracketing predictions (monotone in size for fixed others).
+	cLo := dag.Characteristics{Size: 100, CCR: 0.01, Parallelism: 0.6, Regularity: 0.5}
+	cMid := dag.Characteristics{Size: 200, CCR: 0.01, Parallelism: 0.6, Regularity: 0.5}
+	cHi := dag.Characteristics{Size: 300, CCR: 0.01, Parallelism: 0.6, Regularity: 0.5}
+	pLo, pMid, pHi := m.PredictSize(cLo), m.PredictSize(cMid), m.PredictSize(cHi)
+	lo, hi := pLo, pHi
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if pMid < lo || pMid > hi {
+		t.Errorf("interpolated prediction %d outside [%d, %d]", pMid, lo, hi)
+	}
+}
+
+func TestModelPredictionLeadsToNearOptimalTurnAround(t *testing.T) {
+	// The headline Chapter V claim: using the predicted size degrades
+	// turn-around only a few percent versus the searched optimum.
+	ms := quickTrain(t)
+	row, err := ValidateModel(
+		ModelPredictor(ms.Default()),
+		[]ValidationConfig{
+			{Size: 100, CCR: 0.01, Parallelism: 0.6, Regularity: 0.5},
+			{Size: 300, CCR: 0.5, Parallelism: 0.4, Regularity: 0.1},
+			{Size: 200, CCR: 0.2, Parallelism: 0.6, Regularity: 0.5}, // midpoints
+		},
+		TrainConfig{Reps: 2, Density: 0.5, MeanCost: 40, Seed: 8},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Degradation > 0.10 {
+		t.Errorf("mean degradation %.1f%% exceeds 10%%", row.Degradation*100)
+	}
+	if row.N != 3 {
+		t.Errorf("validated %d configs", row.N)
+	}
+}
+
+func TestWidthPracticeCostsMore(t *testing.T) {
+	// Table V-7: DAG-width RCs cost far more than model-sized RCs.
+	ms := quickTrain(t)
+	cfgs := []ValidationConfig{{Size: 300, CCR: 0.01, Parallelism: 0.8, Regularity: 0.5}}
+	tc := TrainConfig{Reps: 2, Density: 0.5, MeanCost: 40, Seed: 9}
+	model, err := ValidateModel(ModelPredictor(ms.Default()), cfgs, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width, err := ValidateModel(WidthPredictor(), cfgs, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if width.RelCost <= model.RelCost {
+		t.Errorf("width practice rel cost %v not above model %v", width.RelCost, model.RelCost)
+	}
+	if width.SizeDiff <= model.SizeDiff {
+		t.Errorf("width practice size diff %v not above model %v", width.SizeDiff, model.SizeDiff)
+	}
+}
+
+func TestChooseThreshold(t *testing.T) {
+	ms := &ModelSet{Models: []*Model{
+		{Threshold: 0.001, MeanDegradation: 0.002, MeanRelCost: 0.00},
+		{Threshold: 0.02, MeanDegradation: 0.01, MeanRelCost: -0.20},
+		{Threshold: 0.10, MeanDegradation: 0.08, MeanRelCost: -0.30},
+	}}
+	// Pure performance (λ=0): tightest threshold wins.
+	if m := ms.ChooseThreshold(0); m.Threshold != 0.001 {
+		t.Errorf("λ=0 chose %v", m.Threshold)
+	}
+	// 1% performance per 10% cost (λ=0.1): middle wins
+	// (0.002+0 vs 0.01−0.02=−0.01 vs 0.08−0.03=0.05).
+	if m := ms.ChooseThreshold(0.1); m.Threshold != 0.02 {
+		t.Errorf("λ=0.1 chose %v", m.Threshold)
+	}
+}
+
+func TestByThresholdErrors(t *testing.T) {
+	ms := quickTrain(t)
+	if _, err := ms.ByThreshold(0.5); err == nil {
+		t.Error("ByThreshold(0.5) succeeded")
+	}
+	if _, err := ms.ByThreshold(0.02); err != nil {
+		t.Errorf("ByThreshold(0.02): %v", err)
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	ms := quickTrain(t)
+	var buf bytes.Buffer
+	if err := ms.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dag.Characteristics{Size: 200, CCR: 0.2, Parallelism: 0.6, Regularity: 0.5}
+	if a, b := ms.Default().PredictSize(c), got.Default().PredictSize(c); a != b {
+		t.Errorf("round-trip prediction changed: %d vs %d", a, b)
+	}
+	if _, err := Load(bytes.NewBufferString("{}")); err == nil {
+		t.Error("Load accepted empty model set")
+	}
+	if _, err := Load(bytes.NewBufferString("not json")); err == nil {
+		t.Error("Load accepted garbage")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	bad := TrainConfig{Sizes: []int{100}, CCRs: []float64{0.1}, Alphas: []float64{0.5}, Betas: []float64{0.5}, Reps: 1}
+	if _, err := Train(bad); err == nil {
+		t.Error("Train accepted single-α grid (planar fit impossible)")
+	}
+	bad2 := TrainConfig{Sizes: nil, CCRs: []float64{0.1}, Alphas: []float64{0.4, 0.6}, Betas: []float64{0.4, 0.6}, Reps: 1}
+	if _, err := Train(bad2); err == nil {
+		t.Error("Train accepted empty size grid")
+	}
+}
+
+func TestSCRModel(t *testing.T) {
+	// A faster scheduler (higher SCR) makes scheduling cheaper, so the
+	// knee must not shrink; the fitted exponent must be ≥ 0.
+	dags := genSet(t, 300, 0.01, 0.7, 0.5, 2)
+	m, err := TrainSCR(dags, SweepConfig{}, []float64{0.25, 0.5, 1, 2, 4}, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Exponent < -0.05 {
+		t.Errorf("SCR exponent %v negative: knee shrinking with faster scheduler", m.Exponent)
+	}
+	if m.BaseKnee < 1 {
+		t.Errorf("base knee %d", m.BaseKnee)
+	}
+	if got := m.Multiplier(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Multiplier(1) = %v", got)
+	}
+	if m.Multiplier(4) < m.Multiplier(1)-1e-9 {
+		t.Errorf("multiplier decreasing in SCR")
+	}
+	if got := m.Adjust(100, 0); got != 100 {
+		t.Errorf("Adjust with SCR 0 = %d", got)
+	}
+}
+
+func TestHeterogeneityShiftsOptimum(t *testing.T) {
+	// §V.4: with clock heterogeneity, MCP exploits fast hosts; the best
+	// turn-around must not get worse than the homogeneous-at-mean case
+	// by more than a few percent, and the hetero sweep must still show a
+	// knee.
+	dags := genSet(t, 200, 0.01, 0.6, 0.5, 2)
+	hom, err := Sweep(dags, SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	het, err := Sweep(dags, SweepConfig{Heterogeneity: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, homBest := hom.Best()
+	_, hetBest := het.Best()
+	if hetBest > homBest*1.25 || hetBest < homBest*0.5 {
+		t.Errorf("heterogeneous best %v implausible vs homogeneous %v", hetBest, homBest)
+	}
+	k, _ := het.Knee(DefaultThreshold)
+	if k <= 1 {
+		t.Errorf("no knee under heterogeneity: %d", k)
+	}
+}
+
+func TestSweepWithOtherHeuristics(t *testing.T) {
+	// The sweep must work with every heuristic (used by the §V.6
+	// sensitivity analysis).
+	dags := genSet(t, 100, 0.1, 0.5, 0.5, 1)
+	for _, h := range []sched.Heuristic{sched.FCA{}, sched.FCFS{}, sched.Greedy{}} {
+		curve, err := Sweep(dags, SweepConfig{Heuristic: h, MaxSize: 40})
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		if k, _ := curve.Knee(DefaultThreshold); k < 1 {
+			t.Errorf("%s: knee %d", h.Name(), k)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package knee
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/xrand"
+)
+
+// synthetic curve generator for property tests: strictly positive
+// turn-arounds over strictly increasing sizes.
+func curveFrom(seed uint64, n int) Curve {
+	rng := xrand.New(seed)
+	c := Curve{}
+	size := 1
+	// Start high, drift down with noise, then drift up — the typical
+	// knee shape, but the properties below must hold for ANY curve.
+	t := rng.Uniform(500, 2000)
+	for i := 0; i < n; i++ {
+		c.Points = append(c.Points, Point{Size: size, TurnAround: t})
+		size += 1 + rng.Intn(5)
+		drift := rng.Uniform(-0.2, 0.05)
+		if i > n*2/3 {
+			drift = rng.Uniform(0, 0.1)
+		}
+		t = math.Max(1, t*(1+drift))
+	}
+	return c
+}
+
+func TestPropertyKneeIsSampledSize(t *testing.T) {
+	f := func(seed uint64, n8 uint8, thrQ uint8) bool {
+		n := int(n8%30) + 2
+		c := curveFrom(seed, n)
+		thr := []float64{0.001, 0.01, 0.05, 0.10}[thrQ%4]
+		k, turn := c.Knee(thr)
+		found := false
+		for _, p := range c.Points {
+			if p.Size == k {
+				found = true
+				if p.TurnAround != turn {
+					return false
+				}
+			}
+		}
+		return found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyKneeNeverAfterArgmin(t *testing.T) {
+	// The knee is at most the argmin size: by definition the point after
+	// which improvements fall below the threshold can never lie beyond
+	// the global minimum.
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%30) + 2
+		c := curveFrom(seed, n)
+		k, _ := c.Knee(0.001)
+		b, _ := c.Best()
+		return k <= b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyKneeMonotoneInThreshold(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%30) + 2
+		c := curveFrom(seed, n)
+		prev := math.MaxInt
+		for _, thr := range []float64{0.001, 0.005, 0.02, 0.05, 0.10} {
+			k, _ := c.Knee(thr)
+			if k > prev {
+				return false
+			}
+			prev = k
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyKneeTurnWithinThresholdOfTail(t *testing.T) {
+	// The defining property: no later sample improves on the knee by the
+	// threshold or more.
+	f := func(seed uint64, n8 uint8, thrQ uint8) bool {
+		n := int(n8%30) + 2
+		c := curveFrom(seed, n)
+		thr := []float64{0.001, 0.02, 0.10}[thrQ%3]
+		k, turn := c.Knee(thr)
+		for _, p := range c.Points {
+			if p.Size > k && turn-p.TurnAround >= thr*turn+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPredictSizeBounds(t *testing.T) {
+	// Any trained model must predict sizes in [1, DAG size] for any query
+	// in (or near) its domain.
+	cfg := TrainConfig{
+		Sizes:      []int{80, 200},
+		CCRs:       []float64{0.05, 0.5},
+		Alphas:     []float64{0.4, 0.7},
+		Betas:      []float64{0.2, 0.8},
+		Reps:       1,
+		Density:    0.5,
+		MeanCost:   40,
+		Thresholds: []float64{0.001},
+		Seed:       31,
+	}
+	ms, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ms.Default()
+	f := func(sizeQ uint16, ccrQ, aQ, bQ uint8) bool {
+		c := dag.Characteristics{
+			Size:        int(sizeQ%400) + 2,
+			CCR:         float64(ccrQ%100) / 100,
+			Parallelism: 0.3 + 0.6*float64(aQ%100)/100,
+			Regularity:  float64(bQ%100) / 100,
+		}
+		p := m.PredictSize(c)
+		return p >= 1 && p <= c.Size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,273 @@
+// Package knee implements the resource-collection size prediction model of
+// dissertation Chapter V: sweeping application turn-around time as a
+// function of RC size, detecting the "knee" (the smallest RC size beyond
+// which turn-around improves by less than a threshold), fitting the
+// empirical surface log2(knee) = a·α + b·β + c per (DAG size, CCR) grid
+// point, and interpolating between grid points to predict the best RC size
+// for arbitrary DAGs.
+package knee
+
+import (
+	"fmt"
+	"math"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/platform"
+	"rsgen/internal/sched"
+	"rsgen/internal/xrand"
+)
+
+// DefaultThreshold is the knee threshold of §V.2.2: the best RC size is the
+// smallest size such that any bigger size improves turn-around by less than
+// 0.1%.
+const DefaultThreshold = 0.001
+
+// Thresholds is the threshold family the model is trained for, enabling the
+// performance/cost utility trade-off of §V.3.2.3.
+var Thresholds = []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.10}
+
+// SweepConfig fixes the resource conditions and scheduler for a knee sweep.
+type SweepConfig struct {
+	// Heuristic schedules the DAGs; nil defaults to MCP, the reference
+	// heuristic of Chapter V.
+	Heuristic sched.Heuristic
+	// ClockGHz is the compute hosts' (mean) clock; 0 defaults to the
+	// 2.80 GHz experimental hosts of §III.4.2.
+	ClockGHz float64
+	// Heterogeneity is the clock-rate heterogeneity of §V.4: host clocks
+	// are uniform in ClockGHz·(1±Heterogeneity). 0 is homogeneous.
+	Heterogeneity float64
+	// BandwidthMbps is the uniform host-pair bandwidth; 0 defaults to the
+	// 10 Gb/s reference (homogeneous-network model of §V.2).
+	BandwidthMbps float64
+	// SCR is the scheduler-clock-rate ratio of §V.7; 0 defaults to 1
+	// (the 2.80 GHz reference scheduler).
+	SCR float64
+	// GridFactor controls RC-size sampling resolution: successive sweep
+	// sizes grow by this factor (at least +1). 0 defaults to 1.08.
+	GridFactor float64
+	// MaxSize caps the sweep; 0 defaults to 10% above the widest DAG.
+	MaxSize int
+	// Seed derives the RNG streams for heterogeneous RC draws.
+	Seed uint64
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.Heuristic == nil {
+		c.Heuristic = sched.MCP{}
+	}
+	if c.ClockGHz == 0 {
+		c.ClockGHz = 2.8
+	}
+	if c.BandwidthMbps == 0 {
+		c.BandwidthMbps = platform.ReferenceBandwidthMbps
+	}
+	if c.SCR == 0 {
+		c.SCR = 1
+	}
+	if c.GridFactor == 0 {
+		c.GridFactor = 1.08
+	}
+	return c
+}
+
+// rcFor builds the RC of the configured resource condition at the given
+// size. Heterogeneous draws are deterministic per (Seed, size).
+func (c SweepConfig) rcFor(size int) *platform.ResourceCollection {
+	if c.Heterogeneity == 0 {
+		return platform.HomogeneousRC(size, c.ClockGHz, c.BandwidthMbps)
+	}
+	rng := xrand.NewFrom(c.Seed, 0xC0FFEE, uint64(size))
+	return platform.HeterogeneousRC(size, c.ClockGHz, c.Heterogeneity, c.BandwidthMbps, rng)
+}
+
+// Point is one sampled RC size on a turn-around curve. All time fields are
+// means over the swept DAGs.
+type Point struct {
+	Size       int
+	TurnAround float64
+	Makespan   float64
+	SchedTime  float64
+	// CostUSD is the mean resource cost of the run at this size
+	// (RC held for the full turn-around, §V.3.2.1).
+	CostUSD float64
+}
+
+// Curve is turn-around versus RC size, sizes strictly increasing.
+type Curve struct {
+	Points []Point
+}
+
+// EvalSize schedules every DAG on an RC of the given size and returns the
+// mean metrics, using the configured resource condition.
+func EvalSize(dags []*dag.DAG, cfg SweepConfig, size int) (Point, error) {
+	cfg = cfg.withDefaults()
+	if size < 1 {
+		return Point{}, fmt.Errorf("knee: RC size %d < 1", size)
+	}
+	rc := cfg.rcFor(size)
+	p := Point{Size: size}
+	for _, d := range dags {
+		s, err := cfg.Heuristic.Schedule(d, rc)
+		if err != nil {
+			return Point{}, err
+		}
+		st := sched.SchedulingTime(s.Ops, cfg.SCR)
+		ta := st + s.Makespan
+		p.SchedTime += st
+		p.Makespan += s.Makespan
+		p.TurnAround += ta
+		p.CostUSD += rc.Cost(ta)
+	}
+	n := float64(len(dags))
+	p.SchedTime /= n
+	p.Makespan /= n
+	p.TurnAround /= n
+	p.CostUSD /= n
+	return p, nil
+}
+
+// Sweep evaluates turn-around over a geometric grid of RC sizes from 1 to
+// MaxSize (default: 10% above the widest DAG), producing the curve whose
+// knee defines the best RC size (Figs. V-2/V-3).
+func Sweep(dags []*dag.DAG, cfg SweepConfig) (Curve, error) {
+	cfg = cfg.withDefaults()
+	if len(dags) == 0 {
+		return Curve{}, fmt.Errorf("knee: no DAGs to sweep")
+	}
+	maxSize := cfg.MaxSize
+	if maxSize == 0 {
+		w := 0
+		for _, d := range dags {
+			if dw := d.Width(); dw > w {
+				w = dw
+			}
+		}
+		maxSize = int(math.Ceil(float64(w)*1.1)) + 1
+	}
+	var curve Curve
+	for size := 1; size <= maxSize; {
+		p, err := EvalSize(dags, cfg, size)
+		if err != nil {
+			return Curve{}, err
+		}
+		curve.Points = append(curve.Points, p)
+		next := int(math.Ceil(float64(size) * cfg.GridFactor))
+		if next <= size {
+			next = size + 1
+		}
+		size = next
+	}
+	return curve, nil
+}
+
+// Best returns the size with minimal turn-around and that turn-around.
+func (c Curve) Best() (int, float64) {
+	best := -1
+	bestT := math.Inf(1)
+	for _, p := range c.Points {
+		if p.TurnAround < bestT {
+			best, bestT = p.Size, p.TurnAround
+		}
+	}
+	return best, bestT
+}
+
+// Knee returns the best RC size under the §V.2.2 definition: the smallest
+// sampled size whose turn-around is within threshold of everything a bigger
+// RC could achieve — formally the smallest s with
+// T(s) − min_{s' > s} T(s') < threshold · T(s).
+func (c Curve) Knee(threshold float64) (int, float64) {
+	n := len(c.Points)
+	if n == 0 {
+		return 0, math.NaN()
+	}
+	// minAfter[i] = min turn-around strictly after point i.
+	minAfter := make([]float64, n)
+	run := math.Inf(1)
+	for i := n - 1; i >= 0; i-- {
+		minAfter[i] = run
+		if c.Points[i].TurnAround < run {
+			run = c.Points[i].TurnAround
+		}
+	}
+	for i, p := range c.Points {
+		if p.TurnAround-minAfter[i] < threshold*p.TurnAround {
+			return p.Size, p.TurnAround
+		}
+	}
+	last := c.Points[n-1]
+	return last.Size, last.TurnAround
+}
+
+// At returns the curve point at exactly the given size, or the nearest
+// sampled size when absent.
+func (c Curve) At(size int) Point {
+	best := c.Points[0]
+	bestDist := math.Abs(float64(best.Size - size))
+	for _, p := range c.Points[1:] {
+		if d := math.Abs(float64(p.Size - size)); d < bestDist {
+			best, bestDist = p, d
+		}
+	}
+	return best
+}
+
+// SearchCandidates returns the RC sizes probed by the actual-optimum search
+// heuristic of Table V-3, seeded by the predicted size x: x itself,
+// x ± 10%…50%, 2x, 2.5x, 3x, and the halving sequence x/2, x/4, … 1.
+// Candidates are deduplicated, clamped to ≥ 1, and sorted ascending.
+func SearchCandidates(predicted int) []int {
+	if predicted < 1 {
+		predicted = 1
+	}
+	x := float64(predicted)
+	set := map[int]struct{}{predicted: {}}
+	add := func(v float64) {
+		i := int(math.Round(v))
+		if i >= 1 {
+			set[i] = struct{}{}
+		}
+	}
+	for _, f := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		add(x * (1 + f))
+		add(x * (1 - f))
+	}
+	add(2 * x)
+	add(2.5 * x)
+	add(3 * x)
+	for v := predicted / 2; v >= 1; v /= 2 {
+		set[v] = struct{}{}
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// SearchOptimalSize runs the Table V-3 heuristic: evaluate every candidate
+// seeded by the predicted size and return the size with the best (smallest)
+// turn-around, with the full evaluation per candidate.
+func SearchOptimalSize(dags []*dag.DAG, cfg SweepConfig, predicted int) (Point, error) {
+	best := Point{TurnAround: math.Inf(1)}
+	for _, size := range SearchCandidates(predicted) {
+		p, err := EvalSize(dags, cfg, size)
+		if err != nil {
+			return Point{}, err
+		}
+		if p.TurnAround < best.TurnAround {
+			best = p
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,167 @@
+package knee
+
+import (
+	"math"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/stats"
+)
+
+// Predictor chooses an RC size for a set of same-configuration DAG
+// instances. The model-based predictor and the "current practice" DAG-width
+// predictor (§V.3.3) both implement it.
+type Predictor func(dags []*dag.DAG) int
+
+// ModelPredictor adapts a trained Model.
+func ModelPredictor(m *Model) Predictor {
+	return func(dags []*dag.DAG) int {
+		// All instances share a configuration; predict from the first
+		// and bound by the widest instance (no schedule uses more hosts
+		// than the DAG width).
+		c := dags[0].Characteristics()
+		p := m.PredictSize(c)
+		w := 0
+		for _, d := range dags {
+			if dw := d.Width(); dw > w {
+				w = dw
+			}
+		}
+		if p > w {
+			p = w
+		}
+		return p
+	}
+}
+
+// WidthPredictor is the current practice the dissertation argues against:
+// request as many hosts as the DAG's widest level.
+func WidthPredictor() Predictor {
+	return func(dags []*dag.DAG) int {
+		w := 1
+		for _, d := range dags {
+			if dw := d.Width(); dw > w {
+				w = dw
+			}
+		}
+		return w
+	}
+}
+
+// ValidationRow aggregates the three §V.3.2.1 metrics over a set of DAG
+// configurations: mean |predicted − optimal|/optimal size difference, mean
+// turn-around degradation versus the searched optimum, and mean relative
+// cost (negative = cheaper than the optimum's cost).
+type ValidationRow struct {
+	SizeDiff    float64
+	Degradation float64
+	RelCost     float64
+	N           int
+}
+
+// ValidationConfig is one DAG configuration to validate on.
+type ValidationConfig struct {
+	Size        int
+	CCR         float64
+	Parallelism float64
+	Regularity  float64
+}
+
+// ValidateModel measures a predictor against the Table V-3 searched optimum
+// over the given configurations, generating Reps instances per
+// configuration with the TrainConfig's density/cost defaults.
+func ValidateModel(pred Predictor, cfgs []ValidationConfig, tc TrainConfig) (ValidationRow, error) {
+	var sizeDiffs, degs, relCosts []float64
+	for _, vc := range cfgs {
+		dags, err := tc.genDAGs(vc.Size, vc.CCR, vc.Parallelism, vc.Regularity)
+		if err != nil {
+			return ValidationRow{}, err
+		}
+		predicted := pred(dags)
+		predPoint, err := EvalSize(dags, tc.Sweep, predicted)
+		if err != nil {
+			return ValidationRow{}, err
+		}
+		opt, err := SearchOptimalSize(dags, tc.Sweep, predicted)
+		if err != nil {
+			return ValidationRow{}, err
+		}
+		if opt.Size > 0 {
+			sizeDiffs = append(sizeDiffs, math.Abs(float64(predicted-opt.Size))/float64(opt.Size))
+		}
+		if opt.TurnAround > 0 {
+			deg := predPoint.TurnAround/opt.TurnAround - 1
+			if deg < 0 {
+				deg = 0 // the search found the true optimum by definition of "actual"
+			}
+			degs = append(degs, deg)
+		}
+		if opt.CostUSD > 0 {
+			relCosts = append(relCosts, predPoint.CostUSD/opt.CostUSD-1)
+		}
+	}
+	return ValidationRow{
+		SizeDiff:    stats.Mean(sizeDiffs),
+		Degradation: stats.Mean(degs),
+		RelCost:     stats.Mean(relCosts),
+		N:           len(cfgs),
+	}, nil
+}
+
+// SCRModel captures how the predicted best RC size scales with the
+// scheduler-clock-rate ratio (§V.7, Figs. V-18–V-24): a power law
+// knee(SCR) = knee(1) · SCR^Exponent fitted in log-log space.
+type SCRModel struct {
+	Exponent float64
+	// BaseKnee is the knee at SCR = 1 for the training configuration.
+	BaseKnee int
+	// Line is the underlying fit of log2(knee) against log2(SCR).
+	Line stats.Line
+}
+
+// Multiplier returns knee(scr)/knee(1) under the fitted law.
+func (m SCRModel) Multiplier(scr float64) float64 {
+	if scr <= 0 {
+		return 1
+	}
+	return math.Pow(scr, m.Exponent)
+}
+
+// Adjust scales a predicted RC size for a scheduler running at scr × the
+// reference clock.
+func (m SCRModel) Adjust(predicted int, scr float64) int {
+	v := int(math.Round(float64(predicted) * m.Multiplier(scr)))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// TrainSCR sweeps the knee across the given SCR values for one DAG set and
+// fits the power law. SCR values must be positive and include a spread
+// (≥ 2 distinct values).
+func TrainSCR(dags []*dag.DAG, cfg SweepConfig, scrs []float64, threshold float64) (SCRModel, error) {
+	var xs, ys []float64
+	base := 0
+	for _, scr := range scrs {
+		c := cfg
+		c.SCR = scr
+		curve, err := Sweep(dags, c)
+		if err != nil {
+			return SCRModel{}, err
+		}
+		k, _ := curve.Knee(threshold)
+		xs = append(xs, math.Log2(scr))
+		ys = append(ys, math.Log2(float64(k)))
+		if scr == 1 {
+			base = k
+		}
+	}
+	line, err := stats.FitLine(xs, ys)
+	if err != nil {
+		return SCRModel{}, err
+	}
+	if base == 0 {
+		base = int(math.Round(math.Exp2(line.Eval(0))))
+	}
+	return SCRModel{Exponent: line.Slope, BaseKnee: base, Line: line}, nil
+}

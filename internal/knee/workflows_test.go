@@ -1,0 +1,75 @@
+package knee
+
+import (
+	"testing"
+
+	"rsgen/internal/dag"
+)
+
+// The §V.3.4 claims about workflow shapes that do NOT need the size model.
+
+func TestSCECOptimalSizeEqualsChainCount(t *testing.T) {
+	// "The SCEC DAGs are composed of parallel chains. For such DAGs, the
+	// optimal size would equal the number of chains."
+	const chains = 12
+	d, err := dag.ParallelChains(chains, 20, 30, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := Sweep([]*dag.DAG{d}, SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := curve.Knee(DefaultThreshold)
+	// The sweep grid is geometric, so accept the grid point at or just
+	// below/above the chain count.
+	if k < chains-2 || k > chains+2 {
+		t.Errorf("SCEC knee = %d, want ≈%d (one host per chain)", k, chains)
+	}
+	// And the curve is flat beyond it: doubling the hosts buys nothing.
+	at, err := EvalSize([]*dag.DAG{d}, SweepConfig{}, chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := EvalSize([]*dag.DAG{d}, SweepConfig{}, 2*chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if double.Makespan < at.Makespan*0.999 {
+		t.Errorf("extra hosts improved a chain workflow: %v → %v", at.Makespan, double.Makespan)
+	}
+}
+
+func TestEMANWidthIsOptimal(t *testing.T) {
+	// "For applications that are computationally intensive, such as EMAN
+	// ... choosing the DAG width as the RC size would yield the best
+	// application turn-around time."
+	d, err := dag.EMANLike(40, 300, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := Sweep([]*dag.DAG{d}, SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestTurn := curve.Best()
+	atWidth, err := EvalSize([]*dag.DAG{d}, SweepConfig{}, d.Width())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Width must achieve (essentially) the optimal turn-around.
+	if atWidth.TurnAround > bestTurn*1.005 {
+		t.Errorf("width turn-around %v not within 0.5%% of best %v (at %d hosts)",
+			atWidth.TurnAround, bestTurn, best)
+	}
+	// And fewer hosts than the width must be strictly worse: every heavy
+	// task wants its own host.
+	half, err := EvalSize([]*dag.DAG{d}, SweepConfig{}, d.Width()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.TurnAround < atWidth.TurnAround*1.2 {
+		t.Errorf("half-width RC (%v) not clearly worse than width RC (%v)",
+			half.TurnAround, atWidth.TurnAround)
+	}
+}

@@ -1,0 +1,241 @@
+// Package monitor implements the application/resource monitoring step of
+// executing on an LSDE (§II.2.6) in the style of vgES's virtual-grid monitor
+// (§II.4.1): the bound resource collection is watched against a set of
+// expectations — default ones derived from the specification that produced
+// the collection, plus user-defined ones in the spirit of the Expectation
+// Definition Language (EDL) — and violations are reported as resource events
+// arrive.
+//
+// The §II.2.6 hard problem — telling "idle because the workflow left no work
+// here" apart from "faulty" — is addressed the way the dissertation
+// prescribes: the monitor is given the schedule, so it knows when each host
+// is *supposed* to be busy, and only flags missing progress inside those
+// windows.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/platform"
+	"rsgen/internal/sched"
+)
+
+// HostState is the monitored view of one RC host.
+type HostState struct {
+	Host platform.Host
+	Up   bool
+	// LoadAvg is external (non-application) load; the dissertation's
+	// dedicated-access model expects ≈ 0.
+	LoadAvg float64
+	// ClockGHz is the currently delivered clock (throttling, sharing).
+	ClockGHz float64
+}
+
+// Expectation is one monitored predicate over a host, the EDL notion of
+// "what normal looks like".
+type Expectation interface {
+	// Name identifies the expectation in violations.
+	Name() string
+	// Check returns a non-nil error describing the violation, if any.
+	Check(s HostState) error
+}
+
+// MinClock expects the delivered clock to stay at or above a floor — the
+// specification's clock constraint carried into execution.
+type MinClock struct{ GHz float64 }
+
+// Name implements Expectation.
+func (e MinClock) Name() string { return fmt.Sprintf("clock ≥ %.2f GHz", e.GHz) }
+
+// Check implements Expectation.
+func (e MinClock) Check(s HostState) error {
+	if s.ClockGHz < e.GHz {
+		return fmt.Errorf("delivers %.2f GHz", s.ClockGHz)
+	}
+	return nil
+}
+
+// MaxLoad expects external load below a ceiling (dedicated access).
+type MaxLoad struct{ Load float64 }
+
+// Name implements Expectation.
+func (e MaxLoad) Name() string { return fmt.Sprintf("load ≤ %.2f", e.Load) }
+
+// Check implements Expectation.
+func (e MaxLoad) Check(s HostState) error {
+	if s.LoadAvg > e.Load {
+		return fmt.Errorf("load %.2f", s.LoadAvg)
+	}
+	return nil
+}
+
+// HostUp expects the host to be reachable.
+type HostUp struct{}
+
+// Name implements Expectation.
+func (HostUp) Name() string { return "host up" }
+
+// Check implements Expectation.
+func (HostUp) Check(s HostState) error {
+	if !s.Up {
+		return fmt.Errorf("unreachable")
+	}
+	return nil
+}
+
+// Violation is one detected expectation failure.
+type Violation struct {
+	Time        float64
+	HostIndex   int
+	Expectation string
+	Detail      string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%.0fs host %d: %s violated (%s)", v.Time, v.HostIndex, v.Expectation, v.Detail)
+}
+
+// Event mutates a host's monitored state at a point in time.
+type Event struct {
+	Time      float64
+	HostIndex int
+	// Down marks the host unreachable; Up restores it.
+	Down, Up bool
+	// SetLoad updates external load when LoadSet is true.
+	SetLoad float64
+	LoadSet bool
+	// SetClockGHz, when > 0, updates the delivered clock.
+	SetClockGHz float64
+}
+
+// Monitor watches one resource collection.
+type Monitor struct {
+	rc           *platform.ResourceCollection
+	states       []HostState
+	expectations []Expectation
+	violations   []Violation
+
+	// busy[h] holds the scheduled busy windows of host h, for progress
+	// checking; nil when no schedule was attached.
+	busy [][]window
+}
+
+type window struct{ start, end float64 }
+
+// New builds a monitor over the collection with the default §II.4.1
+// expectations: host up, dedicated (load ≤ 0.3 like the Condor idle test),
+// and the collection's own minimum clock.
+func New(rc *platform.ResourceCollection) (*Monitor, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Monitor{rc: rc}
+	m.states = make([]HostState, rc.Size())
+	for i, h := range rc.Hosts {
+		m.states[i] = HostState{Host: h, Up: true, ClockGHz: h.ClockGHz}
+	}
+	m.expectations = []Expectation{
+		HostUp{},
+		MaxLoad{Load: 0.3},
+		MinClock{GHz: rc.MinClock()},
+	}
+	return m, nil
+}
+
+// Expect adds a user expectation (the EDL extension point).
+func (m *Monitor) Expect(e Expectation) { m.expectations = append(m.expectations, e) }
+
+// AttachSchedule registers the application schedule so progress checking
+// knows when each host is supposed to be executing tasks.
+func (m *Monitor) AttachSchedule(d *dag.DAG, s *sched.Schedule) error {
+	if len(s.Host) != d.Size() {
+		return fmt.Errorf("monitor: schedule covers %d tasks, DAG has %d", len(s.Host), d.Size())
+	}
+	m.busy = make([][]window, m.rc.Size())
+	for v := 0; v < d.Size(); v++ {
+		h := s.Host[v]
+		if h < 0 || h >= m.rc.Size() {
+			return fmt.Errorf("monitor: task %d on host %d outside the collection", v, h)
+		}
+		m.busy[h] = append(m.busy[h], window{start: s.Start[v], end: s.Finish[v]})
+	}
+	for h := range m.busy {
+		sort.Slice(m.busy[h], func(i, j int) bool { return m.busy[h][i].start < m.busy[h][j].start })
+	}
+	return nil
+}
+
+// ExpectedBusy reports whether host h is scheduled to be executing at time t
+// — the §II.2.6 distinction between benign idleness and a fault. Without an
+// attached schedule every host is conservatively "expected busy".
+func (m *Monitor) ExpectedBusy(h int, t float64) bool {
+	if m.busy == nil {
+		return true
+	}
+	for _, w := range m.busy[h] {
+		if t >= w.start && t < w.end {
+			return true
+		}
+		if w.start > t {
+			break
+		}
+	}
+	return false
+}
+
+// Apply ingests an event and returns the violations it triggers. A host
+// failing outside all of its scheduled busy windows raises no violation:
+// the application does not need it then.
+func (m *Monitor) Apply(ev Event) []Violation {
+	if ev.HostIndex < 0 || ev.HostIndex >= len(m.states) {
+		return nil
+	}
+	st := &m.states[ev.HostIndex]
+	if ev.Down {
+		st.Up = false
+	}
+	if ev.Up {
+		st.Up = true
+	}
+	if ev.LoadSet {
+		st.LoadAvg = ev.SetLoad
+	}
+	if ev.SetClockGHz > 0 {
+		st.ClockGHz = ev.SetClockGHz
+	}
+	if !m.ExpectedBusy(ev.HostIndex, ev.Time) {
+		return nil
+	}
+	var out []Violation
+	for _, e := range m.expectations {
+		if err := e.Check(*st); err != nil {
+			v := Violation{
+				Time:        ev.Time,
+				HostIndex:   ev.HostIndex,
+				Expectation: e.Name(),
+				Detail:      err.Error(),
+			}
+			m.violations = append(m.violations, v)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Violations returns everything recorded so far.
+func (m *Monitor) Violations() []Violation { return append([]Violation(nil), m.violations...) }
+
+// ImpactedTasks returns the tasks scheduled on host h whose execution
+// windows end after time t: the work a failure at t forces elsewhere
+// (§II.2.6's migration trigger).
+func (m *Monitor) ImpactedTasks(d *dag.DAG, s *sched.Schedule, h int, t float64) []dag.TaskID {
+	var out []dag.TaskID
+	for v := 0; v < d.Size(); v++ {
+		if s.Host[v] == h && s.Finish[v] > t {
+			out = append(out, dag.TaskID(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/platform"
+	"rsgen/internal/sched"
+	"rsgen/internal/xrand"
+)
+
+func monitored(t *testing.T) (*Monitor, *dag.DAG, *sched.Schedule, *platform.ResourceCollection) {
+	t.Helper()
+	spec := dag.GenSpec{Size: 60, CCR: 0.1, Parallelism: 0.5, Density: 0.5, Regularity: 0.5, MeanCost: 20}
+	d := dag.MustGenerate(spec, xrand.New(71))
+	rc := platform.HomogeneousRC(6, 2.8, 1000)
+	s, err := sched.MCP{}.Schedule(d, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachSchedule(d, s); err != nil {
+		t.Fatal(err)
+	}
+	return m, d, s, rc
+}
+
+func TestHostFailureDuringBusyWindowViolates(t *testing.T) {
+	m, d, s, _ := monitored(t)
+	// Find a host with a task running at some mid-schedule time.
+	var host int
+	var when float64
+	found := false
+	for v := 0; v < d.Size() && !found; v++ {
+		if s.Finish[v]-s.Start[v] > 0 {
+			host = s.Host[v]
+			when = (s.Start[v] + s.Finish[v]) / 2
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no busy window found")
+	}
+	vs := m.Apply(Event{Time: when, HostIndex: host, Down: true})
+	if len(vs) == 0 {
+		t.Fatal("failure during a busy window raised no violation")
+	}
+	sawDown := false
+	for _, v := range vs {
+		if v.Expectation == "host up" {
+			sawDown = true
+		}
+		if !strings.Contains(v.String(), "violated") {
+			t.Errorf("violation string: %s", v)
+		}
+	}
+	if !sawDown {
+		t.Errorf("no host-up violation in %v", vs)
+	}
+	if len(m.Violations()) != len(vs) {
+		t.Errorf("recorded %d, returned %d", len(m.Violations()), len(vs))
+	}
+}
+
+func TestIdleHostFailureIsBenign(t *testing.T) {
+	m, _, s, _ := monitored(t)
+	// Far past the makespan nothing is scheduled anywhere: a failure is
+	// not the application's problem (§II.2.6's benign case).
+	after := s.Makespan + 1000
+	if vs := m.Apply(Event{Time: after, HostIndex: 0, Down: true}); len(vs) != 0 {
+		t.Errorf("failure outside all busy windows raised %v", vs)
+	}
+	// ...and ExpectedBusy agrees.
+	if m.ExpectedBusy(0, after) {
+		t.Error("host expected busy after makespan")
+	}
+}
+
+func TestLoadAndClockExpectations(t *testing.T) {
+	m, d, s, _ := monitored(t)
+	var host int
+	var when float64
+	for v := 0; v < d.Size(); v++ {
+		if s.Finish[v] > s.Start[v] {
+			host, when = s.Host[v], (s.Start[v]+s.Finish[v])/2
+			break
+		}
+	}
+	// External load spike above the 0.3 ceiling.
+	vs := m.Apply(Event{Time: when, HostIndex: host, SetLoad: 0.9, LoadSet: true})
+	foundLoad := false
+	for _, v := range vs {
+		if strings.Contains(v.Expectation, "load") {
+			foundLoad = true
+		}
+	}
+	if !foundLoad {
+		t.Errorf("load spike undetected: %v", vs)
+	}
+	// Clock throttled below the specification floor.
+	vs = m.Apply(Event{Time: when, HostIndex: host, SetLoad: 0, LoadSet: true, SetClockGHz: 1.0})
+	foundClock := false
+	for _, v := range vs {
+		if strings.Contains(v.Expectation, "clock") {
+			foundClock = true
+		}
+	}
+	if !foundClock {
+		t.Errorf("clock throttle undetected: %v", vs)
+	}
+	// Restoring the clock clears future violations.
+	if vs := m.Apply(Event{Time: when, HostIndex: host, SetClockGHz: 2.8}); len(vs) != 0 {
+		t.Errorf("healthy state still violates: %v", vs)
+	}
+}
+
+func TestRecoveryClearsHostUp(t *testing.T) {
+	m, d, s, _ := monitored(t)
+	var host int
+	var when float64
+	for v := 0; v < d.Size(); v++ {
+		if s.Finish[v] > s.Start[v] {
+			host, when = s.Host[v], (s.Start[v]+s.Finish[v])/2
+			break
+		}
+	}
+	m.Apply(Event{Time: when, HostIndex: host, Down: true})
+	if vs := m.Apply(Event{Time: when + 1, HostIndex: host, Up: true}); len(vs) != 0 {
+		t.Errorf("recovered host still violates: %v", vs)
+	}
+}
+
+func TestImpactedTasks(t *testing.T) {
+	m, d, s, _ := monitored(t)
+	// A failure at t=0 on a host impacts every task scheduled there.
+	counts := map[int]int{}
+	for v := 0; v < d.Size(); v++ {
+		counts[s.Host[v]]++
+	}
+	for h, want := range counts {
+		got := m.ImpactedTasks(d, s, h, -1)
+		if len(got) != want {
+			t.Errorf("host %d: %d impacted at t=-1, want %d", h, len(got), want)
+		}
+	}
+	// After the makespan nothing is impacted.
+	for h := range counts {
+		if got := m.ImpactedTasks(d, s, h, s.Makespan+1); len(got) != 0 {
+			t.Errorf("host %d: %d impacted after makespan", h, len(got))
+		}
+	}
+}
+
+func TestCustomExpectation(t *testing.T) {
+	m, d, s, _ := monitored(t)
+	m.Expect(MinClock{GHz: 99}) // impossible: always violated while busy
+	var host int
+	var when float64
+	for v := 0; v < d.Size(); v++ {
+		if s.Finish[v] > s.Start[v] {
+			host, when = s.Host[v], (s.Start[v]+s.Finish[v])/2
+			break
+		}
+	}
+	vs := m.Apply(Event{Time: when, HostIndex: host})
+	found := false
+	for _, v := range vs {
+		if v.Expectation == (MinClock{GHz: 99}).Name() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("custom expectation not evaluated: %v", vs)
+	}
+}
+
+func TestMonitorWithoutScheduleIsConservative(t *testing.T) {
+	rc := platform.HomogeneousRC(3, 2.8, 1000)
+	m, err := New(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.ExpectedBusy(0, 12345) {
+		t.Error("schedule-less monitor not conservative")
+	}
+	if vs := m.Apply(Event{Time: 1, HostIndex: 1, Down: true}); len(vs) == 0 {
+		t.Error("schedule-less monitor ignored a failure")
+	}
+	// Out-of-range host indexes are ignored.
+	if vs := m.Apply(Event{Time: 1, HostIndex: 99, Down: true}); vs != nil {
+		t.Error("out-of-range event produced violations")
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	empty := &platform.ResourceCollection{Net: platform.UniformNetwork{Mbps: 1}}
+	if _, err := New(empty); err == nil {
+		t.Error("empty RC monitored")
+	}
+	m, d, s, _ := monitored(t)
+	// Mismatched DAG/schedule.
+	small := dag.MustNew([]dag.Task{{ID: 0, Cost: 1}}, nil)
+	if err := m.AttachSchedule(small, s); err == nil {
+		t.Error("mismatched schedule attached")
+	}
+	_ = d
+}

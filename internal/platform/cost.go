@@ -1,0 +1,28 @@
+package platform
+
+// The dissertation's resource-cost metric (§V.3.2.1) adopts Amazon EC2's
+// 2007 pricing — $0.10 per hour for a 1.7 GHz instance — scaled linearly by
+// clock rate.
+
+// EC2HourlyUSD is the base price of a 1.7 GHz instance-hour.
+const EC2HourlyUSD = 0.10
+
+// EC2BaseClockGHz is the clock rate the base price buys.
+const EC2BaseClockGHz = 1.7
+
+// HourlyCost returns the modeled price per hour of one host at the given
+// clock rate.
+func HourlyCost(clockGHz float64) float64 {
+	return EC2HourlyUSD * clockGHz / EC2BaseClockGHz
+}
+
+// Cost returns the total price of holding every host of the collection for
+// the given number of seconds (applications are charged for the full RC for
+// the whole run, which is what makes oversized RCs expensive, §V.3.3).
+func (rc *ResourceCollection) Cost(seconds float64) float64 {
+	total := 0.0
+	for _, h := range rc.Hosts {
+		total += HourlyCost(h.ClockGHz)
+	}
+	return total * seconds / 3600
+}

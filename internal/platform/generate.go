@@ -1,0 +1,146 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+
+	"rsgen/internal/xrand"
+)
+
+// GenSpec parameterizes synthetic LSDE generation, following the
+// cluster-level statistical model of Kee, Casanova & Chien that the
+// dissertation selects in §III.2.1: the platform is a list of homogeneous
+// clusters whose sizes follow a heavy-tailed distribution and whose clock
+// rates follow a year-indexed technology mix.
+type GenSpec struct {
+	// Clusters is the number of clusters (≥ 1). The dissertation's
+	// reference platform uses 1000 clusters totaling 33,667 hosts.
+	Clusters int
+	// Year selects the technology mix; supported range 2003–2010
+	// (clamped). The dissertation's experiments model 2006-era platforms
+	// and near-term futures.
+	Year int
+	// MeanClusterSize is the expected hosts per cluster; ≤ 0 defaults to
+	// 33.7 (matching 33,667 hosts / 1000 clusters).
+	MeanClusterSize float64
+}
+
+// clockMixes maps year → the discrete clock-rate distribution (GHz) of newly
+// catalogued clusters. Weights sum to 1. These follow the commodity x86
+// roadmap: each year shifts mass toward faster parts.
+var clockMixes = map[int][]struct {
+	ghz float64
+	w   float64
+}{
+	2003: {{1.0, 0.2}, {1.5, 0.35}, {2.0, 0.3}, {2.4, 0.15}},
+	2004: {{1.5, 0.25}, {2.0, 0.3}, {2.4, 0.25}, {2.8, 0.2}},
+	2005: {{1.5, 0.15}, {2.0, 0.25}, {2.4, 0.25}, {2.8, 0.2}, {3.0, 0.15}},
+	2006: {{1.5, 0.1}, {2.0, 0.2}, {2.4, 0.2}, {2.8, 0.2}, {3.0, 0.15}, {3.2, 0.15}},
+	2007: {{2.0, 0.15}, {2.4, 0.2}, {2.8, 0.2}, {3.0, 0.2}, {3.2, 0.15}, {3.5, 0.1}},
+	2008: {{2.4, 0.15}, {2.8, 0.2}, {3.0, 0.25}, {3.2, 0.2}, {3.5, 0.2}},
+	2009: {{2.4, 0.1}, {2.8, 0.15}, {3.0, 0.25}, {3.2, 0.25}, {3.5, 0.25}},
+	2010: {{2.8, 0.15}, {3.0, 0.2}, {3.2, 0.3}, {3.5, 0.35}},
+}
+
+// Generate builds a synthetic platform. Cluster sizes are log-normal
+// (median MeanClusterSize/e^0.5, σ=1) clamped to [2, 4096]; each cluster is
+// homogeneous; intra-cluster bandwidth is 1 Gb/s (10 Gb/s for newer large
+// clusters); uplinks follow the link classes. The wide-area topology is
+// Barabási–Albert with a hierarchical backbone.
+func Generate(spec GenSpec, rng *xrand.RNG) (*Platform, error) {
+	if spec.Clusters < 1 {
+		return nil, fmt.Errorf("platform: GenSpec.Clusters %d < 1", spec.Clusters)
+	}
+	year := spec.Year
+	if year < 2003 {
+		year = 2003
+	}
+	if year > 2010 {
+		year = 2010
+	}
+	mean := spec.MeanClusterSize
+	if mean <= 0 {
+		mean = 33.7
+	}
+	mix := clockMixes[year]
+
+	topo, err := GenerateTopology(TopoSpec{
+		Nodes:        spec.Clusters,
+		Model:        BarabasiAlbert,
+		Degree:       2,
+		Hierarchical: spec.Clusters >= 32,
+	}, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Platform{Topo: topo}
+	// Log-normal with mean = MeanClusterSize: mean = exp(μ + σ²/2) with
+	// σ = 1 ⇒ μ = ln(mean) − 0.5.
+	mu := math.Log(mean) - 0.5
+	var nextID HostID
+	for c := 0; c < spec.Clusters; c++ {
+		size := int(math.Round(rng.LogNormal(mu, 1.0)))
+		if size < 2 {
+			size = 2
+		}
+		if size > 4096 {
+			size = 4096
+		}
+		clock := pickClock(mix, rng)
+		memMB := 512 << rng.Intn(4) // 512 MB – 4 GB
+		intra := 1000.0
+		if clock >= 3.0 && size >= 64 {
+			intra = 10_000 // newer large clusters: 10 GbE interconnect
+		}
+		uplink := LinkClassesMbps[1+rng.Intn(len(LinkClassesMbps)-1)]
+		cl := Cluster{
+			ID:         c,
+			Name:       fmt.Sprintf("cluster%04d", c),
+			NumHosts:   size,
+			FirstHost:  nextID,
+			ClockGHz:   clock,
+			MemoryMB:   memMB,
+			IntraMbps:  intra,
+			UplinkMbps: uplink,
+		}
+		p.Clusters = append(p.Clusters, cl)
+		for i := 0; i < size; i++ {
+			p.Hosts = append(p.Hosts, Host{
+				ID:       nextID,
+				Cluster:  c,
+				ClockGHz: clock,
+				MemoryMB: memMB,
+			})
+			nextID++
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustGenerate is Generate but panics on error.
+func MustGenerate(spec GenSpec, rng *xrand.RNG) *Platform {
+	p, err := Generate(spec, rng)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func pickClock(mix []struct {
+	ghz float64
+	w   float64
+}, rng *xrand.RNG) float64 {
+	r := rng.Float64()
+	acc := 0.0
+	for _, m := range mix {
+		acc += m.w
+		if r < acc {
+			return m.ghz
+		}
+	}
+	return mix[len(mix)-1].ghz
+}

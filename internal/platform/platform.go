@@ -1,0 +1,179 @@
+// Package platform implements the resource model of dissertation §III.2:
+// large-scale distributed environments (LSDEs) composed of thousands of
+// clusters of commodity hosts, a synthetic compute-resource generator in the
+// style of Kee, Casanova & Chien (HPDC 2004), and a network topology
+// generator in the style of BRITE (Waxman and Barabási–Albert modes with
+// discrete link-capacity classes).
+//
+// The package also defines ResourceCollection (RC) — the set of hosts a
+// resource selection system hands to a scheduler — and the Network interface
+// that converts reference-bandwidth edge costs into host-pair transfer
+// times.
+package platform
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HostID identifies a host within one Platform; IDs are dense 0..n-1.
+type HostID int32
+
+// ReferenceBandwidthMbps is the bandwidth at which DAG edge costs are
+// expressed: 10 Gb/s, the fastest link class of the dissertation's synthetic
+// platforms (§III.1.1).
+const ReferenceBandwidthMbps = 10_000.0
+
+// ReferenceClockGHz is the clock rate of the task-model reference host; task
+// costs are in seconds on a 1.5 GHz host (§IV.2.1).
+const ReferenceClockGHz = 1.5
+
+// SchedulerClockGHz is the clock rate of the host running the scheduling
+// heuristics in the dissertation's experiments (§III.4.2): a 2.80 GHz Xeon.
+const SchedulerClockGHz = 2.8
+
+// Host is one compute node. ClockGHz scales task runtimes: a task costing w
+// reference seconds runs in w × ReferenceClockGHz / ClockGHz seconds
+// (uniform-processor model, §III.1.2).
+type Host struct {
+	ID       HostID  `json:"id"`
+	Cluster  int     `json:"cluster"`
+	ClockGHz float64 `json:"clock_ghz"`
+	MemoryMB int     `json:"memory_mb"`
+}
+
+// Speedup returns the host's speed relative to the reference host.
+func (h Host) Speedup() float64 { return h.ClockGHz / ReferenceClockGHz }
+
+// Cluster is a set of identical, well-connected hosts (the dissertation
+// models LSDEs as thousands of ROCKS-style homogeneous clusters).
+type Cluster struct {
+	ID        int     `json:"id"`
+	Name      string  `json:"name"`
+	NumHosts  int     `json:"num_hosts"`
+	FirstHost HostID  `json:"first_host"`
+	ClockGHz  float64 `json:"clock_ghz"`
+	MemoryMB  int     `json:"memory_mb"`
+	// IntraMbps is the intra-cluster (LAN) bandwidth.
+	IntraMbps float64 `json:"intra_mbps"`
+	// UplinkMbps is the capacity of the cluster's uplink into the
+	// wide-area topology.
+	UplinkMbps float64 `json:"uplink_mbps"`
+}
+
+// Platform is a synthetic LSDE: hosts grouped into clusters plus a wide-area
+// topology connecting the clusters.
+type Platform struct {
+	Hosts    []Host
+	Clusters []Cluster
+	Topo     *Topology
+
+	// interBW caches widest-path bandwidth between cluster pairs,
+	// computed lazily per source cluster.
+	interBW [][]float64
+}
+
+// NumHosts returns the total host count.
+func (p *Platform) NumHosts() int { return len(p.Hosts) }
+
+// Host returns the host with the given ID.
+func (p *Platform) Host(id HostID) Host { return p.Hosts[id] }
+
+// Validate checks internal consistency: dense host IDs, cluster spans
+// covering all hosts, positive clock rates and bandwidths.
+func (p *Platform) Validate() error {
+	for i, h := range p.Hosts {
+		if int(h.ID) != i {
+			return fmt.Errorf("platform: host at index %d has ID %d", i, h.ID)
+		}
+		if h.ClockGHz <= 0 {
+			return fmt.Errorf("platform: host %d has clock %v", i, h.ClockGHz)
+		}
+		if h.Cluster < 0 || h.Cluster >= len(p.Clusters) {
+			return fmt.Errorf("platform: host %d references cluster %d", i, h.Cluster)
+		}
+	}
+	covered := 0
+	for i, c := range p.Clusters {
+		if c.ID != i {
+			return fmt.Errorf("platform: cluster at index %d has ID %d", i, c.ID)
+		}
+		if c.NumHosts <= 0 || c.IntraMbps <= 0 || c.UplinkMbps <= 0 {
+			return fmt.Errorf("platform: cluster %d has non-positive size or bandwidth", i)
+		}
+		covered += c.NumHosts
+	}
+	if covered != len(p.Hosts) {
+		return fmt.Errorf("platform: clusters cover %d hosts, have %d", covered, len(p.Hosts))
+	}
+	return nil
+}
+
+// Bandwidth returns the available bandwidth in Mb/s between two hosts: the
+// intra-cluster LAN bandwidth when co-located, otherwise the widest-path
+// (maximum-bottleneck) bandwidth through the wide-area topology, additionally
+// bottlenecked by both clusters' uplinks. Same-host transfers are free and
+// reported as the reference bandwidth.
+func (p *Platform) Bandwidth(a, b HostID) float64 {
+	if a == b {
+		return ReferenceBandwidthMbps
+	}
+	ca, cb := p.Hosts[a].Cluster, p.Hosts[b].Cluster
+	if ca == cb {
+		return p.Clusters[ca].IntraMbps
+	}
+	return p.interClusterBandwidth(ca, cb)
+}
+
+// interClusterBandwidth returns (computing and caching on first use) the
+// bottleneck bandwidth between two clusters.
+func (p *Platform) interClusterBandwidth(ca, cb int) float64 {
+	if p.interBW == nil {
+		p.interBW = make([][]float64, len(p.Clusters))
+	}
+	if p.interBW[ca] == nil {
+		row := p.Topo.WidestPaths(ca)
+		// Bottleneck through both uplinks.
+		for j := range row {
+			row[j] = min3(row[j], p.Clusters[ca].UplinkMbps, p.Clusters[j].UplinkMbps)
+		}
+		p.interBW[ca] = row
+	}
+	return p.interBW[ca][cb]
+}
+
+func min3(a, b, c float64) float64 {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// TransferTime converts a DAG edge cost (seconds at the reference bandwidth)
+// into the actual transfer time between hosts a and b. Transfers between a
+// host and itself are free (§IV: tasks on the same host share files).
+func (p *Platform) TransferTime(edgeCost float64, a, b HostID) float64 {
+	if a == b || edgeCost == 0 {
+		return 0
+	}
+	return edgeCost * ReferenceBandwidthMbps / p.Bandwidth(a, b)
+}
+
+// FastestHosts returns the k fastest hosts, ties broken by lower ID: the
+// "Top Hosts" naive resource abstraction of §IV.2.4.1.
+func (p *Platform) FastestHosts(k int) []Host {
+	if k > len(p.Hosts) {
+		k = len(p.Hosts)
+	}
+	hosts := append([]Host(nil), p.Hosts...)
+	sort.Slice(hosts, func(i, j int) bool {
+		if hosts[i].ClockGHz != hosts[j].ClockGHz {
+			return hosts[i].ClockGHz > hosts[j].ClockGHz
+		}
+		return hosts[i].ID < hosts[j].ID
+	})
+	return hosts[:k]
+}

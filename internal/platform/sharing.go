@@ -1,0 +1,58 @@
+package platform
+
+import "fmt"
+
+// Resource-sharing models of §III.2.3: "For space sharing resources, we
+// model the resource as being a fixed fraction of the capabilities of the
+// actual resource. For example, for a processor with clock rate of 3.0 GHz
+// that is being space shared by five virtual processors, we can model each
+// virtual processor as having clock rate of 0.6 GHz and any application
+// using that virtual processor has dedicated access."
+
+// SpaceShared derives the virtualized view of a resource collection where
+// every physical host is split into `ways` virtual processors, each with
+// 1/ways of the clock rate and memory, to which the application has
+// dedicated access (the Xen/ModelNet-style virtualization the dissertation
+// cites). The network model maps virtual processors back to their physical
+// host: co-hosted virtual processors share the host's filesystem, so
+// transfers between them are free, while transfers across physical hosts
+// pay the underlying network cost.
+func SpaceShared(rc *ResourceCollection, ways int) (*ResourceCollection, error) {
+	if ways < 1 {
+		return nil, fmt.Errorf("platform: space sharing needs ways ≥ 1, got %d", ways)
+	}
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	out := &ResourceCollection{
+		Hosts: make([]Host, 0, len(rc.Hosts)*ways),
+		Net:   spaceSharedNet{inner: rc.Net, ways: ways},
+	}
+	id := HostID(0)
+	for _, h := range rc.Hosts {
+		for w := 0; w < ways; w++ {
+			out.Hosts = append(out.Hosts, Host{
+				ID:       id,
+				Cluster:  h.Cluster,
+				ClockGHz: h.ClockGHz / float64(ways),
+				MemoryMB: h.MemoryMB / ways,
+			})
+			id++
+		}
+	}
+	return out, nil
+}
+
+// spaceSharedNet maps virtual-processor indices back to physical host
+// indices for the inner network model.
+type spaceSharedNet struct {
+	inner Network
+	ways  int
+}
+
+func (n spaceSharedNet) TransferTime(edgeCost float64, a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	return n.inner.TransferTime(edgeCost, a/n.ways, b/n.ways)
+}

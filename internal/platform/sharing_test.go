@@ -1,0 +1,66 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpaceSharedSplitsHosts(t *testing.T) {
+	rc := HomogeneousRC(4, 3.0, 1000)
+	vp, err := SpaceShared(rc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.Size() != 20 {
+		t.Fatalf("size = %d, want 20", vp.Size())
+	}
+	// The §III.2.3 example: 3.0 GHz shared 5 ways = 0.6 GHz each.
+	for _, h := range vp.Hosts {
+		if math.Abs(h.ClockGHz-0.6) > 1e-12 {
+			t.Fatalf("virtual clock = %v, want 0.6", h.ClockGHz)
+		}
+	}
+	if err := vp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ways = 1 is the identity on capability.
+	same, err := SpaceShared(rc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Size() != 4 || same.Hosts[0].ClockGHz != 3.0 {
+		t.Errorf("ways=1 changed the collection")
+	}
+}
+
+func TestSpaceSharedNetworkMapsToPhysicalHosts(t *testing.T) {
+	rc := HomogeneousRC(2, 3.0, 1000)
+	vp, err := SpaceShared(rc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Virtual processors 0,1,2 share physical host 0; 3,4,5 share host 1.
+	// A transfer between co-hosted VPs still crosses the (physical-host
+	// internal) network path: inner model sees a==b ⇒ 0 transfer.
+	if got := vp.Net.TransferTime(5, 0, 2); got != 0 {
+		t.Errorf("co-hosted transfer = %v, want 0 (same physical host)", got)
+	}
+	// Across physical hosts: 10 Gb reference over 1 Gb = ×10.
+	if got := vp.Net.TransferTime(5, 1, 4); math.Abs(got-50) > 1e-9 {
+		t.Errorf("cross-host transfer = %v, want 50", got)
+	}
+	if got := vp.Net.TransferTime(5, 4, 4); got != 0 {
+		t.Errorf("self transfer = %v", got)
+	}
+}
+
+func TestSpaceSharedValidation(t *testing.T) {
+	rc := HomogeneousRC(2, 3.0, 1000)
+	if _, err := SpaceShared(rc, 0); err == nil {
+		t.Error("ways=0 accepted")
+	}
+	empty := &ResourceCollection{Net: UniformNetwork{Mbps: 1}}
+	if _, err := SpaceShared(empty, 2); err == nil {
+		t.Error("empty RC accepted")
+	}
+}

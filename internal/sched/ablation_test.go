@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/platform"
+	"rsgen/internal/xrand"
+)
+
+// TestMCPPrefixAblation validates the DESIGN.md reconstruction claim: the
+// bounded descendant-ALAP prefix barely changes MCP's schedule quality.
+// Pure ALAP ordering (prefix 0) and a deep prefix (8) must stay within a
+// few percent of the default on a spread of DAG shapes.
+func TestMCPPrefixAblation(t *testing.T) {
+	old := MCPPrefix
+	defer func() { MCPPrefix = old }()
+
+	specs := []dag.GenSpec{
+		{Size: 200, CCR: 0.1, Parallelism: 0.5, Density: 0.5, Regularity: 0.5, MeanCost: 40},
+		{Size: 300, CCR: 1.0, Parallelism: 0.7, Density: 0.3, Regularity: 0.8, MeanCost: 20},
+		{Size: 150, CCR: 0.5, Parallelism: 0.4, Density: 0.8, Regularity: 0.2, MeanCost: 60},
+	}
+	rc := platform.HomogeneousRC(12, 2.8, 1000)
+	for si, spec := range specs {
+		d := dag.MustGenerate(spec, xrand.NewFrom(51, uint64(si)))
+		makespans := map[int]float64{}
+		for _, prefix := range []int{0, 4, 8} {
+			MCPPrefix = prefix
+			s, err := MCP{}.Schedule(d, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			makespans[prefix] = s.Makespan
+		}
+		base := makespans[4]
+		for _, prefix := range []int{0, 8} {
+			ratio := makespans[prefix] / base
+			if math.Abs(ratio-1) > 0.05 {
+				t.Errorf("spec %d: prefix %d makespan %.1f deviates %.1f%% from default %.1f",
+					si, prefix, makespans[prefix], (ratio-1)*100, base)
+			}
+		}
+	}
+}
+
+// TestOpsCountIndependentOfFastPath confirms the modeled scheduling cost is
+// an algorithmic property, not an artifact of our uniform-network
+// optimization: the same DAG over a uniform network and over a "platform"
+// network with identical bandwidth must report identical ops.
+func TestOpsCountIndependentOfFastPath(t *testing.T) {
+	spec := dag.GenSpec{Size: 120, CCR: 0.3, Parallelism: 0.6, Density: 0.5, Regularity: 0.5, MeanCost: 20}
+	d := dag.MustGenerate(spec, xrand.New(61))
+	uniform := platform.HomogeneousRC(8, 2.8, 1000)
+	slowPath := &platform.ResourceCollection{
+		Hosts: append([]platform.Host(nil), uniform.Hosts...),
+		Net:   constantNet{mbps: 1000},
+	}
+	for _, h := range All() {
+		a, err := h.Schedule(d, uniform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := h.Schedule(d, slowPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Ops != b.Ops {
+			t.Errorf("%s: ops differ across network implementations: %v vs %v", h.Name(), a.Ops, b.Ops)
+		}
+		if math.Abs(a.Makespan-b.Makespan) > 1e-6 {
+			t.Errorf("%s: makespan differs across equivalent networks: %v vs %v", h.Name(), a.Makespan, b.Makespan)
+		}
+	}
+}
+
+// constantNet is a non-UniformNetwork type with uniform behavior, forcing
+// the general (slow) code path.
+type constantNet struct{ mbps float64 }
+
+func (c constantNet) TransferTime(edgeCost float64, a, b int) float64 {
+	if a == b || edgeCost == 0 {
+		return 0
+	}
+	return edgeCost * platform.ReferenceBandwidthMbps / c.mbps
+}

@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/platform"
+	"rsgen/internal/xrand"
+)
+
+func TestBaselinesByName(t *testing.T) {
+	for _, name := range []string{"Random", "RoundRobin", "MinMin"} {
+		h, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if h.Name() != name {
+			t.Errorf("ByName(%s).Name() = %s", name, h.Name())
+		}
+	}
+	if got := len(Baselines()); got != 3 {
+		t.Errorf("Baselines() returned %d", got)
+	}
+}
+
+func TestBaselinesProduceCompleteSchedules(t *testing.T) {
+	spec := dag.GenSpec{Size: 120, CCR: 0.3, Parallelism: 0.6, Density: 0.5, Regularity: 0.5, MeanCost: 20}
+	d := dag.MustGenerate(spec, xrand.New(41))
+	rc := platform.HomogeneousRC(8, 2.8, 1000)
+	for _, h := range Baselines() {
+		s, err := h.Schedule(d, rc)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		for v, host := range s.Host {
+			if host < 0 || host >= rc.Size() {
+				t.Fatalf("%s: task %d on host %d", h.Name(), v, host)
+			}
+		}
+		if s.Makespan <= 0 || s.Ops <= 0 {
+			t.Errorf("%s: makespan %v ops %v", h.Name(), s.Makespan, s.Ops)
+		}
+	}
+}
+
+func TestRandomIsSeededDeterministic(t *testing.T) {
+	spec := dag.GenSpec{Size: 60, CCR: 0.1, Parallelism: 0.5, Density: 0.5, Regularity: 0.5, MeanCost: 10}
+	d := dag.MustGenerate(spec, xrand.New(42))
+	rc := platform.HomogeneousRC(6, 2.8, 1000)
+	a, err := Random{Seed: 7}.Schedule(d, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random{Seed: 7}.Schedule(d, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Host {
+		if a.Host[v] != b.Host[v] {
+			t.Fatal("same-seed Random schedules differ")
+		}
+	}
+	c, err := Random{Seed: 8}.Schedule(d, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := range a.Host {
+		if a.Host[v] != c.Host[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical Random schedules")
+	}
+}
+
+func TestRoundRobinCyclesHosts(t *testing.T) {
+	// 6 independent tasks over 3 hosts: round robin must place exactly 2
+	// per host.
+	tasks := make([]dag.Task, 6)
+	for i := range tasks {
+		tasks[i] = dag.Task{ID: dag.TaskID(i), Cost: 5}
+	}
+	d := dag.MustNew(tasks, nil)
+	rc := platform.HomogeneousRC(3, 1.5, 1000)
+	s, err := RoundRobin{}.Schedule(d, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[int]int{}
+	for _, h := range s.Host {
+		count[h]++
+	}
+	for h := 0; h < 3; h++ {
+		if count[h] != 2 {
+			t.Errorf("host %d got %d tasks, want 2", h, count[h])
+		}
+	}
+}
+
+func TestMinMinMatchesGreedyIntuition(t *testing.T) {
+	// On a single-level DAG over heterogeneous hosts, MinMin must finish
+	// no later than Random or RoundRobin (it is completion-time aware).
+	tasks := make([]dag.Task, 24)
+	for i := range tasks {
+		tasks[i] = dag.Task{ID: dag.TaskID(i), Cost: float64(5 + i%7)}
+	}
+	d := dag.MustNew(tasks, nil)
+	rc := platform.HeterogeneousRC(5, 2.8, 0.4, 1000, xrand.New(9))
+	mm, err := MinMin{}.Schedule(d, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RoundRobin{}.Schedule(d, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Random{Seed: 3}.Schedule(d, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Makespan > rr.Makespan+1e-9 || mm.Makespan > rd.Makespan+1e-9 {
+		t.Errorf("MinMin %v worse than RoundRobin %v or Random %v",
+			mm.Makespan, rr.Makespan, rd.Makespan)
+	}
+}
+
+func TestMinMinCostHigherThanFCFS(t *testing.T) {
+	// MinMin re-evaluates ready×hosts per step, so its modeled scheduling
+	// cost must exceed FCFS's — the §IV.1.2 argument for why deployed
+	// systems used the cheap ones.
+	spec := dag.GenSpec{Size: 200, CCR: 0.2, Parallelism: 0.6, Density: 0.5, Regularity: 0.5, MeanCost: 20}
+	d := dag.MustGenerate(spec, xrand.New(17))
+	rc := platform.HomogeneousRC(16, 2.8, 1000)
+	mm, err := MinMin{}.Schedule(d, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := FCFS{}.Schedule(d, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Ops <= fc.Ops {
+		t.Errorf("MinMin ops %v not above FCFS %v", mm.Ops, fc.Ops)
+	}
+	if math.IsNaN(mm.Makespan) {
+		t.Error("MinMin makespan NaN")
+	}
+}

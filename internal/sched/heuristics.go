@@ -1,0 +1,340 @@
+package sched
+
+import (
+	"container/heap"
+	"math"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/platform"
+)
+
+// MCP is the Modified Critical Path heuristic of Wu & Gajski (Fig. IV-2):
+// nodes are prioritized by the lexicographic order of the ALAP values of the
+// node and its descendants, then each node is scheduled on the host that
+// completes it earliest.
+//
+// Materializing the full descendant-ALAP list is Θ(n²) memory, intractable
+// for the 10⁴-task DAGs the dissertation studies; we keep a bounded prefix
+// (the node's ALAP plus its mcpPrefix smallest descendant ALAPs), which
+// preserves the ordering in practice. Ties after the prefix break by task
+// ID, keeping the sort total and deterministic.
+type MCP struct{}
+
+// MCPPrefix is the number of descendant ALAP values kept for lexicographic
+// comparison (beyond the node's own ALAP). The default of 4 keeps memory
+// linear; the ablation benchmarks vary it to show the schedule quality is
+// insensitive to the bound (see DESIGN.md's documented reconstruction).
+var MCPPrefix = 4
+
+// Name implements Heuristic.
+func (MCP) Name() string { return "MCP" }
+
+// Schedule implements Heuristic.
+func (MCP) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, error) {
+	s, err := newState(d, rc)
+	if err != nil {
+		return nil, err
+	}
+	n := d.Size()
+	alap := d.ALAPs()
+	// Graph-metric cost: b-levels + ALAP are O(n + e).
+	s.ops += float64(n + d.NumEdges())
+
+	// keys[v] = [alap(v), k smallest descendant ALAPs...], ascending.
+	// Children's keys are already sorted, so the k smallest of their
+	// union come from a bounded insertion pass — no per-node sort.
+	prefix := MCPPrefix
+	if prefix < 0 {
+		prefix = 0
+	}
+	keys := make([][]float64, n)
+	order := d.TopoOrder()
+	buf := make([]float64, prefix)
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		cnt := 0
+		for _, a := range d.Succ(v) {
+			ck := keys[a.Task]
+			s.ops += float64(len(ck))
+			for _, x := range ck {
+				if prefix == 0 {
+					break
+				}
+				if cnt == prefix && x >= buf[prefix-1] {
+					// Children's keys ascend: nothing later in ck
+					// can enter the buffer either.
+					break
+				}
+				// Insert x into the sorted buffer.
+				j := cnt
+				if j == prefix {
+					j--
+				}
+				for ; j > 0 && buf[j-1] > x; j-- {
+					buf[j] = buf[j-1]
+				}
+				buf[j] = x
+				if cnt < prefix {
+					cnt++
+				}
+			}
+		}
+		key := make([]float64, 1+cnt)
+		key[0] = alap[v]
+		copy(key[1:], buf[:cnt])
+		keys[v] = key
+	}
+	// Lexicographic sort cost.
+	s.ops += float64(n) * math.Log2(float64(n)+1)
+
+	less := func(a, b dag.TaskID) bool {
+		ka, kb := keys[a], keys[b]
+		for i := 0; i < len(ka) && i < len(kb); i++ {
+			if ka[i] != kb[i] {
+				return ka[i] < kb[i]
+			}
+		}
+		if len(ka) != len(kb) {
+			return len(ka) < len(kb)
+		}
+		return a < b
+	}
+
+	// Process in MCP priority order restricted to ready tasks: ALAP order
+	// is topological for positive task costs, so this visits tasks in the
+	// exact MCP order while remaining robust to zero-cost corner cases.
+	s.run(
+		func(ready []dag.TaskID) int {
+			best := 0
+			for i := 1; i < len(ready); i++ {
+				if less(ready[i], ready[best]) {
+					best = i
+				}
+			}
+			s.ops += float64(len(ready))
+			return best
+		},
+		s.minFinishHost,
+	)
+	return s.finish(), nil
+}
+
+// Greedy is the simple heuristic of Fig. IV-3: as soon as a task's
+// dependencies have cleared, schedule it on the host that would start its
+// execution soonest. It is clock-oblivious and does not weigh communication
+// against computation (though data-ready times do include transfer delays).
+type Greedy struct{}
+
+// Name implements Heuristic.
+func (Greedy) Name() string { return "Greedy" }
+
+// Schedule implements Heuristic.
+func (Greedy) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, error) {
+	s, err := newState(d, rc)
+	if err != nil {
+		return nil, err
+	}
+	s.ops += float64(d.Size() + d.NumEdges()) // ready-list bookkeeping
+	s.run(
+		func(ready []dag.TaskID) int { return 0 }, // arrival order
+		s.minStartHost,
+	)
+	return s.finish(), nil
+}
+
+// FCFS is the cheapest heuristic (Fig. V-15): ready tasks in first-come
+// first-served order, each assigned to the earliest-available host,
+// oblivious to both clock rates and communication.
+type FCFS struct{}
+
+// Name implements Heuristic.
+func (FCFS) Name() string { return "FCFS" }
+
+// Schedule implements Heuristic.
+func (FCFS) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, error) {
+	s, err := newState(d, rc)
+	if err != nil {
+		return nil, err
+	}
+	s.ops += float64(d.Size() + d.NumEdges())
+	m := len(rc.Hosts)
+	h := &hostHeap{}
+	for i := 0; i < m; i++ {
+		heap.Push(h, hostSlot{host: i, free: 0})
+	}
+	s.run(
+		func(ready []dag.TaskID) int { return 0 },
+		func(v dag.TaskID) (int, float64) {
+			slot := heap.Pop(h).(hostSlot)
+			ready := s.readyTimes(v)
+			start := slot.free
+			if r := ready.at(slot.host); r > start {
+				start = r
+			}
+			exec := execTime(s.d.Task(v).Cost, s.rc.Hosts[slot.host])
+			heap.Push(h, hostSlot{host: slot.host, free: start + exec})
+			s.ops += math.Log2(float64(m) + 1)
+			return slot.host, start
+		},
+	)
+	return s.finish(), nil
+}
+
+// FCA — Fastest Clock Available (Fig. V-14) — is the cheap but clock-aware
+// heuristic: ready tasks in descending b-level order, each assigned to the
+// fastest host that is already idle at the task's data-ready time, falling
+// back to the earliest-available host when none is idle. It ignores
+// communication when ranking hosts, which keeps its per-task cost at O(m)
+// (no per-parent × per-host evaluation), the property that lets it win on
+// very large DAGs (Ch. VI).
+type FCA struct{}
+
+// Name implements Heuristic.
+func (FCA) Name() string { return "FCA" }
+
+// Schedule implements Heuristic.
+func (FCA) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, error) {
+	s, err := newState(d, rc)
+	if err != nil {
+		return nil, err
+	}
+	bl := d.BLevels()
+	s.ops += float64(d.Size()+d.NumEdges()) + float64(d.Size())*math.Log2(float64(d.Size())+1)
+	s.run(
+		func(ready []dag.TaskID) int {
+			best := 0
+			for i := 1; i < len(ready); i++ {
+				if bl[ready[i]] > bl[ready[best]] ||
+					(bl[ready[i]] == bl[ready[best]] && ready[i] < ready[best]) {
+					best = i
+				}
+			}
+			s.ops += float64(len(ready))
+			return best
+		},
+		func(v dag.TaskID) (int, float64) {
+			ready := s.readyTimes(v)
+			// Earliest the task could possibly be data-ready anywhere:
+			// the idle test below is deliberately communication-blind.
+			r := ready.maxParentFin
+			bestIdle, bestIdleClock := -1, 0.0
+			bestWait, bestWaitFree := -1, math.Inf(1)
+			for h := range s.rc.Hosts {
+				if s.free[h] <= r {
+					if c := s.rc.Hosts[h].ClockGHz; c > bestIdleClock {
+						bestIdle, bestIdleClock = h, c
+					}
+				} else if s.free[h] < bestWaitFree {
+					bestWait, bestWaitFree = h, s.free[h]
+				}
+			}
+			s.ops += float64(len(s.rc.Hosts))
+			h := bestIdle
+			if h == -1 {
+				h = bestWait
+			}
+			start := s.free[h]
+			if rr := ready.at(h); rr > start {
+				start = rr
+			}
+			return h, start
+		},
+	)
+	return s.finish(), nil
+}
+
+// DLS is Dynamic Level Scheduling (Sih & Lee; Fig. V-13): at each step,
+// among all (ready task, host) pairs, pick the pair maximizing the dynamic
+// level DL(t, h) = SL(t) − max(dataReady(t, h), free(h)) + Δ(t, h), where SL
+// is the static b-level at reference speed and Δ(t, h) = w(t) − w(t, h)
+// rewards faster hosts. It is the most expensive heuristic studied: every
+// step re-evaluates every ready task against every host.
+type DLS struct{}
+
+// Name implements Heuristic.
+func (DLS) Name() string { return "DLS" }
+
+// Schedule implements Heuristic.
+func (DLS) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, error) {
+	s, err := newState(d, rc)
+	if err != nil {
+		return nil, err
+	}
+	sl := d.BLevels()
+	s.ops += float64(d.Size() + d.NumEdges())
+
+	n := d.Size()
+	m := len(rc.Hosts)
+	unmet := make([]int, n)
+	var ready []dag.TaskID
+	for v := 0; v < n; v++ {
+		unmet[v] = len(d.Pred(dag.TaskID(v)))
+		if unmet[v] == 0 {
+			ready = append(ready, dag.TaskID(v))
+		}
+	}
+	// Cache each ready task's readyFn; parents are final once ready.
+	rf := make(map[dag.TaskID]readyFn, len(ready))
+	for len(ready) > 0 {
+		bestI, bestH := -1, -1
+		bestDL := math.Inf(-1)
+		bestStart := 0.0
+		for i, v := range ready {
+			f, ok := rf[v]
+			if !ok {
+				f = s.readyTimesOwned(v)
+				rf[v] = f
+			}
+			w := d.Task(v).Cost
+			for h := 0; h < m; h++ {
+				st := s.free[h]
+				if r := f.at(h); r > st {
+					st = r
+				}
+				delta := w - execTime(w, s.rc.Hosts[h])
+				dl := sl[v] - st + delta
+				if dl > bestDL || (dl == bestDL && (bestI == -1 || v < ready[bestI])) {
+					bestI, bestH, bestDL, bestStart = i, h, dl, st
+				}
+			}
+		}
+		s.ops += float64(len(ready) * m)
+		v := ready[bestI]
+		ready[bestI] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		delete(rf, v)
+		s.place(v, bestH, bestStart)
+		for _, a := range d.Succ(v) {
+			unmet[a.Task]--
+			if unmet[a.Task] == 0 {
+				ready = append(ready, a.Task)
+			}
+		}
+	}
+	return s.finish(), nil
+}
+
+// hostSlot / hostHeap implement the earliest-free-host queue for FCFS.
+type hostSlot struct {
+	host int
+	free float64
+}
+
+type hostHeap []hostSlot
+
+func (h hostHeap) Len() int { return len(h) }
+func (h hostHeap) Less(i, j int) bool {
+	if h[i].free != h[j].free {
+		return h[i].free < h[j].free
+	}
+	return h[i].host < h[j].host
+}
+func (h hostHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hostHeap) Push(x interface{}) { *h = append(*h, x.(hostSlot)) }
+func (h *hostHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

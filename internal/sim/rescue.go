@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/platform"
+	"rsgen/internal/sched"
+)
+
+// Rescue implements the migration reaction §II.2.6 motivates: when a host
+// fails at time t mid-run, the work is moved elsewhere. Tasks that finished
+// strictly before t keep their history; tasks running on the failed host at
+// t are lost and re-executed; everything not yet started is re-placed
+// greedily (earliest finish) on the surviving hosts, respecting precedence
+// and the data already produced.
+//
+// The returned schedule covers every task (completed ones keep their
+// original rows) and reports the new makespan. Its Ops field carries the
+// original schedule's ops plus the replanning cost.
+func Rescue(d *dag.DAG, rc *platform.ResourceCollection, s *sched.Schedule, failedHost int, t float64) (*sched.Schedule, error) {
+	n := d.Size()
+	if len(s.Host) != n {
+		return nil, fmt.Errorf("sim: schedule covers %d tasks, DAG has %d", len(s.Host), n)
+	}
+	if failedHost < 0 || failedHost >= rc.Size() {
+		return nil, fmt.Errorf("sim: failed host %d outside the collection", failedHost)
+	}
+	if rc.Size() < 2 {
+		return nil, fmt.Errorf("sim: no surviving hosts to migrate to")
+	}
+
+	out := &sched.Schedule{
+		Host:   append([]int(nil), s.Host...),
+		Start:  append([]float64(nil), s.Start...),
+		Finish: append([]float64(nil), s.Finish...),
+		Ops:    s.Ops,
+	}
+
+	// Classify tasks: kept (finished before t anywhere, or running at t on
+	// a surviving host — those complete as planned) vs lost/pending.
+	kept := make([]bool, n)
+	for v := 0; v < n; v++ {
+		switch {
+		case out.Finish[v] <= t:
+			kept[v] = true
+		case out.Start[v] < t && out.Host[v] != failedHost:
+			kept[v] = true // running on a survivor; completes as planned
+		}
+	}
+
+	// Host availability: survivors are busy until their last kept task
+	// ends (or t); the failed host is unusable.
+	free := make([]float64, rc.Size())
+	for h := range free {
+		free[h] = t
+	}
+	for v := 0; v < n; v++ {
+		if kept[v] && out.Finish[v] > free[out.Host[v]] {
+			free[out.Host[v]] = out.Finish[v]
+		}
+	}
+	free[failedHost] = math.Inf(1)
+
+	// Re-place the remaining tasks in topological order, earliest-finish.
+	// Data produced by kept tasks on the failed host is assumed lost with
+	// the host only if the producer itself was lost; finished transfers
+	// persist at the consumers (the §II.2.5 staging model keeps copies),
+	// so kept producers' outputs remain fetchable — conservatively we
+	// still charge the transfer from the failed host's stored copy.
+	order := d.TopoOrder()
+	replan := 0
+	for _, v := range order {
+		if kept[v] {
+			continue
+		}
+		// Parents are final here: topological order guarantees kept
+		// parents keep their rows and lost parents were re-placed in an
+		// earlier iteration.
+		bestH, bestStart, bestFin := -1, 0.0, math.Inf(1)
+		for h := 0; h < rc.Size(); h++ {
+			if h == failedHost {
+				continue
+			}
+			ready := t
+			for _, p := range d.Pred(v) {
+				arr := out.Finish[p.Task] + rc.Net.TransferTime(p.Cost, out.Host[p.Task], h)
+				if arr > ready {
+					ready = arr
+				}
+			}
+			start := free[h]
+			if ready > start {
+				start = ready
+			}
+			fin := start + d.Task(v).Cost/rc.Hosts[h].Speedup()
+			if fin < bestFin {
+				bestH, bestStart, bestFin = h, start, fin
+			}
+		}
+		if bestH < 0 {
+			return nil, fmt.Errorf("sim: task %d cannot be re-placed", v)
+		}
+		out.Host[v] = bestH
+		out.Start[v] = bestStart
+		out.Finish[v] = bestFin
+		free[bestH] = bestFin
+		replan++
+	}
+	// Replanning cost: one greedy EFT pass over survivors per moved task.
+	out.Ops += float64(replan * (rc.Size() - 1))
+
+	mk := 0.0
+	for v := 0; v < n; v++ {
+		if out.Finish[v] > mk {
+			mk = out.Finish[v]
+		}
+	}
+	out.Makespan = mk
+	return out, nil
+}
+
+// RescueImpact summarizes a rescue against the original plan.
+type RescueImpact struct {
+	MovedTasks   int
+	OldMakespan  float64
+	NewMakespan  float64
+	RelativeLoss float64 // (new − old) / old
+}
+
+// AssessRescue runs Rescue and summarizes the damage.
+func AssessRescue(d *dag.DAG, rc *platform.ResourceCollection, s *sched.Schedule, failedHost int, t float64) (*sched.Schedule, RescueImpact, error) {
+	rescued, err := Rescue(d, rc, s, failedHost, t)
+	if err != nil {
+		return nil, RescueImpact{}, err
+	}
+	moved := 0
+	for v := range s.Host {
+		if rescued.Host[v] != s.Host[v] || rescued.Start[v] != s.Start[v] {
+			moved++
+		}
+	}
+	imp := RescueImpact{
+		MovedTasks:  moved,
+		OldMakespan: s.Makespan,
+		NewMakespan: rescued.Makespan,
+	}
+	if s.Makespan > 0 {
+		imp.RelativeLoss = (rescued.Makespan - s.Makespan) / s.Makespan
+	}
+	return rescued, imp, nil
+}

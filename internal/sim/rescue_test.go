@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/platform"
+	"rsgen/internal/sched"
+	"rsgen/internal/xrand"
+)
+
+func rescueFixture(t *testing.T) (*dag.DAG, *platform.ResourceCollection, *sched.Schedule) {
+	t.Helper()
+	spec := dag.GenSpec{Size: 120, CCR: 0.1, Parallelism: 0.6, Density: 0.5, Regularity: 0.5, MeanCost: 20}
+	d := dag.MustGenerate(spec, xrand.New(81))
+	rc := platform.HomogeneousRC(8, 2.8, 1000)
+	s, err := sched.MCP{}.Schedule(d, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, rc, s
+}
+
+func TestRescueProducesValidSchedule(t *testing.T) {
+	d, rc, s := rescueFixture(t)
+	half := s.Makespan / 2
+	rescued, err := Rescue(d, rc, s, 0, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rescued plan must respect precedence and exclusivity on the
+	// surviving hosts — but tasks in flight at t on survivors keep
+	// original rows, so the full validator applies unchanged.
+	if err := Validate(d, rc, rescued); err != nil {
+		t.Fatalf("rescued schedule invalid: %v", err)
+	}
+	// Nothing may start on the failed host after t.
+	for v := 0; v < d.Size(); v++ {
+		if rescued.Host[v] == 0 && rescued.Start[v] >= half {
+			t.Fatalf("task %d starts on the failed host after the failure", v)
+		}
+	}
+	// The makespan can only get worse (or stay) after losing a host.
+	if rescued.Makespan < s.Makespan-1e-9 {
+		t.Errorf("rescue improved the makespan: %v → %v", s.Makespan, rescued.Makespan)
+	}
+	if rescued.Ops <= s.Ops {
+		t.Errorf("rescue charged no replanning cost")
+	}
+}
+
+func TestRescueKeepsFinishedWork(t *testing.T) {
+	d, rc, s := rescueFixture(t)
+	half := s.Makespan / 2
+	rescued, err := Rescue(d, rc, s, 0, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < d.Size(); v++ {
+		if s.Finish[v] <= half {
+			if rescued.Host[v] != s.Host[v] || rescued.Start[v] != s.Start[v] || rescued.Finish[v] != s.Finish[v] {
+				t.Fatalf("finished task %d was disturbed", v)
+			}
+		}
+	}
+}
+
+func TestRescueLateFailureIsCheap(t *testing.T) {
+	d, rc, s := rescueFixture(t)
+	// A failure just before the end moves almost nothing.
+	_, late, err := AssessRescue(d, rc, s, 0, s.Makespan*0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, early, err := AssessRescue(d, rc, s, 0, s.Makespan*0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.MovedTasks >= early.MovedTasks {
+		t.Errorf("late failure moved %d tasks, early moved %d", late.MovedTasks, early.MovedTasks)
+	}
+	if late.RelativeLoss < 0 || early.RelativeLoss < 0 {
+		t.Errorf("negative relative loss: %v / %v", late.RelativeLoss, early.RelativeLoss)
+	}
+	if early.OldMakespan != s.Makespan {
+		t.Errorf("impact lost the old makespan")
+	}
+}
+
+func TestRescueErrors(t *testing.T) {
+	d, rc, s := rescueFixture(t)
+	if _, err := Rescue(d, rc, s, 99, 1); err == nil {
+		t.Error("out-of-range host accepted")
+	}
+	one := platform.HomogeneousRC(1, 2.8, 1000)
+	sOne, err := sched.MCP{}.Schedule(d, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rescue(d, one, sOne, 0, 1); err == nil {
+		t.Error("rescue without survivors accepted")
+	}
+	short := &sched.Schedule{Host: []int{0}}
+	if _, err := Rescue(d, rc, short, 0, 1); err == nil {
+		t.Error("truncated schedule accepted")
+	}
+}
+
+func TestRescueAtTimeZeroReplansEverything(t *testing.T) {
+	d, rc, s := rescueFixture(t)
+	rescued, err := Rescue(d, rc, s, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < d.Size(); v++ {
+		if rescued.Host[v] == 3 {
+			t.Fatalf("task %d still on the failed host", v)
+		}
+	}
+	if err := Validate(d, rc, rescued); err != nil {
+		t.Fatalf("full replan invalid: %v", err)
+	}
+}
+
+func TestPropertyRescueAlwaysValid(t *testing.T) {
+	// For any failure host/time, the rescued schedule must pass the full
+	// validator and never shrink the makespan.
+	spec := dag.GenSpec{Size: 80, CCR: 0.2, Parallelism: 0.6, Density: 0.5, Regularity: 0.5, MeanCost: 15}
+	d := dag.MustGenerate(spec, xrand.New(91))
+	rc := platform.HomogeneousRC(6, 2.8, 1000)
+	s, err := sched.MCP{}.Schedule(d, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for host := 0; host < rc.Size(); host++ {
+		for _, frac := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			when := s.Makespan * frac
+			rescued, err := Rescue(d, rc, s, host, when)
+			if err != nil {
+				t.Fatalf("host %d t=%.2f: %v", host, frac, err)
+			}
+			if err := Validate(d, rc, rescued); err != nil {
+				t.Fatalf("host %d t=%.2f: invalid rescue: %v", host, frac, err)
+			}
+			if rescued.Makespan < s.Makespan-1e-9 {
+				t.Fatalf("host %d t=%.2f: rescue improved makespan", host, frac)
+			}
+			for v := 0; v < d.Size(); v++ {
+				if rescued.Host[v] == host && rescued.Start[v] >= when {
+					t.Fatalf("host %d t=%.2f: task %d starts on dead host", host, frac, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package sim provides an independent execution simulator for schedules
+// produced by the heuristics in internal/sched, under the dissertation's
+// execution model (§III.2.3): dedicated hosts, non-preemptive tasks, task
+// runtime scaled by host clock rate, and intermediate files transferred at
+// the host-pair bandwidth (free when producer and consumer share a host).
+//
+// The simulator serves two purposes: it validates that a schedule respects
+// every invariant (precedence with communication delays, host exclusivity),
+// and it recomputes the makespan from first principles — a cross-check on
+// the incremental bookkeeping the heuristics keep while scheduling.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/platform"
+	"rsgen/internal/sched"
+)
+
+// Tolerance for floating-point comparisons between independently computed
+// times.
+const eps = 1e-6
+
+// Result is the outcome of executing a schedule.
+type Result struct {
+	// Makespan is the recomputed end-to-end execution time.
+	Makespan float64
+	// HostBusy[h] is the total busy seconds of RC host h.
+	HostBusy []float64
+	// Utilization is mean(HostBusy) / Makespan over all hosts.
+	Utilization float64
+}
+
+// Execute replays the schedule's task→host assignment with the simulator's
+// own timing: tasks run in the start-time order the schedule chose per host,
+// each starting as soon as its data has arrived and its host is free. The
+// returned makespan can only be ≤ the schedule's claimed makespan if the
+// schedule left slack, and must never exceed it for a consistent schedule.
+func Execute(d *dag.DAG, rc *platform.ResourceCollection, s *sched.Schedule) (*Result, error) {
+	n := d.Size()
+	if len(s.Host) != n || len(s.Start) != n || len(s.Finish) != n {
+		return nil, fmt.Errorf("sim: schedule covers %d tasks, DAG has %d", len(s.Host), n)
+	}
+	for v := 0; v < n; v++ {
+		if s.Host[v] < 0 || s.Host[v] >= rc.Size() {
+			return nil, fmt.Errorf("sim: task %d assigned to host %d of %d", v, s.Host[v], rc.Size())
+		}
+	}
+
+	// Per-host queues in the schedule's start order.
+	queues := make([][]dag.TaskID, rc.Size())
+	for v := 0; v < n; v++ {
+		queues[s.Host[v]] = append(queues[s.Host[v]], dag.TaskID(v))
+	}
+	for h := range queues {
+		q := queues[h]
+		sort.Slice(q, func(i, j int) bool {
+			if s.Start[q[i]] != s.Start[q[j]] {
+				return s.Start[q[i]] < s.Start[q[j]]
+			}
+			return q[i] < q[j]
+		})
+	}
+
+	finish := make([]float64, n)
+	done := make([]bool, n)
+	hostFree := make([]float64, rc.Size())
+	busy := make([]float64, rc.Size())
+	qpos := make([]int, rc.Size())
+
+	// Event-free fixed-point loop: repeatedly start the next queued task
+	// on any host whose dependencies are complete. Each pass starts at
+	// least one task or the schedule is inconsistent.
+	remaining := n
+	for remaining > 0 {
+		progressed := false
+		for h := range queues {
+			for qpos[h] < len(queues[h]) {
+				v := queues[h][qpos[h]]
+				readyAll := true
+				ready := 0.0
+				for _, p := range d.Pred(v) {
+					if !done[p.Task] {
+						readyAll = false
+						break
+					}
+					t := finish[p.Task] + rc.Net.TransferTime(p.Cost, s.Host[p.Task], h)
+					if t > ready {
+						ready = t
+					}
+				}
+				if !readyAll {
+					break
+				}
+				start := hostFree[h]
+				if ready > start {
+					start = ready
+				}
+				exec := d.Task(v).Cost / rc.Hosts[h].Speedup()
+				finish[v] = start + exec
+				hostFree[h] = finish[v]
+				busy[h] += exec
+				done[v] = true
+				qpos[h]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("sim: schedule deadlocks (cyclic host-order dependency), %d tasks unstarted", remaining)
+		}
+	}
+
+	res := &Result{HostBusy: busy}
+	for _, f := range finish {
+		if f > res.Makespan {
+			res.Makespan = f
+		}
+	}
+	if res.Makespan > 0 {
+		sum := 0.0
+		for _, b := range busy {
+			sum += b
+		}
+		res.Utilization = sum / float64(rc.Size()) / res.Makespan
+	}
+	return res, nil
+}
+
+// Validate checks every schedule invariant against the DAG and RC:
+//
+//  1. every task is assigned exactly one in-range host;
+//  2. Finish = Start + cost/speedup for the assigned host;
+//  3. no two tasks overlap on one host;
+//  4. every task starts no earlier than each parent's finish plus the
+//     host-pair transfer time;
+//  5. the claimed makespan is max Finish.
+func Validate(d *dag.DAG, rc *platform.ResourceCollection, s *sched.Schedule) error {
+	n := d.Size()
+	if len(s.Host) != n || len(s.Start) != n || len(s.Finish) != n {
+		return fmt.Errorf("sim: schedule covers %d tasks, DAG has %d", len(s.Host), n)
+	}
+	maxFin := 0.0
+	byHost := make(map[int][]dag.TaskID)
+	for v := 0; v < n; v++ {
+		h := s.Host[v]
+		if h < 0 || h >= rc.Size() {
+			return fmt.Errorf("sim: task %d on host %d of %d", v, h, rc.Size())
+		}
+		if s.Start[v] < -eps {
+			return fmt.Errorf("sim: task %d starts at %v", v, s.Start[v])
+		}
+		exec := d.Task(dag.TaskID(v)).Cost / rc.Hosts[h].Speedup()
+		if diff := s.Finish[v] - (s.Start[v] + exec); diff > eps || diff < -eps {
+			return fmt.Errorf("sim: task %d finish %v ≠ start %v + exec %v", v, s.Finish[v], s.Start[v], exec)
+		}
+		if s.Finish[v] > maxFin {
+			maxFin = s.Finish[v]
+		}
+		byHost[h] = append(byHost[h], dag.TaskID(v))
+	}
+	if diff := s.Makespan - maxFin; diff > eps || diff < -eps {
+		return fmt.Errorf("sim: claimed makespan %v ≠ max finish %v", s.Makespan, maxFin)
+	}
+	for h, q := range byHost {
+		sort.Slice(q, func(i, j int) bool { return s.Start[q[i]] < s.Start[q[j]] })
+		for i := 1; i < len(q); i++ {
+			if s.Start[q[i]] < s.Finish[q[i-1]]-eps {
+				return fmt.Errorf("sim: tasks %d and %d overlap on host %d", q[i-1], q[i], h)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, p := range d.Pred(dag.TaskID(v)) {
+			arrive := s.Finish[p.Task] + rc.Net.TransferTime(p.Cost, s.Host[p.Task], s.Host[v])
+			if s.Start[v] < arrive-eps {
+				return fmt.Errorf("sim: task %d starts %v before parent %d data arrives %v",
+					v, s.Start[v], p.Task, arrive)
+			}
+		}
+	}
+	return nil
+}

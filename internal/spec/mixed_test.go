@@ -1,0 +1,71 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"rsgen/internal/platform"
+	"rsgen/internal/sword"
+	"rsgen/internal/vgdl"
+	"rsgen/internal/xrand"
+)
+
+func TestMixedParallelSpecification(t *testing.T) {
+	g := trainModels(t)
+	d := testDAG(t)
+	s, err := g.Generate(d, Options{ClockGHz: 2.4, MixedParallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.MixedParallel {
+		t.Error("MixedParallel flag not propagated")
+	}
+	// vgDL must request a ClusterOf, not a TightBag.
+	if !strings.Contains(s.VgDL, "ClusterOf") {
+		t.Errorf("mixed-parallel vgDL not a ClusterOf:\n%s", s.VgDL)
+	}
+	v, err := vgdl.Parse(s.VgDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Aggregates[0].Kind != vgdl.ClusterAgg {
+		t.Errorf("parsed aggregate kind %v", v.Aggregates[0].Kind)
+	}
+	// ClassAd carries the single-cluster marker.
+	if !strings.Contains(s.ClassAd, "WantsSingleCluster") {
+		t.Errorf("mixed-parallel ClassAd missing marker:\n%s", s.ClassAd)
+	}
+	// SWORD demands LAN-class intra-group latency (hard bound 1 ms).
+	req, err := sword.Decode(s.SwordXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat := req.Groups[0].Latency; lat == nil || lat.ReqMax > 1+1e-9 {
+		t.Errorf("mixed-parallel SWORD latency = %+v, want required ≤ 1ms", req.Groups[0].Latency)
+	}
+}
+
+func TestMixedParallelVgDLResolvesToOneCluster(t *testing.T) {
+	g := trainModels(t)
+	d := testDAG(t)
+	// Small enough to fit real clusters, slow enough clock to qualify many.
+	s, err := g.Generate(d, Options{ClockGHz: 2.0, MixedParallel: true, Threshold: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := platform.MustGenerate(platform.GenSpec{Clusters: 300, Year: 2007}, xrand.New(12))
+	v, err := vgdl.Parse(s.VgDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := vgdl.NewFinder(p).Find(v)
+	if err != nil {
+		t.Skipf("no single cluster of %d hosts on this platform: %v", s.RCSize, err)
+	}
+	c := rc.Hosts[0].Cluster
+	for _, h := range rc.Hosts {
+		if h.Cluster != c {
+			t.Fatal("mixed-parallel selection spans clusters")
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package stats provides the small numerical toolkit the prediction models
+// need: descriptive statistics, linear and bilinear interpolation, ordinary
+// least squares for lines, and the 3×3 planar least-squares solve used to fit
+// log2(knee) = a·α + b·β + c (dissertation §V.2.4).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CoefficientOfVariation returns stddev/mean, the dispersion measure the
+// dissertation reports for its repeated-DAG samples (§IV.3.2). Returns 0 when
+// the mean is 0.
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs. It panics on an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Median of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Lerp linearly interpolates between (x0,y0) and (x1,y1) at x. When x0 == x1
+// it returns y0. x outside [x0,x1] extrapolates linearly, which is what the
+// size model needs at the grid boundary.
+func Lerp(x0, y0, x1, y1, x float64) float64 {
+	if x0 == x1 {
+		return y0
+	}
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// Bracket returns the indices (i, j) of the grid values in the sorted slice
+// grid that bracket x, clamping at the ends (i == j at a boundary or exact
+// hit is allowed: callers pass both to Lerp, which handles x0 == x1).
+// It panics on an empty grid.
+func Bracket(grid []float64, x float64) (int, int) {
+	if len(grid) == 0 {
+		panic("stats: Bracket on empty grid")
+	}
+	if x <= grid[0] {
+		return 0, 0
+	}
+	last := len(grid) - 1
+	if x >= grid[last] {
+		return last, last
+	}
+	j := sort.SearchFloat64s(grid, x)
+	if grid[j] == x {
+		return j, j
+	}
+	return j - 1, j
+}
+
+// Plane is the fitted surface z = A·x + B·y + C.
+type Plane struct {
+	A, B, C float64
+}
+
+// Eval evaluates the plane at (x, y).
+func (p Plane) Eval(x, y float64) float64 { return p.A*x + p.B*y + p.C }
+
+// ErrSingular is returned when a least-squares system has no unique solution
+// (e.g. all observations share the same x or y).
+var ErrSingular = errors.New("stats: singular least-squares system")
+
+// FitPlane computes the least-squares plane through the points
+// (xs[i], ys[i], zs[i]), solving the 3×3 normal equations exactly as laid out
+// in dissertation §V.2.4. All three slices must have equal length ≥ 3.
+func FitPlane(xs, ys, zs []float64) (Plane, error) {
+	n := len(xs)
+	if n < 3 || len(ys) != n || len(zs) != n {
+		return Plane{}, errors.New("stats: FitPlane needs ≥3 equal-length samples")
+	}
+	var sxx, sxy, syy, sx, sy, szx, szy, sz float64
+	for i := 0; i < n; i++ {
+		x, y, z := xs[i], ys[i], zs[i]
+		sxx += x * x
+		sxy += x * y
+		syy += y * y
+		sx += x
+		sy += y
+		szx += z * x
+		szy += z * y
+		sz += z
+	}
+	m := [3][4]float64{
+		{sxx, sxy, sx, szx},
+		{sxy, syy, sy, szy},
+		{sx, sy, float64(n), sz},
+	}
+	sol, err := solve3(m)
+	if err != nil {
+		return Plane{}, err
+	}
+	return Plane{A: sol[0], B: sol[1], C: sol[2]}, nil
+}
+
+// solve3 solves a 3-equation linear system given as an augmented matrix,
+// using Gaussian elimination with partial pivoting.
+func solve3(m [3][4]float64) ([3]float64, error) {
+	const eps = 1e-12
+	for col := 0; col < 3; col++ {
+		// Pivot: pick the row with the largest magnitude in this column.
+		pivot := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < eps {
+			return [3]float64{}, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		// Eliminate below.
+		for r := col + 1; r < 3; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c < 4; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	var out [3]float64
+	for row := 2; row >= 0; row-- {
+		v := m[row][3]
+		for c := row + 1; c < 3; c++ {
+			v -= m[row][c] * out[c]
+		}
+		out[row] = v / m[row][row]
+	}
+	return out, nil
+}
+
+// Line is a fitted line y = Slope·x + Intercept.
+type Line struct {
+	Slope, Intercept float64
+}
+
+// Eval evaluates the line at x.
+func (l Line) Eval(x float64) float64 { return l.Slope*x + l.Intercept }
+
+// FitLine computes the ordinary-least-squares line through (xs[i], ys[i]).
+// Both slices must have equal length ≥ 2 and xs must not be constant.
+func FitLine(xs, ys []float64) (Line, error) {
+	n := len(xs)
+	if n < 2 || len(ys) != n {
+		return Line{}, errors.New("stats: FitLine needs ≥2 equal-length samples")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return Line{}, ErrSingular
+	}
+	slope := sxy / sxx
+	return Line{Slope: slope, Intercept: my - slope*mx}, nil
+}
+
+// MeanRelativeError returns mean(|pred-actual| / |actual|) over the paired
+// samples, skipping entries where actual == 0. This is the fit-quality metric
+// quoted for the planar fit (≤16% at DAG size 5000, §V.2.4).
+func MeanRelativeError(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic("stats: MeanRelativeError length mismatch")
+	}
+	var s float64
+	var n int
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		s += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDescriptive(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(xs); !almost(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := CoefficientOfVariation(xs); !almost(got, 0.4, 1e-12) {
+		t.Errorf("CV = %v, want 0.4", got)
+	}
+	if got := Min(xs); got != 2 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 9 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Median(xs); got != 4.5 {
+		t.Errorf("Median = %v, want 4.5", got)
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd Median = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Errorf("Variance singleton = %v, want 0", got)
+	}
+	if got := CoefficientOfVariation([]float64{0, 0}); got != 0 {
+		t.Errorf("CV zero-mean = %v, want 0", got)
+	}
+}
+
+func TestLerpAndBracket(t *testing.T) {
+	if got := Lerp(0, 0, 10, 100, 5); got != 50 {
+		t.Errorf("Lerp = %v, want 50", got)
+	}
+	if got := Lerp(3, 7, 3, 9, 3); got != 7 {
+		t.Errorf("degenerate Lerp = %v, want 7", got)
+	}
+	// Extrapolation beyond x1.
+	if got := Lerp(0, 0, 1, 2, 2); got != 4 {
+		t.Errorf("extrapolated Lerp = %v, want 4", got)
+	}
+	grid := []float64{1, 2, 5, 10}
+	cases := []struct {
+		x    float64
+		i, j int
+	}{
+		{0.5, 0, 0}, {1, 0, 0}, {1.5, 0, 1}, {2, 1, 1},
+		{3, 1, 2}, {7, 2, 3}, {10, 3, 3}, {99, 3, 3},
+	}
+	for _, c := range cases {
+		i, j := Bracket(grid, c.x)
+		if i != c.i || j != c.j {
+			t.Errorf("Bracket(%v) = (%d,%d), want (%d,%d)", c.x, i, j, c.i, c.j)
+		}
+	}
+}
+
+func TestFitPlaneExact(t *testing.T) {
+	// z = 2x − 3y + 5 sampled on a grid must be recovered exactly.
+	var xs, ys, zs []float64
+	for _, x := range []float64{0, 1, 2, 3} {
+		for _, y := range []float64{0, 1, 2} {
+			xs = append(xs, x)
+			ys = append(ys, y)
+			zs = append(zs, 2*x-3*y+5)
+		}
+	}
+	p, err := FitPlane(xs, ys, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p.A, 2, 1e-9) || !almost(p.B, -3, 1e-9) || !almost(p.C, 5, 1e-9) {
+		t.Errorf("plane = %+v, want {2 -3 5}", p)
+	}
+	if got := p.Eval(10, 10); !almost(got, 2*10-3*10+5, 1e-9) {
+		t.Errorf("Eval = %v", got)
+	}
+}
+
+func TestFitPlaneSingular(t *testing.T) {
+	// All x equal → no unique plane.
+	xs := []float64{1, 1, 1, 1}
+	ys := []float64{0, 1, 2, 3}
+	zs := []float64{0, 1, 2, 3}
+	if _, err := FitPlane(xs, ys, zs); err == nil {
+		t.Fatal("want singular-system error")
+	}
+	if _, err := FitPlane([]float64{1}, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("want too-few-samples error")
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	l, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(l.Slope, 2, 1e-12) || !almost(l.Intercept, 1, 1e-12) {
+		t.Errorf("line = %+v, want {2 1}", l)
+	}
+	if _, err := FitLine([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Fatal("want singular error for constant x")
+	}
+}
+
+func TestMeanRelativeError(t *testing.T) {
+	pred := []float64{110, 90, 5}
+	actual := []float64{100, 100, 0} // zero actual skipped
+	if got := MeanRelativeError(pred, actual); !almost(got, 0.1, 1e-12) {
+		t.Errorf("MRE = %v, want 0.1", got)
+	}
+}
+
+func TestPropertyPlaneFitResidualOrthogonality(t *testing.T) {
+	// For any non-degenerate sample, the least-squares residuals must be
+	// orthogonal to the regressors (normal equations hold).
+	f := func(seed int64) bool {
+		xs := make([]float64, 12)
+		ys := make([]float64, 12)
+		zs := make([]float64, 12)
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>11) / (1 << 53) * 10
+		}
+		for i := range xs {
+			xs[i], ys[i], zs[i] = next(), next(), next()
+		}
+		p, err := FitPlane(xs, ys, zs)
+		if err != nil {
+			return true // degenerate draw; fine
+		}
+		var rx, ry, r1 float64
+		for i := range xs {
+			res := zs[i] - p.Eval(xs[i], ys[i])
+			rx += res * xs[i]
+			ry += res * ys[i]
+			r1 += res
+		}
+		return almost(rx, 0, 1e-6) && almost(ry, 0, 1e-6) && almost(r1, 0, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,357 @@
+package sword
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rsgen/internal/platform"
+	"rsgen/internal/xrand"
+)
+
+// Region names, assigned from the synthetic network-coordinate space.
+var Regions = []string{"North_America", "Europe", "Asia"}
+
+// Node is one directory entry: a platform host plus the dynamic and
+// network-coordinate state SWORD queries over.
+type Node struct {
+	Host       platform.Host
+	CPULoad    float64
+	FreeMemMB  float64
+	FreeDiskMB float64
+	// X, Y are Vivaldi-style synthetic network coordinates in
+	// milliseconds: inter-node latency is the Euclidean distance.
+	X, Y   float64
+	Region string
+}
+
+// Latency returns the modeled round-trip latency in ms between two nodes.
+func (n Node) Latency(o Node) float64 {
+	if n.Host.ID == o.Host.ID {
+		return 0
+	}
+	if n.Host.Cluster == o.Host.Cluster {
+		return 0.1
+	}
+	return math.Hypot(n.X-o.X, n.Y-o.Y) + 1
+}
+
+// Directory is the queryable node population.
+type Directory struct {
+	Nodes []Node
+}
+
+// NewDirectory builds the directory from a platform: every cluster gets a
+// coordinate in a 160 ms-wide space (three longitudinal regions), every host
+// a synthetic load and free-resource state drawn from rng.
+func NewDirectory(p *platform.Platform, rng *xrand.RNG) *Directory {
+	type coord struct {
+		x, y   float64
+		region string
+	}
+	coords := make([]coord, len(p.Clusters))
+	for i := range p.Clusters {
+		x := rng.Uniform(0, 160)
+		y := rng.Uniform(0, 60)
+		region := Regions[int(x/160*float64(len(Regions)))%len(Regions)]
+		coords[i] = coord{x: x, y: y, region: region}
+	}
+	d := &Directory{Nodes: make([]Node, p.NumHosts())}
+	for i, h := range p.Hosts {
+		c := coords[h.Cluster]
+		d.Nodes[i] = Node{
+			Host:       h,
+			CPULoad:    rng.Uniform(0, 0.6),
+			FreeMemMB:  float64(h.MemoryMB) * rng.Uniform(0.3, 1),
+			FreeDiskMB: rng.Uniform(1_000, 200_000),
+			X:          c.x, Y: c.y,
+			Region: c.region,
+		}
+	}
+	return d
+}
+
+// nodePenalty scores one node against a group's per-node attributes.
+// Returns infeasible=false when any required bound is violated.
+func nodePenalty(n Node, g *Group) (float64, bool) {
+	total := 0.0
+	check := func(r *Range, v float64) bool {
+		if r == nil {
+			return true
+		}
+		p, ok := r.PenaltyFor(v)
+		if !ok {
+			return false
+		}
+		total += p
+		return true
+	}
+	if !check(g.CPULoad, n.CPULoad) {
+		return 0, false
+	}
+	if !check(g.FreeMem, n.FreeMemMB) {
+		return 0, false
+	}
+	if !check(g.FreeDisk, n.FreeDiskMB) {
+		return 0, false
+	}
+	if !check(g.Clock, n.Host.ClockGHz*1000) {
+		return 0, false
+	}
+	if g.OS != nil && g.OS.Value != "Linux" {
+		// The synthetic population is all Linux; a non-Linux demand is
+		// a mismatch paying the penalty (or infeasible at rate 0 —
+		// SWORD treats categorical mismatch with zero tolerance as a
+		// hard failure).
+		if g.OS.Penalty == 0 {
+			return 0, false
+		}
+		total += g.OS.Penalty
+	}
+	if g.Center != nil && g.Center.Value != n.Region {
+		if g.Center.Penalty == 0 {
+			return 0, false
+		}
+		total += g.Center.Penalty
+	}
+	return total, true
+}
+
+// Selection is the result of resolving a request.
+type Selection struct {
+	// Members maps group name → chosen nodes.
+	Members map[string][]Node
+	// TotalPenalty is the summed node penalties plus inter-group latency
+	// penalties.
+	TotalPenalty float64
+}
+
+// Hosts flattens the selection in group order.
+func (s *Selection) Hosts(groups []Group) []platform.Host {
+	var out []platform.Host
+	for _, g := range groups {
+		for _, n := range s.Members[g.Name] {
+			out = append(out, n.Host)
+		}
+	}
+	return out
+}
+
+// Select resolves the request: each group takes its NumMachines
+// lowest-penalty feasible nodes (intra-group latency constraints are
+// honored by preferring single-cluster placements when a latency range is
+// present), then inter-group constraints are checked and their penalties
+// accumulated. A violated required bound anywhere fails the whole request —
+// SWORD's "best effort within requirements" semantics.
+func (d *Directory) Select(req *Request) (*Selection, error) {
+	sel := &Selection{Members: map[string][]Node{}}
+	used := map[platform.HostID]bool{}
+	for gi := range req.Groups {
+		g := &req.Groups[gi]
+		nodes, penalty, err := d.selectGroup(g, used)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range nodes {
+			used[n.Host.ID] = true
+		}
+		sel.Members[g.Name] = nodes
+		sel.TotalPenalty += penalty
+	}
+	for _, c := range req.Constraints {
+		a, b, err := c.Pair()
+		if err != nil {
+			return nil, err
+		}
+		na, nb := sel.Members[a], sel.Members[b]
+		if na == nil || nb == nil {
+			return nil, fmt.Errorf("sword: constraint references unknown group in %q", c.GroupNames)
+		}
+		if c.Latency == nil {
+			continue
+		}
+		// "At least one node in each group such that the latency
+		// between that node and at least one node in the other group"
+		// satisfies the range (§II.4.3.1): use the minimum pair
+		// latency.
+		best := math.Inf(1)
+		for _, x := range na {
+			for _, y := range nb {
+				if l := x.Latency(y); l < best {
+					best = l
+				}
+			}
+		}
+		p, ok := c.Latency.PenaltyFor(best)
+		if !ok {
+			return nil, fmt.Errorf("sword: inter-group latency %0.1fms between %s and %s violates required range", best, a, b)
+		}
+		sel.TotalPenalty += p
+	}
+	return sel, nil
+}
+
+// selectGroup picks the group's nodes greedily by penalty. When the group
+// carries an intra-group latency range, candidate clusters are considered
+// whole (nodes of one cluster are mutually ~0.1 ms apart) before mixing.
+func (d *Directory) selectGroup(g *Group, used map[platform.HostID]bool) ([]Node, float64, error) {
+	var cands []scoredCand
+	for _, n := range d.Nodes {
+		if used[n.Host.ID] {
+			continue
+		}
+		p, ok := nodePenalty(n, g)
+		if !ok {
+			continue
+		}
+		cands = append(cands, scoredCand{node: n, penalty: p})
+	}
+	if len(cands) < g.NumMachines {
+		return nil, 0, fmt.Errorf("sword: group %s: only %d feasible nodes for %d machines", g.Name, len(cands), g.NumMachines)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].penalty != cands[j].penalty {
+			return cands[i].penalty < cands[j].penalty
+		}
+		return cands[i].node.Host.ID < cands[j].node.Host.ID
+	})
+	if g.Latency != nil {
+		// Prefer filling from one cluster: group by cluster and try the
+		// lowest-penalty cluster that can host the whole group.
+		byCluster := map[int][]scoredCand{}
+		for _, c := range cands {
+			byCluster[c.node.Host.Cluster] = append(byCluster[c.node.Host.Cluster], c)
+		}
+		bestCluster, bestPen := -1, math.Inf(1)
+		for cl, cs := range byCluster {
+			if len(cs) < g.NumMachines {
+				continue
+			}
+			pen := 0.0
+			for _, c := range cs[:g.NumMachines] {
+				pen += c.penalty
+			}
+			if pen < bestPen || (pen == bestPen && cl < bestCluster) {
+				bestCluster, bestPen = cl, pen
+			}
+		}
+		if bestCluster >= 0 {
+			cs := byCluster[bestCluster][:g.NumMachines]
+			nodes := make([]Node, len(cs))
+			for i, c := range cs {
+				nodes[i] = c.node
+			}
+			return nodes, bestPen, nil
+		}
+		// No single cluster fits: grow the group from the largest
+		// qualifying cluster, admitting only clusters within half the
+		// required latency of the seed's coordinate (any two admitted
+		// nodes are then pairwise within the required bound by the
+		// triangle inequality).
+		if nodes, pen, ok := d.growClusters(g, byCluster); ok {
+			return nodes, pen, nil
+		}
+		// Fall through to the global pick, verifying the latency
+		// requirement pairwise.
+	}
+	pick := cands[:g.NumMachines]
+	return d.finishPick(g, pick)
+}
+
+// pickedGroup materializes a candidate pick, verifying the intra-group
+// latency requirement pairwise when present.
+func (d *Directory) finishPick(g *Group, pick []scoredCand) ([]Node, float64, error) {
+	nodes := make([]Node, len(pick))
+	total := 0.0
+	for i, c := range pick {
+		nodes[i] = c.node
+		total += c.penalty
+	}
+	if g.Latency != nil {
+		for i := range nodes {
+			for j := i + 1; j < len(nodes); j++ {
+				p, ok := g.Latency.PenaltyFor(nodes[i].Latency(nodes[j]))
+				if !ok {
+					return nil, 0, fmt.Errorf("sword: group %s: intra-group latency requirement unsatisfiable", g.Name)
+				}
+				total += p
+			}
+		}
+	}
+	return nodes, total, nil
+}
+
+// scoredCand is one feasible node with its per-node penalty.
+type scoredCand struct {
+	node    Node
+	penalty float64
+}
+
+// growClusters fills a latency-constrained group from several clusters: the
+// seed is the qualifying cluster with the most feasible nodes; further
+// clusters are admitted in penalty order while their coordinates stay within
+// half the required latency bound of the seed (keeping every pair within the
+// bound). ok is false when the admitted clusters cannot reach NumMachines.
+func (d *Directory) growClusters(g *Group, byCluster map[int][]scoredCand) ([]Node, float64, bool) {
+	if g.Latency == nil || len(byCluster) == 0 {
+		return nil, 0, false
+	}
+	// Seed: the cluster with the most feasible nodes (ties: lowest id).
+	seed := -1
+	for cl, cs := range byCluster {
+		if seed == -1 || len(cs) > len(byCluster[seed]) || (len(cs) == len(byCluster[seed]) && cl < seed) {
+			seed = cl
+		}
+	}
+	sx, sy := byCluster[seed][0].node.X, byCluster[seed][0].node.Y
+	radius := (g.Latency.ReqMax - 1) / 2 // Latency() adds a 1 ms floor
+	if radius < 0 {
+		radius = 0
+	}
+	type clusterPick struct {
+		id   int
+		cs   []scoredCand
+		dist float64
+	}
+	var picks []clusterPick
+	for cl, cs := range byCluster {
+		dist := math.Hypot(cs[0].node.X-sx, cs[0].node.Y-sy)
+		if cl != seed && dist > radius {
+			continue
+		}
+		picks = append(picks, clusterPick{id: cl, cs: cs, dist: dist})
+	}
+	// Take nearer (then lower-penalty head) clusters first, seed first.
+	sort.Slice(picks, func(i, j int) bool {
+		if picks[i].id == seed {
+			return true
+		}
+		if picks[j].id == seed {
+			return false
+		}
+		if picks[i].dist != picks[j].dist {
+			return picks[i].dist < picks[j].dist
+		}
+		return picks[i].id < picks[j].id
+	})
+	var chosen []scoredCand
+	for _, p := range picks {
+		need := g.NumMachines - len(chosen)
+		if need <= 0 {
+			break
+		}
+		take := p.cs
+		if len(take) > need {
+			take = take[:need]
+		}
+		chosen = append(chosen, take...)
+	}
+	if len(chosen) < g.NumMachines {
+		return nil, 0, false
+	}
+	nodes, pen, err := d.finishPick(g, chosen)
+	if err != nil {
+		return nil, 0, false
+	}
+	return nodes, pen, true
+}

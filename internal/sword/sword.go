@@ -1,0 +1,244 @@
+// Package sword implements the SWORD resource-discovery substrate the
+// dissertation targets (§II.4.3): XML queries describing groups of nodes
+// with ranged per-node and inter-node attributes carrying penalty rates, and
+// a penalty-minimizing selector over a synthetic node directory with Vivaldi
+// -style 2-D network coordinates.
+//
+// Range attributes follow SWORD's five-value form
+// "reqA, desA, desB, reqB, penalty": zero penalty inside the desired
+// sub-range, a linear penalty (rate × distance) between desired and required
+// bounds, and infeasible outside the required range. MAX denotes +∞. The
+// four bounds are normalized (sorted ascending) on parse, accepting both the
+// ascending order used for bigger-is-better attributes (free_mem) and the
+// descending order the dissertation's Fig. II-4 uses for cpu_load.
+package sword
+
+import (
+	"encoding/xml"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Range is one five-value SWORD attribute constraint.
+type Range struct {
+	ReqMin, DesMin, DesMax, ReqMax float64
+	Penalty                        float64
+}
+
+// Unbounded is the parsed value of "MAX".
+var unbounded = math.Inf(1)
+
+// NewRange builds a normalized range.
+func NewRange(reqMin, desMin, desMax, reqMax, penalty float64) Range {
+	b := []float64{reqMin, desMin, desMax, reqMax}
+	sort.Float64s(b)
+	return Range{ReqMin: b[0], DesMin: b[1], DesMax: b[2], ReqMax: b[3], Penalty: penalty}
+}
+
+// AtLeast is a bigger-is-better convenience: required ≥ req, desired ≥ des.
+func AtLeast(req, des, penalty float64) Range {
+	return Range{ReqMin: req, DesMin: des, DesMax: unbounded, ReqMax: unbounded, Penalty: penalty}
+}
+
+// AtMost is a smaller-is-better convenience: required ≤ req, desired ≤ des.
+func AtMost(des, req, penalty float64) Range {
+	return Range{ReqMin: 0, DesMin: 0, DesMax: des, ReqMax: req, Penalty: penalty}
+}
+
+// PenaltyFor returns the penalty of value v, and false when v is outside the
+// required range (infeasible).
+func (r Range) PenaltyFor(v float64) (float64, bool) {
+	if v < r.ReqMin || v > r.ReqMax {
+		return 0, false
+	}
+	switch {
+	case v < r.DesMin:
+		return r.Penalty * (r.DesMin - v), true
+	case v > r.DesMax:
+		return r.Penalty * (v - r.DesMax), true
+	}
+	return 0, true
+}
+
+// MarshalText renders the five-value comma form.
+func (r Range) MarshalText() ([]byte, error) {
+	f := func(v float64) string {
+		if math.IsInf(v, 1) {
+			return "MAX"
+		}
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return []byte(fmt.Sprintf("%s, %s, %s, %s, %s",
+		f(r.ReqMin), f(r.DesMin), f(r.DesMax), f(r.ReqMax), f(r.Penalty))), nil
+}
+
+// UnmarshalText parses the five-value comma form, normalizing bound order.
+func (r *Range) UnmarshalText(text []byte) error {
+	parts := strings.Split(string(text), ",")
+	if len(parts) != 5 {
+		return fmt.Errorf("sword: range needs 5 values, got %q", text)
+	}
+	vals := make([]float64, 5)
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if strings.EqualFold(p, "MAX") {
+			vals[i] = unbounded
+			continue
+		}
+		f, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return fmt.Errorf("sword: bad range value %q: %v", p, err)
+		}
+		vals[i] = f
+	}
+	*r = NewRange(vals[0], vals[1], vals[2], vals[3], vals[4])
+	return nil
+}
+
+// ValuePenalty is a categorical attribute with a mismatch penalty, e.g.
+// <os><value>Linux, 0.0</value></os>.
+type ValuePenalty struct {
+	Value   string
+	Penalty float64
+}
+
+// MarshalText renders "Value, penalty".
+func (v ValuePenalty) MarshalText() ([]byte, error) {
+	return []byte(fmt.Sprintf("%s, %s", v.Value, strconv.FormatFloat(v.Penalty, 'f', -1, 64))), nil
+}
+
+// UnmarshalText parses "Value, penalty".
+func (v *ValuePenalty) UnmarshalText(text []byte) error {
+	parts := strings.Split(string(text), ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("sword: value/penalty needs 2 fields, got %q", text)
+	}
+	v.Value = strings.TrimSpace(parts[0])
+	f, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return fmt.Errorf("sword: bad penalty in %q: %v", text, err)
+	}
+	v.Penalty = f
+	return nil
+}
+
+// wrapped nests a text-marshalable value inside a <value> element.
+type wrapped[T any] struct {
+	Value T `xml:"value"`
+}
+
+// Group is one equivalence class of requested nodes (§II.4.3).
+type Group struct {
+	Name        string        `xml:"name"`
+	NumMachines int           `xml:"num_machines"`
+	CPULoad     *Range        `xml:"cpu_load,omitempty"`
+	FreeMem     *Range        `xml:"free_mem,omitempty"`
+	FreeDisk    *Range        `xml:"free_disk,omitempty"`
+	Latency     *Range        `xml:"latency,omitempty"`
+	Clock       *Range        `xml:"clock,omitempty"`
+	OS          *ValuePenalty `xml:"-"`
+	Center      *ValuePenalty `xml:"-"`
+}
+
+// groupXML is the wire form with nested <value> elements.
+type groupXML struct {
+	Name        string                 `xml:"name"`
+	NumMachines int                    `xml:"num_machines"`
+	CPULoad     *Range                 `xml:"cpu_load,omitempty"`
+	FreeMem     *Range                 `xml:"free_mem,omitempty"`
+	FreeDisk    *Range                 `xml:"free_disk,omitempty"`
+	Latency     *Range                 `xml:"latency,omitempty"`
+	Clock       *Range                 `xml:"clock,omitempty"`
+	OS          *wrapped[ValuePenalty] `xml:"os,omitempty"`
+	Center      *wrapped[ValuePenalty] `xml:"network_coordinate_center,omitempty"`
+}
+
+// MarshalXML implements xml.Marshaler.
+func (g Group) MarshalXML(e *xml.Encoder, start xml.StartElement) error {
+	gx := groupXML{
+		Name: g.Name, NumMachines: g.NumMachines,
+		CPULoad: g.CPULoad, FreeMem: g.FreeMem, FreeDisk: g.FreeDisk,
+		Latency: g.Latency, Clock: g.Clock,
+	}
+	if g.OS != nil {
+		gx.OS = &wrapped[ValuePenalty]{Value: *g.OS}
+	}
+	if g.Center != nil {
+		gx.Center = &wrapped[ValuePenalty]{Value: *g.Center}
+	}
+	start.Name.Local = "group"
+	return e.EncodeElement(gx, start)
+}
+
+// UnmarshalXML implements xml.Unmarshaler.
+func (g *Group) UnmarshalXML(d *xml.Decoder, start xml.StartElement) error {
+	var gx groupXML
+	if err := d.DecodeElement(&gx, &start); err != nil {
+		return err
+	}
+	g.Name, g.NumMachines = gx.Name, gx.NumMachines
+	g.CPULoad, g.FreeMem, g.FreeDisk = gx.CPULoad, gx.FreeMem, gx.FreeDisk
+	g.Latency, g.Clock = gx.Latency, gx.Clock
+	if gx.OS != nil {
+		g.OS = &gx.OS.Value
+	}
+	if gx.Center != nil {
+		g.Center = &gx.Center.Value
+	}
+	return nil
+}
+
+// Constraint is a pairwise inter-group requirement (§II.4.3.1's third
+// section): at least one node pair across the named groups must satisfy the
+// latency range.
+type Constraint struct {
+	GroupNames string `xml:"group_names"` // space-separated pair
+	Latency    *Range `xml:"latency,omitempty"`
+}
+
+// Pair splits GroupNames.
+func (c Constraint) Pair() (string, string, error) {
+	f := strings.Fields(c.GroupNames)
+	if len(f) != 2 {
+		return "", "", fmt.Errorf("sword: constraint needs 2 group names, got %q", c.GroupNames)
+	}
+	return f[0], f[1], nil
+}
+
+// Request is a full SWORD XML query.
+type Request struct {
+	XMLName         xml.Name     `xml:"request"`
+	DistQueryBudget int          `xml:"dist_query_budget,omitempty"`
+	OptimizerBudget int          `xml:"optimizer_budget,omitempty"`
+	Groups          []Group      `xml:"group"`
+	Constraints     []Constraint `xml:"constraint,omitempty"`
+}
+
+// Encode renders the request as indented XML.
+func (r *Request) Encode() (string, error) {
+	out, err := xml.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// Decode parses a SWORD XML query.
+func Decode(src string) (*Request, error) {
+	var r Request
+	if err := xml.Unmarshal([]byte(src), &r); err != nil {
+		return nil, fmt.Errorf("sword: decode: %w", err)
+	}
+	if len(r.Groups) == 0 {
+		return nil, fmt.Errorf("sword: request has no groups")
+	}
+	for i, g := range r.Groups {
+		if g.Name == "" || g.NumMachines < 1 {
+			return nil, fmt.Errorf("sword: group %d missing name or machines", i)
+		}
+	}
+	return &r, nil
+}

@@ -1,0 +1,348 @@
+package sword
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rsgen/internal/platform"
+	"rsgen/internal/xrand"
+)
+
+func TestRangePenalty(t *testing.T) {
+	r := NewRange(256, 512, math.Inf(1), math.Inf(1), 100)
+	if _, ok := r.PenaltyFor(100); ok {
+		t.Error("below required min should be infeasible")
+	}
+	if p, ok := r.PenaltyFor(300); !ok || math.Abs(p-100*(512-300)) > 1e-9 {
+		t.Errorf("penalty at 300 = %v,%v", p, ok)
+	}
+	if p, ok := r.PenaltyFor(512); !ok || p != 0 {
+		t.Errorf("penalty at desired = %v,%v", p, ok)
+	}
+	if p, ok := r.PenaltyFor(1e9); !ok || p != 0 {
+		t.Errorf("penalty above desired min (unbounded max) = %v,%v", p, ok)
+	}
+	// Smaller-is-better attribute (cpu_load style).
+	load := AtMost(0.1, 0.5, 2)
+	if p, ok := load.PenaltyFor(0.05); !ok || p != 0 {
+		t.Errorf("low load penalized: %v,%v", p, ok)
+	}
+	if p, ok := load.PenaltyFor(0.3); !ok || math.Abs(p-2*0.2) > 1e-9 {
+		t.Errorf("mid load penalty = %v,%v", p, ok)
+	}
+	if _, ok := load.PenaltyFor(0.9); ok {
+		t.Error("overloaded node feasible")
+	}
+}
+
+func TestRangeTextRoundTrip(t *testing.T) {
+	var r Range
+	if err := r.UnmarshalText([]byte("256.0, 512.0, MAX, MAX, 100.0")); err != nil {
+		t.Fatal(err)
+	}
+	if r.ReqMin != 256 || r.DesMin != 512 || !math.IsInf(r.DesMax, 1) || r.Penalty != 100 {
+		t.Errorf("parsed = %+v", r)
+	}
+	out, err := r.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again Range
+	if err := again.UnmarshalText(out); err != nil {
+		t.Fatal(err)
+	}
+	if again != r {
+		t.Errorf("round trip changed: %+v vs %+v", again, r)
+	}
+	// Descending order (Fig. II-4's cpu_load) normalizes.
+	var load Range
+	if err := load.UnmarshalText([]byte("0.5, 0.1, 0.1, 0.0, 0.0")); err != nil {
+		t.Fatal(err)
+	}
+	if load.ReqMin != 0 || load.ReqMax != 0.5 {
+		t.Errorf("normalization failed: %+v", load)
+	}
+	// Errors.
+	if err := load.UnmarshalText([]byte("1, 2, 3")); err == nil {
+		t.Error("short tuple accepted")
+	}
+	if err := load.UnmarshalText([]byte("1, 2, x, 4, 5")); err == nil {
+		t.Error("non-numeric accepted")
+	}
+}
+
+// figII4 is the dissertation's sample SWORD query, lightly reduced.
+const figII4 = `<request>
+  <dist_query_budget>30</dist_query_budget>
+  <optimizer_budget>100</optimizer_budget>
+  <group>
+    <name>Cluster_NA</name>
+    <num_machines>5</num_machines>
+    <cpu_load>0.5, 0.1, 0.1, 0.0, 0.0</cpu_load>
+    <free_mem>256.0, 512.0, MAX, MAX, 100.0</free_mem>
+    <free_disk>500.0, 1000.0, MAX, MAX, 5.0</free_disk>
+    <latency>0.0, 0.0, 10.0, 20.0, 0.5</latency>
+    <os>
+      <value>Linux, 0.0</value>
+    </os>
+    <network_coordinate_center>
+      <value>North_America, 0.0</value>
+    </network_coordinate_center>
+  </group>
+  <group>
+    <name>Cluster_Europe</name>
+    <num_machines>5</num_machines>
+    <free_mem>256.0, 512.0, MAX, MAX, 100.0</free_mem>
+    <os>
+      <value>Linux, 0.0</value>
+    </os>
+    <network_coordinate_center>
+      <value>Europe, 0.0</value>
+    </network_coordinate_center>
+  </group>
+  <constraint>
+    <group_names>Cluster_NA Cluster_Europe</group_names>
+    <latency>0.0, 0.0, 50.0, 100.0, 0.5</latency>
+  </constraint>
+</request>`
+
+func TestDecodeFigII4(t *testing.T) {
+	req, err := Decode(figII4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.DistQueryBudget != 30 || req.OptimizerBudget != 100 {
+		t.Errorf("budgets = %d, %d", req.DistQueryBudget, req.OptimizerBudget)
+	}
+	if len(req.Groups) != 2 || len(req.Constraints) != 1 {
+		t.Fatalf("groups=%d constraints=%d", len(req.Groups), len(req.Constraints))
+	}
+	g := req.Groups[0]
+	if g.Name != "Cluster_NA" || g.NumMachines != 5 {
+		t.Errorf("group = %+v", g)
+	}
+	if g.OS == nil || g.OS.Value != "Linux" {
+		t.Errorf("os = %+v", g.OS)
+	}
+	if g.Center == nil || g.Center.Value != "North_America" {
+		t.Errorf("center = %+v", g.Center)
+	}
+	if g.FreeMem == nil || g.FreeMem.DesMin != 512 {
+		t.Errorf("free_mem = %+v", g.FreeMem)
+	}
+	a, b, err := req.Constraints[0].Pair()
+	if err != nil || a != "Cluster_NA" || b != "Cluster_Europe" {
+		t.Errorf("pair = %q, %q, %v", a, b, err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	req, err := Decode(figII4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := req.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<request>", "<group>", "num_machines", "network_coordinate_center", "MAX"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("encoding missing %q:\n%s", want, out)
+		}
+	}
+	again, err := Decode(out)
+	if err != nil {
+		t.Fatalf("re-decode: %v\n%s", err, out)
+	}
+	if len(again.Groups) != 2 || again.Groups[0].FreeMem.DesMin != 512 {
+		t.Errorf("round trip changed request")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode("<request></request>"); err == nil {
+		t.Error("empty request accepted")
+	}
+	if _, err := Decode("not xml"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Decode("<request><group><name>x</name><num_machines>0</num_machines></group></request>"); err == nil {
+		t.Error("zero machines accepted")
+	}
+}
+
+func testDirectory(t *testing.T) *Directory {
+	t.Helper()
+	p := platform.MustGenerate(platform.GenSpec{Clusters: 60, Year: 2006}, xrand.New(10))
+	return NewDirectory(p, xrand.New(11))
+}
+
+func TestSelectSimpleGroup(t *testing.T) {
+	d := testDirectory(t)
+	req := &Request{Groups: []Group{{
+		Name:        "workers",
+		NumMachines: 8,
+		FreeMem:     ptr(AtLeast(256, 512, 100)),
+		CPULoad:     ptr(AtMost(0.1, 0.7, 1)),
+	}}}
+	sel, err := d.Select(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := sel.Members["workers"]
+	if len(nodes) != 8 {
+		t.Fatalf("selected %d nodes", len(nodes))
+	}
+	for _, n := range nodes {
+		if n.FreeMemMB < 256 || n.CPULoad > 0.7 {
+			t.Errorf("infeasible node selected: %+v", n)
+		}
+	}
+	if sel.TotalPenalty < 0 {
+		t.Errorf("negative penalty %v", sel.TotalPenalty)
+	}
+	hosts := sel.Hosts(req.Groups)
+	if len(hosts) != 8 {
+		t.Errorf("Hosts() returned %d", len(hosts))
+	}
+}
+
+func TestSelectPrefersLowPenalty(t *testing.T) {
+	d := testDirectory(t)
+	// Demand high free memory with a steep penalty: chosen nodes must be
+	// at the top of the feasible population.
+	req := &Request{Groups: []Group{{
+		Name:        "mem",
+		NumMachines: 4,
+		FreeMem:     ptr(AtLeast(100, 4000, 10)),
+	}}}
+	sel, err := d.Select(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen := sel.Members["mem"]
+	minChosen := math.Inf(1)
+	for _, n := range chosen {
+		minChosen = math.Min(minChosen, n.FreeMemMB)
+	}
+	// No unchosen feasible node may have strictly more memory than the
+	// worst chosen one (greedy penalty order ⇒ memory order here).
+	picked := map[platform.HostID]bool{}
+	for _, n := range chosen {
+		picked[n.Host.ID] = true
+	}
+	for _, n := range d.Nodes {
+		if picked[n.Host.ID] {
+			continue
+		}
+		if n.FreeMemMB > minChosen+1e-9 && n.FreeMemMB < 4000 {
+			// Only a violation if this node's penalty is lower.
+			if (4000-n.FreeMemMB)*10 < (4000-minChosen)*10-1e-9 {
+				t.Fatalf("node with %v MB skipped while %v MB chosen", n.FreeMemMB, minChosen)
+			}
+		}
+	}
+}
+
+func TestSelectIntraGroupLatencyPrefersOneCluster(t *testing.T) {
+	d := testDirectory(t)
+	req := &Request{Groups: []Group{{
+		Name:        "tight",
+		NumMachines: 4,
+		Latency:     ptr(NewRange(0, 0, 10, 20, 0.5)),
+	}}}
+	sel, err := d.Select(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := sel.Members["tight"]
+	c := nodes[0].Host.Cluster
+	for _, n := range nodes {
+		if n.Host.Cluster != c {
+			t.Fatalf("latency-constrained group spans clusters")
+		}
+	}
+}
+
+func TestSelectInfeasible(t *testing.T) {
+	d := testDirectory(t)
+	req := &Request{Groups: []Group{{
+		Name:        "impossible",
+		NumMachines: 3,
+		Clock:       ptr(AtLeast(99000, 99000, 0)),
+	}}}
+	if _, err := d.Select(req); err == nil {
+		t.Error("impossible clock satisfied")
+	}
+	// More machines than exist.
+	req2 := &Request{Groups: []Group{{Name: "huge", NumMachines: 10_000_000}}}
+	if _, err := d.Select(req2); err == nil {
+		t.Error("oversized group satisfied")
+	}
+}
+
+func TestSelectInterGroupConstraint(t *testing.T) {
+	d := testDirectory(t)
+	req := &Request{
+		Groups: []Group{
+			{Name: "a", NumMachines: 3},
+			{Name: "b", NumMachines: 3},
+		},
+		Constraints: []Constraint{{
+			GroupNames: "a b",
+			Latency:    ptr(NewRange(0, 0, 500, 1000, 0.1)),
+		}},
+	}
+	sel, err := d.Select(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Members["a"]) != 3 || len(sel.Members["b"]) != 3 {
+		t.Error("groups incomplete")
+	}
+	// Unknown group in constraint.
+	req.Constraints[0].GroupNames = "a zzz"
+	if _, err := d.Select(req); err == nil {
+		t.Error("unknown constraint group accepted")
+	}
+	req.Constraints[0].GroupNames = "only_one"
+	if _, err := d.Select(req); err == nil {
+		t.Error("malformed pair accepted")
+	}
+}
+
+func TestDirectoryRegions(t *testing.T) {
+	d := testDirectory(t)
+	seen := map[string]bool{}
+	for _, n := range d.Nodes {
+		seen[n.Region] = true
+		if n.Latency(n) != 0 {
+			t.Fatal("self latency nonzero")
+		}
+	}
+	if len(seen) < 2 {
+		t.Errorf("only %d regions populated", len(seen))
+	}
+	// Same-cluster latency is the LAN constant.
+	var a, b *Node
+	for i := range d.Nodes {
+		for j := i + 1; j < len(d.Nodes); j++ {
+			if d.Nodes[i].Host.Cluster == d.Nodes[j].Host.Cluster {
+				a, b = &d.Nodes[i], &d.Nodes[j]
+				break
+			}
+		}
+		if a != nil {
+			break
+		}
+	}
+	if a == nil {
+		t.Skip("no co-located pair")
+	}
+	if got := a.Latency(*b); got != 0.1 {
+		t.Errorf("intra-cluster latency = %v", got)
+	}
+}
+
+func ptr(r Range) *Range { return &r }

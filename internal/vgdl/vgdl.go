@@ -1,0 +1,408 @@
+// Package vgdl implements the Virtual Grid Description Language subset the
+// dissertation uses (§II.4.1.1): resource aggregates — LooseBag, TightBag,
+// Cluster — with node-count ranges, attribute constraints (Clock, Memory,
+// Processor), and rank functions; a parser and generator for the concrete
+// syntax of Figs. II-1/IV-4/VII-5; and a vgES-style finder ("vgFAB") that
+// resolves specifications against a synthetic platform into resource
+// collections.
+package vgdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// AggregateKind is the vgDL resource-aggregate taxonomy (§II.4.1.1).
+type AggregateKind int
+
+// The three aggregate kinds, distinguished by homogeneity and connectivity.
+const (
+	// LooseBag: heterogeneous nodes, possibly poor connectivity.
+	LooseBag AggregateKind = iota
+	// TightBag: heterogeneous nodes with good connectivity.
+	TightBag
+	// ClusterAgg: well-connected nodes with (nearly) identical attributes.
+	ClusterAgg
+)
+
+// String returns the vgDL keyword for the kind.
+func (k AggregateKind) String() string {
+	switch k {
+	case LooseBag:
+		return "LooseBagOf"
+	case TightBag:
+		return "TightBagOf"
+	case ClusterAgg:
+		return "ClusterOf"
+	}
+	return "UnknownAggregate"
+}
+
+// Constraint is one attribute comparison inside a node definition, e.g.
+// Clock >= 3000 (MHz) or Processor == Opteron.
+type Constraint struct {
+	Attr  string // Clock (MHz) | Memory (MB) | Processor
+	Op    string // == | != | >= | <= | > | <
+	Value string // numeric literal or identifier
+}
+
+// Num returns the numeric value of the constraint's right-hand side.
+func (c Constraint) Num() (float64, bool) {
+	f, err := strconv.ParseFloat(c.Value, 64)
+	return f, err == nil
+}
+
+func (c Constraint) String() string {
+	return fmt.Sprintf("(%s%s%s)", c.Attr, c.Op, c.Value)
+}
+
+// Aggregate is one resource aggregate request.
+type Aggregate struct {
+	Kind AggregateKind
+	// NodeVar is the node-set variable name (e.g. "nodes").
+	NodeVar string
+	// Min and Max bound the node count ([min:max]).
+	Min, Max int
+	// Rank is the optional ranking attribute ("Nodes" favors bigger
+	// aggregates, "Clock" faster ones); empty means unranked.
+	Rank string
+	// Constraints all must hold for each node.
+	Constraints []Constraint
+}
+
+// Spec is a full vgDL specification: one or more aggregates (juxtaposed
+// aggregates are implicitly "close to" each other in vgDL's qualitative
+// network-proximity model).
+type Spec struct {
+	// Name is the VG variable name (conventionally "VG").
+	Name string
+	// Aggregates in declaration order.
+	Aggregates []Aggregate
+}
+
+// Validate checks structural sanity.
+func (s *Spec) Validate() error {
+	if len(s.Aggregates) == 0 {
+		return fmt.Errorf("vgdl: specification has no aggregates")
+	}
+	for i, a := range s.Aggregates {
+		if a.Min < 1 || a.Max < a.Min {
+			return fmt.Errorf("vgdl: aggregate %d has invalid range [%d:%d]", i, a.Min, a.Max)
+		}
+		if a.NodeVar == "" {
+			return fmt.Errorf("vgdl: aggregate %d has no node variable", i)
+		}
+		for _, c := range a.Constraints {
+			switch c.Op {
+			case "==", "!=", ">=", "<=", ">", "<":
+			default:
+				return fmt.Errorf("vgdl: aggregate %d has invalid operator %q", i, c.Op)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the specification in the dissertation's concrete syntax:
+//
+//	VG = TightBagOf(nodes) [500:2633]
+//	  [rank = Nodes] {
+//	    nodes = [ (Clock>=3000) && (Memory>=1024) ]
+//	  }
+func (s *Spec) String() string {
+	var b strings.Builder
+	name := s.Name
+	if name == "" {
+		name = "VG"
+	}
+	fmt.Fprintf(&b, "%s =\n", name)
+	for i, a := range s.Aggregates {
+		if i > 0 {
+			b.WriteString("  CloseTo\n")
+		}
+		fmt.Fprintf(&b, "  %s(%s) [%d:%d]\n", a.Kind, a.NodeVar, a.Min, a.Max)
+		if a.Rank != "" {
+			fmt.Fprintf(&b, "  [rank = %s]\n", a.Rank)
+		}
+		b.WriteString("  {\n")
+		if len(a.Constraints) == 0 {
+			fmt.Fprintf(&b, "    %s = [ true ]\n", a.NodeVar)
+		} else {
+			parts := make([]string, len(a.Constraints))
+			for j, c := range a.Constraints {
+				parts[j] = c.String()
+			}
+			fmt.Fprintf(&b, "    %s = [ %s ]\n", a.NodeVar, strings.Join(parts, " && "))
+		}
+		b.WriteString("  }\n")
+	}
+	return b.String()
+}
+
+// Parse parses a vgDL specification in the concrete syntax produced by
+// (*Spec).String and used throughout the dissertation's figures.
+func Parse(src string) (*Spec, error) {
+	p := &vparser{src: src}
+	return p.parseSpec()
+}
+
+type vparser struct {
+	src string
+	pos int
+}
+
+func (p *vparser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("vgdl: offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *vparser) skip() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/' {
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (p *vparser) accept(s string) bool {
+	p.skip()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *vparser) expect(s string) error {
+	if !p.accept(s) {
+		return p.errorf("expected %q", s)
+	}
+	return nil
+}
+
+func (p *vparser) ident() (string, error) {
+	p.skip()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errorf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *vparser) number() (int, error) {
+	p.skip()
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, p.errorf("expected number")
+	}
+	n, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil {
+		return 0, p.errorf("bad number: %v", err)
+	}
+	return n, nil
+}
+
+func (p *vparser) parseSpec() (*Spec, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	spec := &Spec{Name: name}
+	for {
+		agg, err := p.parseAggregate()
+		if err != nil {
+			return nil, err
+		}
+		spec.Aggregates = append(spec.Aggregates, *agg)
+		p.skip()
+		if p.accept("CloseTo") {
+			continue
+		}
+		if p.pos >= len(p.src) {
+			break
+		}
+		// Juxtaposed aggregate (Fig. II-1 style)?
+		save := p.pos
+		if _, err := p.ident(); err == nil && p.accept("(") {
+			p.pos = save
+			continue
+		}
+		p.pos = save
+		return nil, p.errorf("trailing input after specification")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+func (p *vparser) parseAggregate() (*Aggregate, error) {
+	kw, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	var kind AggregateKind
+	switch kw {
+	case "LooseBagOf":
+		kind = LooseBag
+	case "TightBagOf":
+		kind = TightBag
+	case "ClusterOf":
+		kind = ClusterAgg
+	default:
+		return nil, p.errorf("unknown aggregate kind %q", kw)
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	nodeVar, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	min, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	max, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	agg := &Aggregate{Kind: kind, NodeVar: nodeVar, Min: min, Max: max}
+	// Optional [rank = X].
+	save := p.pos
+	if p.accept("[") {
+		if p.accept("rank") {
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			r, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			agg.Rank = r
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		} else {
+			p.pos = save
+		}
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	// nodeVar = [ constraints ]
+	nv, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if nv != agg.NodeVar {
+		return nil, p.errorf("node definition %q does not match aggregate variable %q", nv, agg.NodeVar)
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	if err := p.parseConstraints(agg); err != nil {
+		return nil, err
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+func (p *vparser) parseConstraints(agg *Aggregate) error {
+	for {
+		p.skip()
+		paren := p.accept("(")
+		p.skip()
+		if p.accept("true") {
+			if paren {
+				if err := p.expect(")"); err != nil {
+					return err
+				}
+			}
+		} else {
+			attr, err := p.ident()
+			if err != nil {
+				return err
+			}
+			var op string
+			for _, o := range []string{"==", "!=", ">=", "<=", ">", "<"} {
+				if p.accept(o) {
+					op = o
+					break
+				}
+			}
+			if op == "" {
+				return p.errorf("expected comparison operator after %s", attr)
+			}
+			p.skip()
+			start := p.pos
+			for p.pos < len(p.src) {
+				c := rune(p.src[p.pos])
+				if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '.' || c == '_' {
+					p.pos++
+					continue
+				}
+				break
+			}
+			if p.pos == start {
+				return p.errorf("expected constraint value")
+			}
+			agg.Constraints = append(agg.Constraints, Constraint{
+				Attr: attr, Op: op, Value: p.src[start:p.pos],
+			})
+			if paren {
+				if err := p.expect(")"); err != nil {
+					return err
+				}
+			}
+		}
+		if p.accept("&&") {
+			continue
+		}
+		return nil
+	}
+}

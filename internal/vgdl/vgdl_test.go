@@ -1,0 +1,306 @@
+package vgdl
+
+import (
+	"strings"
+	"testing"
+
+	"rsgen/internal/platform"
+	"rsgen/internal/xrand"
+)
+
+const figIV4 = `VG = TightBagOf(nodes) [500:2633]
+[rank = Nodes] {
+  nodes = [ (Clock>=3000) ]
+}`
+
+const figII1 = `VG =
+  ClusterOf(nodes) [32:64]
+  {
+    nodes = [(Processor==Opteron) && (Clock>=2000) && (Memory>=1024)]
+  }
+  TightBagOf(nodes2) [32:128]
+  {
+    nodes2 = [Clock>=1000]
+  }`
+
+func TestParseFigIV4(t *testing.T) {
+	spec, err := Parse(figIV4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "VG" || len(spec.Aggregates) != 1 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	a := spec.Aggregates[0]
+	if a.Kind != TightBag || a.NodeVar != "nodes" || a.Min != 500 || a.Max != 2633 {
+		t.Errorf("aggregate = %+v", a)
+	}
+	if a.Rank != "Nodes" {
+		t.Errorf("rank = %q", a.Rank)
+	}
+	if len(a.Constraints) != 1 || a.Constraints[0] != (Constraint{Attr: "Clock", Op: ">=", Value: "3000"}) {
+		t.Errorf("constraints = %+v", a.Constraints)
+	}
+}
+
+func TestParseFigII1TwoAggregates(t *testing.T) {
+	spec, err := Parse(figII1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Aggregates) != 2 {
+		t.Fatalf("aggregates = %d, want 2", len(spec.Aggregates))
+	}
+	c := spec.Aggregates[0]
+	if c.Kind != ClusterAgg || c.Min != 32 || c.Max != 64 || len(c.Constraints) != 3 {
+		t.Errorf("cluster aggregate = %+v", c)
+	}
+	tb := spec.Aggregates[1]
+	if tb.Kind != TightBag || tb.NodeVar != "nodes2" || tb.Min != 32 || tb.Max != 128 {
+		t.Errorf("tightbag aggregate = %+v", tb)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	spec, err := Parse(figII1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(spec.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", spec.String(), err)
+	}
+	if len(again.Aggregates) != len(spec.Aggregates) {
+		t.Fatalf("round trip changed aggregate count")
+	}
+	for i := range spec.Aggregates {
+		a, b := spec.Aggregates[i], again.Aggregates[i]
+		if a.Kind != b.Kind || a.Min != b.Min || a.Max != b.Max || a.Rank != b.Rank ||
+			len(a.Constraints) != len(b.Constraints) {
+			t.Errorf("aggregate %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"VG =",
+		"VG = WeirdBagOf(n) [1:2] { n = [true] }",
+		"VG = TightBagOf(n) [5:2] { n = [true] }",     // min > max
+		"VG = TightBagOf(n) [1:2] { m = [true] }",     // var mismatch
+		"VG = TightBagOf(n) [1:2] { n = [Clock 3] }",  // missing op
+		"VG = TightBagOf(n) [1:2] { n = [Clock>=] }",  // missing value
+		"VG = TightBagOf(n) [1:2] { n = [true] } huh", // trailing garbage
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := &Spec{Aggregates: []Aggregate{{Kind: TightBag, NodeVar: "n", Min: 1, Max: 5}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	for _, bad := range []*Spec{
+		{},
+		{Aggregates: []Aggregate{{Kind: TightBag, NodeVar: "n", Min: 0, Max: 5}}},
+		{Aggregates: []Aggregate{{Kind: TightBag, NodeVar: "", Min: 1, Max: 5}}},
+		{Aggregates: []Aggregate{{Kind: TightBag, NodeVar: "n", Min: 1, Max: 5,
+			Constraints: []Constraint{{Attr: "Clock", Op: "~~", Value: "1"}}}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid spec %+v accepted", bad)
+		}
+	}
+}
+
+func genPlatform(t *testing.T) *platform.Platform {
+	t.Helper()
+	return platform.MustGenerate(platform.GenSpec{Clusters: 80, Year: 2006}, xrand.New(42))
+}
+
+func TestFinderTightBag(t *testing.T) {
+	p := genPlatform(t)
+	spec, err := Parse(`VG = TightBagOf(nodes) [10:200]
+[rank = Nodes] {
+  nodes = [ (Clock>=2400) ]
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewFinder(p).Find(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Size() < 10 || rc.Size() > 200 {
+		t.Fatalf("RC size %d outside [10:200]", rc.Size())
+	}
+	for _, h := range rc.Hosts {
+		if h.ClockGHz*1000 < 2400 {
+			t.Errorf("host clock %v below constraint", h.ClockGHz)
+		}
+	}
+}
+
+func TestFinderClusterAggregate(t *testing.T) {
+	p := genPlatform(t)
+	spec, err := Parse(`VG = ClusterOf(nodes) [4:32]
+{
+  nodes = [ (Clock>=2000) && (Memory>=512) ]
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewFinder(p).Find(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All hosts from one physical cluster.
+	c := rc.Hosts[0].Cluster
+	for _, h := range rc.Hosts {
+		if h.Cluster != c {
+			t.Fatalf("cluster aggregate spans clusters %d and %d", c, h.Cluster)
+		}
+	}
+	if rc.Size() < 4 || rc.Size() > 32 {
+		t.Errorf("cluster RC size %d", rc.Size())
+	}
+}
+
+func TestFinderRankClockPrefersFast(t *testing.T) {
+	p := genPlatform(t)
+	fast, err := Parse(`VG = LooseBagOf(n) [1:10] [rank = Clock] { n = [ Clock>=1000 ] }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewFinder(p).Find(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxClock := 0.0
+	for _, h := range p.Hosts {
+		if h.ClockGHz > maxClock {
+			maxClock = h.ClockGHz
+		}
+	}
+	if rc.Hosts[0].ClockGHz != maxClock {
+		t.Errorf("rank=Clock picked %v, platform max %v", rc.Hosts[0].ClockGHz, maxClock)
+	}
+}
+
+func TestFinderUnsatisfiable(t *testing.T) {
+	p := genPlatform(t)
+	spec, err := Parse(`VG = TightBagOf(n) [10:20] { n = [ Clock>=99000 ] }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFinder(p).Find(spec); err == nil {
+		t.Error("impossible clock constraint satisfied")
+	}
+	huge, err := Parse(`VG = ClusterOf(n) [100000:200000] { n = [ true ] }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFinder(p).Find(huge); err == nil {
+		t.Error("oversized cluster request satisfied")
+	}
+}
+
+func TestFinderTwoAggregatesDisjoint(t *testing.T) {
+	p := genPlatform(t)
+	spec, err := Parse(figII1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewFinder(p).Find(spec)
+	if err != nil {
+		t.Skipf("platform cannot satisfy both aggregates: %v", err)
+	}
+	seen := map[platform.HostID]bool{}
+	for _, h := range rc.Hosts {
+		if seen[h.ID] {
+			t.Fatalf("host %d selected twice across aggregates", h.ID)
+		}
+		seen[h.ID] = true
+	}
+}
+
+func TestSpecStringContainsSyntax(t *testing.T) {
+	spec := &Spec{Aggregates: []Aggregate{{
+		Kind: TightBag, NodeVar: "nodes", Min: 500, Max: 2633, Rank: "Nodes",
+		Constraints: []Constraint{{Attr: "Clock", Op: ">=", Value: "3000"}},
+	}}}
+	s := spec.String()
+	for _, want := range []string{"TightBagOf(nodes)", "[500:2633]", "[rank = Nodes]", "(Clock>=3000)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFinderProximityBetweenAggregates(t *testing.T) {
+	p := genPlatform(t)
+	spec, err := Parse(`VG =
+  TightBagOf(a) [4:16]
+  {
+    a = [ Clock>=2000 ]
+  }
+  CloseTo
+  LooseBagOf(b) [4:16]
+  {
+    b = [ Clock>=1000 ]
+  }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFinder(p)
+	rc, err := f.Find(spec)
+	if err != nil {
+		t.Skipf("platform cannot satisfy both aggregates: %v", err)
+	}
+	// Every cluster of the second aggregate must reach every cluster of
+	// the first at the tight bandwidth or better.
+	firstClusters := map[int]bool{}
+	for _, h := range rc.Hosts[:16] { // first aggregate comes first
+		firstClusters[h.Cluster] = true
+	}
+	for _, h := range rc.Hosts {
+		for a := range firstClusters {
+			if h.Cluster == a {
+				continue
+			}
+			bw := p.Bandwidth(p.Clusters[a].FirstHost, p.Clusters[h.Cluster].FirstHost)
+			if bw < f.TightBandwidthMbps {
+				t.Fatalf("cluster %d only %v Mb/s from anchor %d", h.Cluster, bw, a)
+			}
+		}
+	}
+}
+
+func TestFinderExclusion(t *testing.T) {
+	p := genPlatform(t)
+	spec, err := Parse(`VG = TightBagOf(n) [1:4] [rank = Nodes] { n = [ Clock>=1000 ] }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFinder(p)
+	rc, err := f.Find(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banned := rc.Hosts[0].Cluster
+	f.Exclude(banned)
+	rc2, err := f.Find(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range rc2.Hosts {
+		if h.Cluster == banned {
+			t.Fatalf("excluded cluster %d still selected", banned)
+		}
+	}
+}

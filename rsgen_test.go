@@ -1,0 +1,144 @@
+package rsgen_test
+
+import (
+	"strings"
+	"testing"
+
+	"rsgen"
+)
+
+// TestEndToEnd exercises the full public API path a downstream user follows:
+// build a workflow, train models, generate a specification, resolve it
+// against all three selector substrates, schedule with the predicted
+// heuristic, and independently validate and replay the schedule.
+func TestEndToEnd(t *testing.T) {
+	d, err := rsgen.GenerateDAG(rsgen.DAGSpec{
+		Size: 300, CCR: 0.1, Parallelism: 0.6, Density: 0.5, Regularity: 0.5, MeanCost: 40,
+	}, rsgen.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := rsgen.QuickGenerator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := gen.Generate(d, rsgen.Options{ClockGHz: 2.4, HeterogeneityTolerance: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RCSize < 1 || s.RCSize > d.Width() {
+		t.Fatalf("RC size %d outside [1, %d]", s.RCSize, d.Width())
+	}
+
+	p, err := rsgen.GeneratePlatform(rsgen.PlatformSpec{Clusters: 150, Year: 2007}, rsgen.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heuristic, err := rsgen.HeuristicByName(s.Heuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resolve := []struct {
+		name string
+		rc   func() (*rsgen.ResourceCollection, error)
+	}{
+		{"vgdl", func() (*rsgen.ResourceCollection, error) { return rsgen.ResolveVgDL(p, s.VgDL) }},
+		{"classad", func() (*rsgen.ResourceCollection, error) { return rsgen.MatchClassAd(p, s.ClassAd, s.RCSize) }},
+		{"sword", func() (*rsgen.ResourceCollection, error) { return rsgen.SelectSword(p, s.SwordXML, 8) }},
+	}
+	for _, r := range resolve {
+		rc, err := r.rc()
+		if err != nil {
+			t.Fatalf("%s selection failed: %v", r.name, err)
+		}
+		if rc.Size() == 0 {
+			t.Fatalf("%s returned an empty collection", r.name)
+		}
+		// Every returned host must satisfy the clock floor.
+		for _, h := range rc.Hosts {
+			if h.ClockGHz < s.MinClockGHz-1e-9 {
+				t.Fatalf("%s returned a %.2f GHz host below floor %.2f", r.name, h.ClockGHz, s.MinClockGHz)
+			}
+		}
+		sched, err := heuristic.Schedule(d, rc)
+		if err != nil {
+			t.Fatalf("%s: scheduling failed: %v", r.name, err)
+		}
+		if err := rsgen.ValidateSchedule(d, rc, sched); err != nil {
+			t.Fatalf("%s: invalid schedule: %v", r.name, err)
+		}
+		res, err := rsgen.ExecuteSchedule(d, rc, sched)
+		if err != nil {
+			t.Fatalf("%s: replay failed: %v", r.name, err)
+		}
+		if res.Makespan > sched.Makespan+1e-6 {
+			t.Fatalf("%s: replay makespan %v exceeds claimed %v", r.name, res.Makespan, sched.Makespan)
+		}
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if len(rsgen.Heuristics()) != 5 {
+		t.Errorf("Heuristics() returned %d", len(rsgen.Heuristics()))
+	}
+	if _, err := rsgen.HeuristicByName("bogus"); err == nil {
+		t.Error("bogus heuristic accepted")
+	}
+	m, err := rsgen.Montage4469(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 4469 {
+		t.Errorf("Montage4469 size %d", m.Size())
+	}
+	if got := rsgen.SchedulingTime(0, 1); got != 0 {
+		t.Errorf("SchedulingTime(0) = %v", got)
+	}
+	if rc := rsgen.HeterogeneousRC(10, 2.8, 0.2, 1000, rsgen.NewRNG(1)); rc.Size() != 10 {
+		t.Errorf("HeterogeneousRC size %d", rc.Size())
+	}
+	if _, err := rsgen.NewDAG(nil, nil); err == nil {
+		t.Error("empty NewDAG accepted")
+	}
+	if _, err := rsgen.ResolveVgDL(nil, "not vgdl"); err == nil {
+		t.Error("garbage vgDL accepted")
+	}
+	if _, err := rsgen.MatchClassAd(nil, "not an ad", 1); err == nil {
+		t.Error("garbage ClassAd accepted")
+	}
+	if _, err := rsgen.SelectSword(nil, "not xml", 1); err == nil {
+		t.Error("garbage SWORD XML accepted")
+	}
+}
+
+func TestDefaultTrainConfigIsPaperGrid(t *testing.T) {
+	cfg := rsgen.DefaultSizeTrainConfig()
+	if len(cfg.Sizes) != 5 || cfg.Sizes[4] != 10000 || cfg.Reps != 10 {
+		t.Errorf("default grid is not Table V-1: %+v", cfg)
+	}
+}
+
+func TestSpecificationLanguagesNonEmpty(t *testing.T) {
+	gen, err := rsgen.QuickGenerator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := rsgen.Montage1629(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := gen.Generate(d, rsgen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.VgDL, "TightBagOf") {
+		t.Error("vgDL missing aggregate")
+	}
+	if !strings.Contains(s.ClassAd, "MachineCount") {
+		t.Error("ClassAd missing MachineCount")
+	}
+	if !strings.Contains(s.SwordXML, "<request>") {
+		t.Error("SWORD XML missing request element")
+	}
+}
