@@ -154,9 +154,48 @@ func BenchmarkScheduleMCPUniverse(b *testing.B) {
 func BenchmarkKneeSweep(b *testing.B) {
 	d := benchDAG(b, 500)
 	dags := []*rsgen.DAG{d}
+	// NoCache: with memoization on, every iteration after the first would
+	// be a pure cache hit and the benchmark would measure map lookups.
+	cfg := rsgen.SweepConfig{NoCache: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := rsgen.SweepTurnAround(dags, rsgen.SweepConfig{}); err != nil {
+		if _, err := rsgen.SweepTurnAround(dags, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalPool compares the serial evaluation path against the worker
+// pool on the same knee sweep. On a multi-core machine the pooled variant
+// should approach a GOMAXPROCS-fold speedup (the sweep's points are
+// independent); on a single core it measures the pool's overhead. The
+// determinism tests guarantee both variants produce identical curves.
+func benchEvalPool(b *testing.B, workers int) {
+	d := benchDAG(b, 500)
+	dags := []*rsgen.DAG{d}
+	cfg := rsgen.SweepConfig{Workers: workers, NoCache: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rsgen.SweepTurnAround(dags, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalPoolSerial(b *testing.B)   { benchEvalPool(b, 1) }
+func BenchmarkEvalPoolAllCores(b *testing.B) { benchEvalPool(b, 0) }
+
+func BenchmarkEvalPoolCached(b *testing.B) {
+	// The memoized path: every size re-read from the shared cache.
+	d := benchDAG(b, 500)
+	dags := []*rsgen.DAG{d}
+	cfg := rsgen.SweepConfig{}
+	if _, err := rsgen.SweepTurnAround(dags, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rsgen.SweepTurnAround(dags, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -200,7 +239,7 @@ func BenchmarkAblationMCPPrefix8(b *testing.B) { benchMCPPrefix(b, 8) }
 func benchGridFactor(b *testing.B, factor float64) {
 	d := benchDAG(b, 500)
 	dags := []*rsgen.DAG{d}
-	cfg := rsgen.SweepConfig{GridFactor: factor}
+	cfg := rsgen.SweepConfig{GridFactor: factor, NoCache: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		curve, err := rsgen.SweepTurnAround(dags, cfg)

@@ -5,43 +5,66 @@
 //	experiments -list               # show every experiment id
 //	experiments -run fig-iv-5       # one experiment, quick scale
 //	experiments -run all -full      # everything at paper scale (hours)
+//	experiments -run all -j 8       # fan evaluations over 8 workers
+//
+// Tables are byte-identical for every -j value: the evaluation pool
+// preserves input order and derives all randomness from split seeds.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"rsgen/internal/eval"
 	"rsgen/internal/expt"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		run    = flag.String("run", "", "experiment id, or 'all'")
-		full   = flag.Bool("full", false, "paper-scale grids (much slower)")
-		seed   = flag.Uint64("seed", 1, "experiment seed")
-		format = flag.String("format", "text", "text | csv")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		runID   = fs.String("run", "", "experiment id, or 'all'")
+		full    = fs.Bool("full", false, "paper-scale grids (much slower)")
+		seed    = fs.Uint64("seed", 1, "experiment seed")
+		format  = fs.String("format", "text", "text | csv")
+		workers = fs.Int("j", 0, "evaluation workers (0 = all cores, 1 = serial)")
+		timeout = fs.Duration("timeout", 0, "per-evaluation-point deadline (0 = none)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, id := range expt.IDs() {
 			e, _ := expt.Get(id)
-			fmt.Printf("%-12s %-28s %s\n", id, e.Ref, e.Desc)
+			fmt.Fprintf(stdout, "%-12s %-28s %s\n", id, e.Ref, e.Desc)
 		}
-		return
+		return 0
 	}
-	if *run == "" {
-		fmt.Fprintln(os.Stderr, "experiments: use -list or -run <id|all>")
-		os.Exit(2)
+	if *runID == "" {
+		fmt.Fprintln(stderr, "experiments: use -list or -run <id|all>")
+		return 2
 	}
-	cfg := expt.Config{Full: *full, Seed: *seed}
-	ids := []string{*run}
-	if *run == "all" {
+	cfg := expt.Config{Full: *full, Seed: *seed, Workers: *workers, Timeout: *timeout}
+	ids := []string{*runID}
+	if *runID == "all" {
 		// Aliases share runners; run each primary id once.
 		ids = primaryIDs()
+	}
+	// Validate every id up front so a typo fails before hours of compute.
+	for _, id := range ids {
+		if _, ok := expt.Get(id); !ok {
+			fmt.Fprintf(stderr, "experiments: unknown experiment %q; use -list to see the %d available ids\n", id, len(expt.IDs()))
+			return 2
+		}
 	}
 	runner := expt.Run
 	switch *format {
@@ -49,17 +72,20 @@ func main() {
 	case "csv":
 		runner = expt.RunCSV
 	default:
-		fmt.Fprintf(os.Stderr, "experiments: unknown -format %q\n", *format)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "experiments: unknown -format %q\n", *format)
+		return 2
 	}
 	for _, id := range ids {
 		start := time.Now()
-		if err := runner(id, cfg, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+		before := eval.Snapshot()
+		if err := runner(id, cfg, stdout); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		delta := eval.Snapshot().Sub(before)
+		fmt.Fprintf(stderr, "[%s done in %v: %s]\n", id, time.Since(start).Round(time.Millisecond), delta)
 	}
+	return 0
 }
 
 // primaryIDs filters out the registered aliases so -run all does each sweep

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperimentID(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-run", "no-such-experiment"}, &out, &errOut)
+	if code == 0 {
+		t.Fatal("unknown -run id exited 0")
+	}
+	if !strings.Contains(errOut.String(), "no-such-experiment") {
+		t.Errorf("stderr does not name the bad id: %q", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "-list") {
+		t.Errorf("stderr does not point at -list: %q", errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unknown id still produced stdout output: %q", out.String())
+	}
+}
+
+func TestMissingRunFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no flags exited %d, want 2", code)
+	}
+}
+
+func TestListAndBadFormat(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "fig-v-2") {
+		t.Errorf("-list output missing fig-v-2:\n%s", out.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-run", "fig-v-2", "-format", "yaml"}, &out, &errOut); code != 2 {
+		t.Errorf("bad -format exited %d, want 2", code)
+	}
+}
+
+func TestRunExperimentParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	var serial, parallel, errOut strings.Builder
+	if code := run([]string{"-run", "tab-iv-2", "-j", "1"}, &serial, &errOut); code != 0 {
+		t.Fatalf("-j 1 exited %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"-run", "tab-iv-2", "-j", "8"}, &parallel, &errOut); code != 0 {
+		t.Fatalf("-j 8 exited %d: %s", code, errOut.String())
+	}
+	if serial.String() != parallel.String() {
+		t.Error("-j 8 output differs from -j 1")
+	}
+}

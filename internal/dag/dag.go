@@ -69,6 +69,8 @@ type DAG struct {
 	tlCache   []float64
 	alapOnce  sync.Once
 	alapCache []float64
+	fpOnce    sync.Once
+	fpCache   uint64
 }
 
 // New builds a DAG from tasks and edges, validating shape: task IDs must be

@@ -1,0 +1,123 @@
+package eval
+
+import (
+	"math"
+	"sync"
+)
+
+// Key identifies a memoizable evaluation point: the combined fingerprint of
+// the DAG instances plus every knob that affects the result. Points with an
+// explicit RC have no stable identity and are never cached.
+type Key struct {
+	Dags          uint64
+	Size          int
+	Heuristic     string
+	ClockGHz      uint64 // float bits
+	Heterogeneity uint64
+	BandwidthMbps uint64
+	SCR           uint64
+	Seed          uint64
+	Simulate      bool
+}
+
+// keyOf builds the cache key for a point; ok is false for uncacheable
+// points (explicit RC).
+func keyOf(p Point) (Key, bool) {
+	if p.RC != nil {
+		return Key{}, false
+	}
+	p = p.withDefaults()
+	h := uint64(fnvOffset)
+	h = mix64(h, uint64(len(p.Dags)))
+	for _, d := range p.Dags {
+		h = mix64(h, d.Fingerprint())
+	}
+	return Key{
+		Dags:          h,
+		Size:          p.Size,
+		Heuristic:     p.Heuristic.Name(),
+		ClockGHz:      math.Float64bits(p.ClockGHz),
+		Heterogeneity: math.Float64bits(p.Heterogeneity),
+		BandwidthMbps: math.Float64bits(p.BandwidthMbps),
+		SCR:           math.Float64bits(p.SCR),
+		Seed:          p.Seed,
+		Simulate:      p.Simulate,
+	}, true
+}
+
+const (
+	fnvOffset = 0xCBF29CE484222325
+	fnvPrime  = 0x100000001B3
+)
+
+// mix64 folds v into h, FNV-1a style, one byte at a time.
+func mix64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v >> (8 * i) & 0xFF)) * fnvPrime
+	}
+	return h
+}
+
+// DefaultCacheEntries bounds DefaultCache. One entry is a Key + Result
+// (~120 B), so the default cap costs at most a few MB.
+const DefaultCacheEntries = 1 << 16
+
+// DefaultCache is the process-wide memoization cache shared by every
+// evaluation path that does not bring its own. Sharing is what lets the
+// validation search hit the sweep's sizes and the threshold family re-read
+// its curves for free.
+var DefaultCache = NewCache(DefaultCacheEntries)
+
+// Cache memoizes evaluation results. It is safe for concurrent use. A hit
+// returns the exact Result a previous Evaluate produced, so caching never
+// changes observable output — only wall-clock time.
+type Cache struct {
+	mu  sync.RWMutex
+	max int
+	m   map[Key]Result
+}
+
+// NewCache returns a cache bounded to max entries (max <= 0 uses
+// DefaultCacheEntries). At capacity an arbitrary entry is evicted per
+// insert.
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheEntries
+	}
+	return &Cache{max: max, m: make(map[Key]Result)}
+}
+
+// Get returns the memoized result for key, if present.
+func (c *Cache) Get(key Key) (Result, bool) {
+	c.mu.RLock()
+	r, ok := c.m[key]
+	c.mu.RUnlock()
+	return r, ok
+}
+
+// Put stores a result, evicting an arbitrary entry if the cache is full.
+func (c *Cache) Put(key Key, r Result) {
+	c.mu.Lock()
+	if _, exists := c.m[key]; !exists && len(c.m) >= c.max {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[key] = r
+	c.mu.Unlock()
+}
+
+// Len returns the number of memoized results.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Clear drops every memoized result.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	c.m = make(map[Key]Result)
+	c.mu.Unlock()
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"rsgen/internal/dag"
+	"rsgen/internal/eval"
 	"rsgen/internal/platform"
 	"rsgen/internal/sched"
 	"rsgen/internal/vgdl"
@@ -102,35 +103,39 @@ type ch4Result struct {
 	turnAround float64
 }
 
-func ch4Eval(p *platform.Platform, dags []*dag.DAG) ([]ch4Result, error) {
+func ch4Eval(cfg Config, p *platform.Platform, dags []*dag.DAG) ([]ch4Result, error) {
 	width := 0
 	for _, d := range dags {
 		if w := d.Width(); w > width {
 			width = w
 		}
 	}
-	var out []ch4Result
-	for _, sc := range ch4Schemes() {
+	// The six schemes as explicit-RC evaluation points, fanned through the
+	// shared pool; results come back in scheme order.
+	schemes := ch4Schemes()
+	points := make([]eval.Point, len(schemes))
+	selTimes := make([]float64, len(schemes))
+	for i, sc := range schemes {
 		rc, selTime, err := ch4RC(p, sc.resources, width)
 		if err != nil {
 			return nil, err
 		}
-		r := ch4Result{scheme: sc.heuristic.Name() + "/" + sc.resources, selectTime: selTime}
-		for _, d := range dags {
-			s, err := sc.heuristic.Schedule(d, rc)
-			if err != nil {
-				return nil, err
-			}
-			st := sched.SchedulingTime(s.Ops, 1)
-			r.schedTime += st
-			r.makespan += s.Makespan
-			r.turnAround += st + s.Makespan + selTime
+		points[i] = eval.Point{Dags: dags, RC: rc, Heuristic: sc.heuristic}
+		selTimes[i] = selTime
+	}
+	results, err := cfg.pool().EvaluateAll(points)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ch4Result, len(schemes))
+	for i, r := range results {
+		out[i] = ch4Result{
+			scheme:     schemes[i].heuristic.Name() + "/" + schemes[i].resources,
+			schedTime:  r.SchedTime,
+			makespan:   r.Makespan,
+			selectTime: selTimes[i],
+			turnAround: r.TurnAround + selTimes[i],
 		}
-		n := float64(len(dags))
-		r.schedTime /= n
-		r.makespan /= n
-		r.turnAround /= n
-		out = append(out, r)
 	}
 	return out, nil
 }
@@ -196,7 +201,7 @@ func init() {
 			// Actual Montage intermediate files are 300 B – 4 MB
 			// (§IV.3.1): at the 10 Gb/s reference that is CCR ≈ 0.001.
 			d := ch4Montage(cfg, 0.001)
-			res, err := ch4Eval(p, []*dag.DAG{d})
+			res, err := ch4Eval(cfg, p, []*dag.DAG{d})
 			if err != nil {
 				return nil, err
 			}
@@ -213,7 +218,7 @@ func init() {
 		Run: func(cfg Config) ([]*Table, error) {
 			p := ch4Platform(cfg)
 			d := ch4Montage(cfg, 1.0)
-			res, err := ch4Eval(p, []*dag.DAG{d})
+			res, err := ch4Eval(cfg, p, []*dag.DAG{d})
 			if err != nil {
 				return nil, err
 			}
@@ -326,7 +331,7 @@ func runFigIV78(cfg Config) ([]*Table, error) {
 	for _, ccr := range ccrs {
 		labels = append(labels, f2(ccr))
 		d := ch4Montage(cfg, ccr)
-		res, err := ch4Eval(p, []*dag.DAG{d})
+		res, err := ch4Eval(cfg, p, []*dag.DAG{d})
 		if err != nil {
 			return nil, err
 		}
@@ -364,7 +369,7 @@ func registerRandomDAGSweep(id, ref, varName string, gen func(Config) ([]string,
 					}
 					dags = append(dags, d)
 				}
-				res, err := ch4Eval(p, dags)
+				res, err := ch4Eval(cfg, p, dags)
 				if err != nil {
 					return nil, err
 				}

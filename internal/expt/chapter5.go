@@ -85,7 +85,7 @@ func ch5Train(cfg Config) (*knee.ModelSet, ch5Params, error) {
 	ms, err := knee.Train(knee.TrainConfig{
 		Sizes: p.sizes, CCRs: p.ccrs, Alphas: p.alphas, Betas: p.betas,
 		Reps: p.reps, Density: 0.5, MeanCost: 40,
-		Thresholds: knee.Thresholds, Seed: p.trainSeed,
+		Thresholds: knee.Thresholds, Sweep: cfg.sweep(), Seed: p.trainSeed,
 	})
 	return ms, p, err
 }
@@ -133,7 +133,7 @@ func init() {
 				row := []string{itoa(size)}
 				for _, b := range betas {
 					dags := ch5DAGs(cfg.seed(), size, 0.01, 0.7, b, p.reps)
-					curve, err := knee.Sweep(dags, knee.SweepConfig{})
+					curve, err := knee.Sweep(dags, cfg.sweep())
 					if err != nil {
 						return nil, err
 					}
@@ -163,7 +163,9 @@ func init() {
 				for _, a := range alphas {
 					dags := ch5DAGs(cfg.seed(), p.kneeSize, ccr, a, 0.01, p.reps)
 					// CCR effects need visible communication: 1 Gb/s.
-					curve, err := knee.Sweep(dags, knee.SweepConfig{BandwidthMbps: 1000})
+					sw := cfg.sweep()
+					sw.BandwidthMbps = 1000
+					curve, err := knee.Sweep(dags, sw)
 					if err != nil {
 						return nil, err
 					}
@@ -185,7 +187,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			tc := knee.TrainConfig{Reps: p.reps, Density: 0.5, MeanCost: 40, Seed: cfg.seed() + 1}
+			tc := knee.TrainConfig{Reps: p.reps, Density: 0.5, MeanCost: 40, Sweep: cfg.sweep(), Seed: cfg.seed() + 1}
 			t := &Table{ID: "tab-v-5", Title: "Validation of the size prediction model",
 				Header: []string{"size", "CCR", "α", "β", "size diff", "perf degradation", "relative cost"}}
 			for _, vc := range p.validSizes {
@@ -218,7 +220,7 @@ func init() {
 				cfgs = append(cfgs, knee.ValidationConfig{Size: s, CCR: 0.1, Parallelism: 0.6, Regularity: 0.5})
 				labels = append(labels, itoa(s))
 			}
-			tc := knee.TrainConfig{Reps: p.reps, Density: 0.5, MeanCost: 40, Seed: cfg.seed() + 2}
+			tc := knee.TrainConfig{Reps: p.reps, Density: 0.5, MeanCost: 40, Sweep: cfg.sweep(), Seed: cfg.seed() + 2}
 			t := &Table{ID: "tab-v-6", Title: "Effect of varying DAG size between observation points",
 				Header: []string{"size", "size diff", "perf degradation", "relative cost"}}
 			for i, vc := range cfgs {
@@ -261,7 +263,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			tc := knee.TrainConfig{Reps: p.reps, Density: 0.5, MeanCost: 40, Seed: cfg.seed() + 3}
+			tc := knee.TrainConfig{Reps: p.reps, Density: 0.5, MeanCost: 40, Sweep: cfg.sweep(), Seed: cfg.seed() + 3}
 			t := &Table{ID: "tab-v-7", Title: "DAG width as RC size vs model prediction",
 				Header: []string{"predictor", "size diff", "perf degradation", "relative cost"}}
 			model, err := knee.ValidateModel(knee.ModelPredictor(ms.Default()), p.validSizes, tc)
@@ -349,7 +351,7 @@ func kneeCurves(cfg Config, id string, size int, alpha float64) ([]*Table, error
 	for i, b := range betas {
 		t.Header = append(t.Header, "β="+f2(b)+" (s)")
 		dags := ch5DAGs(cfg.seed(), size, 0.01, alpha, b, p.reps)
-		c, err := knee.Sweep(dags, knee.SweepConfig{})
+		c, err := knee.Sweep(dags, cfg.sweep())
 		if err != nil {
 			return nil, err
 		}
@@ -385,7 +387,7 @@ func runTabV2(cfg Config) ([]*Table, error) {
 		row := []string{f2(a)}
 		for _, b := range p.betas {
 			dags := ch5DAGs(cfg.seed(), p.kneeSize, 0.01, a, b, p.reps)
-			curve, err := knee.Sweep(dags, knee.SweepConfig{})
+			curve, err := knee.Sweep(dags, cfg.sweep())
 			if err != nil {
 				return nil, err
 			}
@@ -436,7 +438,7 @@ func runTabV9(cfg Config) ([]*Table, error) {
 	for _, l := range levels {
 		d := dag.MustMontage(l.lv, 0.01)
 		dags := []*dag.DAG{d}
-		sw := knee.SweepConfig{}
+		sw := cfg.sweep()
 		predicted := knee.ModelPredictor(ms.Default())(dags)
 		predPoint, err := knee.EvalSize(dags, sw, predicted)
 		if err != nil {
@@ -484,14 +486,16 @@ func runFigV8to11(cfg Config) ([]*Table, error) {
 	dags := ch5DAGs(cfg.seed(), p.kneeSize, 0.01, 0.6, 0.5, p.reps)
 
 	// The homogeneous-model prediction: knee of the het=0 sweep.
-	hom, err := knee.Sweep(dags, knee.SweepConfig{})
+	hom, err := knee.Sweep(dags, cfg.sweep())
 	if err != nil {
 		return nil, err
 	}
 	homKnee, _ := hom.Knee(knee.DefaultThreshold)
 
 	for _, het := range hets {
-		sw := knee.SweepConfig{Heterogeneity: het, Seed: cfg.seed()}
+		sw := cfg.sweep()
+		sw.Heterogeneity = het
+		sw.Seed = cfg.seed()
 		curve, err := knee.Sweep(dags, sw)
 		if err != nil {
 			return nil, err
@@ -546,7 +550,11 @@ func runFigV16(cfg Config) ([]*Table, error) {
 		best := math.Inf(1)
 		bestCost := math.Inf(1)
 		for _, h := range heuristics {
-			curve, err := knee.Sweep(dags, knee.SweepConfig{Heuristic: h, Heterogeneity: cond.het, Seed: cfg.seed()})
+			sw := cfg.sweep()
+			sw.Heuristic = h
+			sw.Heterogeneity = cond.het
+			sw.Seed = cfg.seed()
+			curve, err := knee.Sweep(dags, sw)
 			if err != nil {
 				return nil, err
 			}
@@ -586,14 +594,21 @@ func runFigV18to24(cfg Config) ([]*Table, error) {
 		dags := ch5DAGs(cfg.seed(), p.curveSize, 0.01, c.alpha, 0.5, p.reps)
 		row := []string{c.name}
 		for _, scr := range scrs {
-			curve, err := knee.Sweep(dags, knee.SweepConfig{SCR: scr, Heterogeneity: c.het, Seed: cfg.seed()})
+			sw := cfg.sweep()
+			sw.SCR = scr
+			sw.Heterogeneity = c.het
+			sw.Seed = cfg.seed()
+			curve, err := knee.Sweep(dags, sw)
 			if err != nil {
 				return nil, err
 			}
 			k, _ := curve.Knee(knee.DefaultThreshold)
 			row = append(row, itoa(k))
 		}
-		m, err := knee.TrainSCR(dags, knee.SweepConfig{Heterogeneity: c.het, Seed: cfg.seed()}, scrs, knee.DefaultThreshold)
+		scrSweep := cfg.sweep()
+		scrSweep.Heterogeneity = c.het
+		scrSweep.Seed = cfg.seed()
+		m, err := knee.TrainSCR(dags, scrSweep, scrs, knee.DefaultThreshold)
 		if err != nil {
 			return nil, err
 		}

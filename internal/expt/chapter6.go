@@ -21,6 +21,7 @@ func ch6Cfg(cfg Config) heurpred.TrainConfig {
 			Alphas: []float64{0.4, 0.6, 0.8},
 			Betas:  []float64{0.1, 0.5, 1.0},
 			Reps:   5,
+			Sweep:  cfg.sweep(),
 			Seed:   cfg.seed(),
 		}
 	}
@@ -30,6 +31,7 @@ func ch6Cfg(cfg Config) heurpred.TrainConfig {
 		Alphas: []float64{0.5, 0.7},
 		Betas:  []float64{0.5},
 		Reps:   2,
+		Sweep:  cfg.sweep(),
 		Seed:   cfg.seed(),
 	}
 }
@@ -200,7 +202,7 @@ func runFigVI45(cfg Config) ([]*Table, error) {
 	})
 	vc := tc
 	vc.Seed = cfg.seed() + 17
-	vc.Sweep = knee.SweepConfig{}
+	vc.Sweep = cfg.sweep()
 	sum, err := heurpred.Validate(m, vc, points)
 	if err != nil {
 		return nil, err

@@ -23,7 +23,7 @@ func ch7Generator(cfg Config) (*spec.Generator, error) {
 	ms, err := knee.Train(knee.TrainConfig{
 		Sizes: p.sizes, CCRs: p.ccrs, Alphas: p.alphas, Betas: p.betas,
 		Reps: p.reps, Density: 0.5, MeanCost: 40,
-		Thresholds: []float64{0.001, 0.02, 0.10}, Seed: cfg.seed(),
+		Thresholds: []float64{0.001, 0.02, 0.10}, Sweep: cfg.sweep(), Seed: cfg.seed(),
 	})
 	if err != nil {
 		return nil, err
@@ -69,8 +69,10 @@ func init() {
 			}
 			for _, c := range clocks {
 				row := []string{f2(c) + " GHz"}
+				sw := cfg.sweep()
+				sw.ClockGHz = c
 				for _, s := range sizes {
-					pt, err := knee.EvalSize(dags, knee.SweepConfig{ClockGHz: c}, s)
+					pt, err := knee.EvalSize(dags, sw, s)
 					if err != nil {
 						return nil, err
 					}
@@ -89,7 +91,9 @@ func init() {
 		Run: func(cfg Config) ([]*Table, error) {
 			p := ch5Scale(cfg)
 			dags := ch5DAGs(cfg.seed(), p.curveSize, 0.01, 0.6, 0.5, p.reps)
-			curve, err := knee.Sweep(dags, knee.SweepConfig{ClockGHz: 3.5})
+			baseSweep := cfg.sweep()
+			baseSweep.ClockGHz = 3.5
+			curve, err := knee.Sweep(dags, baseSweep)
 			if err != nil {
 				return nil, err
 			}
@@ -97,7 +101,7 @@ func init() {
 			t := &Table{ID: "fig-vii-7", Title: fmt.Sprintf("Equivalent RC sizes for the 3.5 GHz base of %d hosts (turn-around %.1f s)", baseSize, baseTurn),
 				Header: []string{"clock class", "equivalent size", "relative size"}}
 			for _, alt := range []float64{3.2, 3.0, 2.8, 2.4, 2.0} {
-				size, ok, err := spec.EquivalentSize(dags, knee.SweepConfig{}, baseSize, 3.5, alt, 0.15)
+				size, ok, err := spec.EquivalentSize(dags, cfg.sweep(), baseSize, 3.5, alt, 0.15)
 				if err != nil {
 					return nil, err
 				}

@@ -13,18 +13,31 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"time"
+
+	"rsgen/internal/eval"
+	"rsgen/internal/knee"
 )
 
-// Config controls experiment scale and determinism.
+// Config controls experiment scale, determinism, and parallelism.
 type Config struct {
 	// Full selects the paper-scale grids instead of the quick defaults.
 	Full bool
 	// Seed drives all randomness; 0 defaults to 1.
 	Seed uint64
+	// Workers bounds the evaluation pool's concurrency; 0 uses all cores,
+	// 1 forces serial evaluation. Tables are byte-identical either way.
+	Workers int
+	// Timeout, when positive, is a per-evaluation-point deadline.
+	Timeout time.Duration
+	// Ctx cancels in-flight experiments; nil defaults to
+	// context.Background().
+	Ctx context.Context
 }
 
 func (c Config) seed() uint64 {
@@ -32,6 +45,18 @@ func (c Config) seed() uint64 {
 		return 1
 	}
 	return c.Seed
+}
+
+// sweep seeds a knee.SweepConfig with the experiment's parallelism knobs;
+// chapter runners fill in the resource condition.
+func (c Config) sweep() knee.SweepConfig {
+	return knee.SweepConfig{Workers: c.Workers, Timeout: c.Timeout, Ctx: c.Ctx}
+}
+
+// pool builds an evaluation pool for experiments that evaluate eval.Points
+// directly (the Chapter IV selection schemes).
+func (c Config) pool() *eval.Pool {
+	return &eval.Pool{Workers: c.Workers, Ctx: c.Ctx, Timeout: c.Timeout, Cache: eval.DefaultCache}
 }
 
 // Table is one rendered result table.

@@ -38,7 +38,9 @@ func runExtBaselines(cfg Config) ([]*Table, error) {
 		Title:  fmt.Sprintf("Best turn-around per heuristic (n=%d, CCR=0.1, α=0.6, homogeneous)", p.curveSize),
 		Header: []string{"heuristic", "best RC size", "sched time (s)", "makespan (s)", "turn-around (s)"}}
 	for _, h := range heuristics {
-		curve, err := knee.Sweep(dags, knee.SweepConfig{Heuristic: h})
+		sw := cfg.sweep()
+		sw.Heuristic = h
+		curve, err := knee.Sweep(dags, sw)
 		if err != nil {
 			return nil, err
 		}
@@ -61,7 +63,7 @@ func runExtSpaceShared(cfg Config) ([]*Table, error) {
 		Title:  "Dedicated vs space-shared (4-way) resource collections",
 		Header: []string{"configuration", "hosts/vps", "makespan (s)", "turn-around (s)"}}
 	for _, m := range []int{8, 16, 32} {
-		ded, err := knee.EvalSize(dags, knee.SweepConfig{}, m)
+		ded, err := knee.EvalSize(dags, cfg.sweep(), m)
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +71,9 @@ func runExtSpaceShared(cfg Config) ([]*Table, error) {
 		// The space-shared view of the same iron: 4m virtual processors
 		// at 0.7 GHz — evaluated directly through the sweep config's
 		// homogeneous builder at the divided clock.
-		shared, err := knee.EvalSize(dags, knee.SweepConfig{ClockGHz: 2.8 / 4}, 4*m)
+		sharedSweep := cfg.sweep()
+		sharedSweep.ClockGHz = 2.8 / 4
+		shared, err := knee.EvalSize(dags, sharedSweep, 4*m)
 		if err != nil {
 			return nil, err
 		}

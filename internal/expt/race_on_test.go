@@ -1,0 +1,8 @@
+//go:build race
+
+package expt
+
+// raceEnabled lets the heaviest tests shrink their sweep under the race
+// detector's ~10× slowdown, so `go test -race ./...` stays inside the
+// default test timeout on slow machines.
+const raceEnabled = true

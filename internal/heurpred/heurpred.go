@@ -62,7 +62,9 @@ type TrainConfig struct {
 	Heuristics []sched.Heuristic
 	Density    float64
 	MeanCost   float64
-	// Sweep fixes resource conditions (heterogeneity, SCR, bandwidth).
+	// Sweep fixes resource conditions (heterogeneity, SCR, bandwidth) and
+	// carries the evaluation-pool knobs (Workers, Timeout, Ctx): the grid's
+	// cells all evaluate through the shared engine.
 	Sweep knee.SweepConfig
 	Seed  uint64
 }

@@ -8,13 +8,14 @@
 package knee
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"rsgen/internal/dag"
-	"rsgen/internal/platform"
+	"rsgen/internal/eval"
 	"rsgen/internal/sched"
-	"rsgen/internal/xrand"
 )
 
 // DefaultThreshold is the knee threshold of §V.2.2: the best RC size is the
@@ -50,20 +51,20 @@ type SweepConfig struct {
 	MaxSize int
 	// Seed derives the RNG streams for heterogeneous RC draws.
 	Seed uint64
+	// Workers bounds the evaluation pool's concurrency; 0 uses all cores,
+	// 1 forces serial evaluation. Output is identical either way.
+	Workers int
+	// Timeout, when positive, is a per-evaluation-point deadline.
+	Timeout time.Duration
+	// Ctx cancels in-flight sweeps; nil defaults to context.Background().
+	Ctx context.Context
+	// NoCache disables memoization through eval.DefaultCache (benchmarks).
+	NoCache bool
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
 	if c.Heuristic == nil {
 		c.Heuristic = sched.MCP{}
-	}
-	if c.ClockGHz == 0 {
-		c.ClockGHz = 2.8
-	}
-	if c.BandwidthMbps == 0 {
-		c.BandwidthMbps = platform.ReferenceBandwidthMbps
-	}
-	if c.SCR == 0 {
-		c.SCR = 1
 	}
 	if c.GridFactor == 0 {
 		c.GridFactor = 1.08
@@ -71,14 +72,38 @@ func (c SweepConfig) withDefaults() SweepConfig {
 	return c
 }
 
-// rcFor builds the RC of the configured resource condition at the given
-// size. Heterogeneous draws are deterministic per (Seed, size).
-func (c SweepConfig) rcFor(size int) *platform.ResourceCollection {
-	if c.Heterogeneity == 0 {
-		return platform.HomogeneousRC(size, c.ClockGHz, c.BandwidthMbps)
+// point translates the sweep's resource condition into an evaluation
+// request at the given RC size.
+func (c SweepConfig) point(dags []*dag.DAG, size int) eval.Point {
+	return eval.Point{
+		Dags:          dags,
+		Size:          size,
+		Heuristic:     c.Heuristic,
+		ClockGHz:      c.ClockGHz,
+		Heterogeneity: c.Heterogeneity,
+		BandwidthMbps: c.BandwidthMbps,
+		SCR:           c.SCR,
+		Seed:          c.Seed,
 	}
-	rng := xrand.NewFrom(c.Seed, 0xC0FFEE, uint64(size))
-	return platform.HeterogeneousRC(size, c.ClockGHz, c.Heterogeneity, c.BandwidthMbps, rng)
+}
+
+// pool builds the evaluation pool the sweep fans points through.
+func (c SweepConfig) pool() *eval.Pool {
+	pl := &eval.Pool{Workers: c.Workers, Ctx: c.Ctx, Timeout: c.Timeout}
+	if !c.NoCache {
+		pl.Cache = eval.DefaultCache
+	}
+	return pl
+}
+
+func fromResult(r eval.Result) Point {
+	return Point{
+		Size:       r.Size,
+		TurnAround: r.TurnAround,
+		Makespan:   r.Makespan,
+		SchedTime:  r.SchedTime,
+		CostUSD:    r.CostUSD,
+	}
 }
 
 // Point is one sampled RC size on a turn-around curve. All time fields are
@@ -99,32 +124,19 @@ type Curve struct {
 }
 
 // EvalSize schedules every DAG on an RC of the given size and returns the
-// mean metrics, using the configured resource condition.
+// mean metrics, using the configured resource condition. It goes through
+// the shared evaluation engine, so repeated sizes hit the memoization
+// cache.
 func EvalSize(dags []*dag.DAG, cfg SweepConfig, size int) (Point, error) {
 	cfg = cfg.withDefaults()
 	if size < 1 {
 		return Point{}, fmt.Errorf("knee: RC size %d < 1", size)
 	}
-	rc := cfg.rcFor(size)
-	p := Point{Size: size}
-	for _, d := range dags {
-		s, err := cfg.Heuristic.Schedule(d, rc)
-		if err != nil {
-			return Point{}, err
-		}
-		st := sched.SchedulingTime(s.Ops, cfg.SCR)
-		ta := st + s.Makespan
-		p.SchedTime += st
-		p.Makespan += s.Makespan
-		p.TurnAround += ta
-		p.CostUSD += rc.Cost(ta)
+	r, err := cfg.pool().Evaluate(cfg.point(dags, size))
+	if err != nil {
+		return Point{}, err
 	}
-	n := float64(len(dags))
-	p.SchedTime /= n
-	p.Makespan /= n
-	p.TurnAround /= n
-	p.CostUSD /= n
-	return p, nil
+	return fromResult(r), nil
 }
 
 // Sweep evaluates turn-around over a geometric grid of RC sizes from 1 to
@@ -145,18 +157,22 @@ func Sweep(dags []*dag.DAG, cfg SweepConfig) (Curve, error) {
 		}
 		maxSize = int(math.Ceil(float64(w)*1.1)) + 1
 	}
-	var curve Curve
+	var points []eval.Point
 	for size := 1; size <= maxSize; {
-		p, err := EvalSize(dags, cfg, size)
-		if err != nil {
-			return Curve{}, err
-		}
-		curve.Points = append(curve.Points, p)
+		points = append(points, cfg.point(dags, size))
 		next := int(math.Ceil(float64(size) * cfg.GridFactor))
 		if next <= size {
 			next = size + 1
 		}
 		size = next
+	}
+	results, err := cfg.pool().EvaluateAll(points)
+	if err != nil {
+		return Curve{}, err
+	}
+	curve := Curve{Points: make([]Point, len(results))}
+	for i, r := range results {
+		curve.Points[i] = fromResult(r)
 	}
 	return curve, nil
 }
@@ -257,16 +273,24 @@ func sortInts(xs []int) {
 
 // SearchOptimalSize runs the Table V-3 heuristic: evaluate every candidate
 // seeded by the predicted size and return the size with the best (smallest)
-// turn-around, with the full evaluation per candidate.
+// turn-around, with the full evaluation per candidate. Candidates are
+// evaluated through the pool; the ascending strict-< scan keeps the winner
+// identical to the serial loop (smallest size on ties).
 func SearchOptimalSize(dags []*dag.DAG, cfg SweepConfig, predicted int) (Point, error) {
+	cfg = cfg.withDefaults()
+	sizes := SearchCandidates(predicted)
+	points := make([]eval.Point, len(sizes))
+	for i, size := range sizes {
+		points[i] = cfg.point(dags, size)
+	}
+	results, err := cfg.pool().EvaluateAll(points)
+	if err != nil {
+		return Point{}, err
+	}
 	best := Point{TurnAround: math.Inf(1)}
-	for _, size := range SearchCandidates(predicted) {
-		p, err := EvalSize(dags, cfg, size)
-		if err != nil {
-			return Point{}, err
-		}
-		if p.TurnAround < best.TurnAround {
-			best = p
+	for _, r := range results {
+		if r.TurnAround < best.TurnAround {
+			best = fromResult(r)
 		}
 	}
 	return best, nil
