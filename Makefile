@@ -1,10 +1,11 @@
 # Standard verification pipeline; `make check` is what CI should run.
 
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench fuzz-smoke serve-smoke
 
-check: vet build race
+check: vet build race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,3 +21,18 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
+
+# Short fuzzing pass over every parser the rsgend service exposes to
+# untrusted input. `go test -fuzz` accepts one target per invocation,
+# hence the per-package lines.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz 'FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/vgdl
+	$(GO) test -run xxx -fuzz 'FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/classad
+	$(GO) test -run xxx -fuzz 'FuzzParseExpr$$' -fuzztime $(FUZZTIME) ./internal/classad
+	$(GO) test -run xxx -fuzz 'FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/sword
+
+# End-to-end service smoke: train a smoke-scale artifact, serve it on an
+# ephemeral port, request a spec for the Figure III-2 example DAG, and
+# diff the response against the committed golden.
+serve-smoke:
+	bash scripts/serve_smoke.sh

@@ -38,6 +38,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers = fs.Int("j", 0, "evaluation workers (0 = all cores, 1 = serial)")
 		timeout = fs.Duration("timeout", 0, "per-evaluation-point deadline (0 = none)")
 	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "Usage: experiments [flags]")
+		fs.PrintDefaults()
+		fmt.Fprint(stderr, `
+Exit codes:
+  0  every requested experiment completed
+  1  an experiment failed mid-run (its stats line is still flushed)
+  2  usage error: unknown flag, experiment id, or -format
+`)
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -78,12 +88,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, id := range ids {
 		start := time.Now()
 		before := eval.Snapshot()
-		if err := runner(id, cfg, stdout); err != nil {
+		err := runner(id, cfg, stdout)
+		// Flush the stats line even when the runner failed: the partial
+		// counters say how far the experiment got before dying.
+		delta := eval.Snapshot().Sub(before)
+		status := "done"
+		if err != nil {
+			status = "FAILED"
+		}
+		fmt.Fprintf(stderr, "[%s %s in %v: %s]\n", id, status, time.Since(start).Round(time.Millisecond), delta)
+		if err != nil {
 			fmt.Fprintln(stderr, "experiments:", err)
 			return 1
 		}
-		delta := eval.Snapshot().Sub(before)
-		fmt.Fprintf(stderr, "[%s done in %v: %s]\n", id, time.Since(start).Round(time.Millisecond), delta)
 	}
 	return 0
 }

@@ -43,6 +43,33 @@ func TestListAndBadFormat(t *testing.T) {
 	}
 }
 
+func TestHelpDocumentsExitCodes(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-h"}, &out, &errOut); code != 2 {
+		t.Errorf("-h exited %d, want 2", code)
+	}
+	for _, want := range []string{"Exit codes:", "stats line is still flushed", "usage error"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("-h output missing %q:\n%s", want, errOut.String())
+		}
+	}
+}
+
+func TestStatsLineFlushedOnFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a real experiment")
+	}
+	// A 1ns per-point deadline kills the first evaluation, so the runner
+	// fails mid-experiment — the stats line must still reach stderr.
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "fig-v-2", "-timeout", "1ns"}, &out, &errOut); code != 1 {
+		t.Fatalf("timed-out experiment exited %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "[fig-v-2 FAILED in ") {
+		t.Errorf("stderr missing FAILED stats line:\n%s", errOut.String())
+	}
+}
+
 func TestRunExperimentParallel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a real experiment")

@@ -3,38 +3,30 @@
 // collection size and emits the resource specification in vgDL, Condor
 // ClassAd and SWORD XML forms (dissertation Chapter VII).
 //
-// Models are trained on first use (QuickGenerator scale) and can be cached:
+// Models are trained on first use (QuickGenerator scale) and can be
+// persisted as a versioned artifact (shared with cmd/rsgend):
 //
 //	rsgen -dag dag.json -save-models models.json
 //	rsgen -dag dag.json -models models.json -clock 3.0 -het 0.3 -lang vgdl
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rsgen"
 	"rsgen/internal/dag"
-	"rsgen/internal/heurpred"
-	"rsgen/internal/knee"
 )
-
-// modelEnvelope is the on-disk form of a trained generator: both models in
-// one JSON document.
-type modelEnvelope struct {
-	Size      *knee.ModelSet  `json:"size"`
-	Heuristic *heurpred.Model `json:"heuristic,omitempty"`
-}
 
 func main() {
 	var (
 		dagPath    = flag.String("dag", "", "DAG JSON file (daggen output); empty uses -montage")
 		montage    = flag.String("montage", "", "built-in workflow: 1629 | 4469")
 		ccr        = flag.Float64("ccr", 0.01, "CCR for the built-in Montage workflows")
-		modelPath  = flag.String("models", "", "load a trained size-model set (JSON)")
-		saveModels = flag.String("save-models", "", "save the (possibly just-trained) size models")
+		modelPath  = flag.String("models", "", "load a persisted model artifact instead of retraining (see -save-models, rsgend -train)")
+		saveModels = flag.String("save-models", "", "save the (possibly just-trained) models as a versioned artifact")
 		seed       = flag.Uint64("seed", 1, "training seed when models are trained on the fly")
 		clock      = flag.Float64("clock", 3.0, "preferred host clock rate (GHz)")
 		het        = flag.Float64("het", 0.0, "tolerated clock heterogeneity fraction")
@@ -49,7 +41,7 @@ func main() {
 		fatal(err)
 	}
 
-	gen, err := loadGenerator(*modelPath, *seed)
+	gen, trained, err := loadGenerator(*modelPath, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -58,9 +50,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(modelEnvelope{Size: gen.Size, Heuristic: gen.Heur}); err != nil {
+		if err := rsgen.SaveGenerator(f, gen, trained.Seconds()); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -118,24 +108,31 @@ func loadDAG(path, montage string, ccr float64) (*rsgen.DAG, error) {
 	return nil, fmt.Errorf("provide -dag <file> or -montage 1629|4469")
 }
 
-func loadGenerator(modelPath string, seed uint64) (*rsgen.Generator, error) {
+// loadGenerator loads the persisted artifact when -models is given and
+// trains on the fly otherwise; trained reports how long on-the-fly training
+// took (0 when loaded).
+func loadGenerator(modelPath string, seed uint64) (*rsgen.Generator, time.Duration, error) {
 	if modelPath == "" {
 		fmt.Fprintln(os.Stderr, "rsgen: training quick models (cache with -save-models)...")
-		return rsgen.QuickGenerator(seed)
+		start := time.Now()
+		gen, err := rsgen.QuickGenerator(seed)
+		return gen, time.Since(start), err
 	}
 	f, err := os.Open(modelPath)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
-	var env modelEnvelope
-	if err := json.NewDecoder(f).Decode(&env); err != nil {
-		return nil, fmt.Errorf("decode models: %w", err)
+	gen, trainSeconds, err := rsgen.LoadGenerator(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("decode models %s: %w", modelPath, err)
 	}
-	if env.Size == nil || len(env.Size.Models) == 0 {
-		return nil, fmt.Errorf("model file %s has no size models", modelPath)
+	if trainSeconds > 0 {
+		fmt.Fprintf(os.Stderr, "rsgen: loaded models from %s, saved ~%.1fs of training\n", modelPath, trainSeconds)
+	} else {
+		fmt.Fprintf(os.Stderr, "rsgen: loaded models from %s (no retraining)\n", modelPath)
 	}
-	return &rsgen.Generator{Size: env.Size, Heur: env.Heuristic}, nil
+	return gen, 0, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,174 @@
+// Command rsgend serves the Chapter VII specification generator over HTTP.
+//
+// Train once, persist the models, then serve them without retraining:
+//
+//	rsgend -train -models models.json -scale quick   # ~10s of CPU, better models
+//	rsgend -train -models models.json -scale smoke   # ~1s of CPU, smoke tests
+//	rsgend -models models.json -addr :8080
+//
+// Serve mode exposes:
+//
+//	POST /v1/spec   {"dag": {...}, "options": {...}} → generated specification
+//	GET  /healthz   liveness + model provenance
+//	GET  /metrics   Prometheus text exposition (requests, latencies, caches)
+//
+// SIGINT/SIGTERM drain in-flight requests (bounded by -drain) and exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rsgen"
+	"rsgen/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("rsgend", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		train       = fs.Bool("train", false, "train models, write them to -models, and exit")
+		scale       = fs.String("scale", "quick", "training scale: quick | smoke")
+		seed        = fs.Uint64("seed", 1, "training seed")
+		modelsPath  = fs.String("models", "", "model artifact path (written by -train, read by serve mode)")
+		addr        = fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		maxBody     = fs.Int64("max-body", 1<<20, "request body size limit in bytes")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-request compute deadline")
+		maxInflight = fs.Int("max-inflight", 64, "handler concurrency limit")
+		cacheSize   = fs.Int("cache", 1024, "response cache entries")
+		workers     = fs.Int("j", 0, "evaluation workers for alternative specs (0 = all cores)")
+		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *modelsPath == "" {
+		fmt.Fprintln(os.Stderr, "rsgend: -models <file> is required (train it with -train)")
+		return 2
+	}
+
+	if *train {
+		if err := trainAndSave(*modelsPath, *scale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "rsgend:", err)
+			return 1
+		}
+		return 0
+	}
+
+	gen, trainSeconds, err := loadModels(*modelsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsgend:", err)
+		return 1
+	}
+	if trainSeconds > 0 {
+		fmt.Fprintf(os.Stderr, "rsgend: loaded models from %s (skipped ~%.1fs of training)\n", *modelsPath, trainSeconds)
+	}
+
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	srv, err := service.New(service.Config{
+		Generator:    gen,
+		MaxBodyBytes: *maxBody,
+		Timeout:      *timeout,
+		MaxInflight:  *maxInflight,
+		CacheEntries: *cacheSize,
+		Workers:      *workers,
+		BaseCtx:      baseCtx,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsgend:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsgend:", err)
+		return 1
+	}
+	// Print the resolved address so scripts using :0 can find the port.
+	fmt.Fprintf(os.Stderr, "rsgend: listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "rsgend: %v: draining (budget %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			// Drain budget exceeded: abort the stragglers' computations.
+			cancelBase()
+			_ = httpSrv.Close()
+			fmt.Fprintln(os.Stderr, "rsgend: drain incomplete:", err)
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "rsgend: drained, exiting")
+		return 0
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "rsgend:", err)
+			return 1
+		}
+		return 0
+	}
+}
+
+// trainAndSave trains at the requested scale and writes the versioned
+// artifact.
+func trainAndSave(path, scale string, seed uint64) error {
+	var (
+		gen *rsgen.Generator
+		err error
+	)
+	start := time.Now()
+	switch scale {
+	case "quick":
+		gen, err = rsgen.QuickGenerator(seed)
+	case "smoke":
+		gen, err = rsgen.TinyGenerator(seed)
+	default:
+		return fmt.Errorf("unknown -scale %q (quick | smoke)", scale)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rsgen.SaveGenerator(f, gen, elapsed.Seconds()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rsgend: trained %s models in %v, wrote %s\n", scale, elapsed.Round(time.Millisecond), path)
+	return nil
+}
+
+func loadModels(path string) (*rsgen.Generator, float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return rsgen.LoadGenerator(f)
+}

@@ -1,0 +1,54 @@
+package classad
+
+import "testing"
+
+// FuzzParse asserts the ClassAd parser never panics on malformed input and
+// that accepted ads survive a render → re-parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"[\n  Type = \"Job\";\n  Universe = \"parallel\";\n  MachineCount = 10;\n  Requirements = other.Type == \"Machine\" && other.Clock >= 2800;\n  Rank = other.Clock;\n]",
+		"[ A = 1; B = A + 2 * 3; C = (A < B) || !false; ]",
+		"[ S = \"str\\\"esc\"; N = -4.25; L = { 1, 2, 3 }; ]",
+		"[ Port1 = [ Label = \"cpu\"; ]; ]",
+		"[ A = 1",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ad, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := ad.String()
+		if _, err := Parse(rendered); err != nil {
+			t.Fatalf("re-parse of rendered ad failed: %v\nrendered:\n%s", err, rendered)
+		}
+	})
+}
+
+// FuzzParseExpr covers the bare-expression entry point the spec generator
+// uses for Requirements/Rank strings.
+func FuzzParseExpr(f *testing.F) {
+	seeds := []string{
+		"other.Type == \"Machine\" && other.Clock >= 2800 && other.Memory >= 1024",
+		"other.Clock",
+		"1 + 2 * (3 - 4) / 5 % 2",
+		"!(a || b) && c != d",
+		"x >=",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		rendered := e.String()
+		if _, err := ParseExpr(rendered); err != nil {
+			t.Fatalf("re-parse of rendered expr failed: %v\nrendered: %s", err, rendered)
+		}
+	})
+}

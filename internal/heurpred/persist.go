@@ -1,0 +1,56 @@
+package heurpred
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ModelFormatVersion is the on-disk format version MarshalJSON stamps into
+// every serialized Model. UnmarshalJSON accepts artifacts up to and
+// including this version (unversioned legacy files decode as v0) and
+// rejects anything newer.
+const ModelFormatVersion = 1
+
+const modelFormat = "rsgen-heuristic-model"
+
+// modelWire is the versioned JSON layout; the payload fields match the
+// legacy encoding so v0 files decode through the same struct.
+type modelWire struct {
+	Format       string        `json:"format,omitempty"`
+	Version      int           `json:"version,omitempty"`
+	Observations []Observation `json:"observations"`
+	Heuristics   []string      `json:"heuristics"`
+}
+
+// MarshalJSON encodes the model in the versioned wire format.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelWire{
+		Format:       modelFormat,
+		Version:      ModelFormatVersion,
+		Observations: m.Observations,
+		Heuristics:   m.Heuristics,
+	})
+}
+
+// UnmarshalJSON decodes either the versioned wire format or a legacy
+// unversioned file, and rebuilds the normalization spans Predict uses.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var w modelWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Format != "" && w.Format != modelFormat {
+		return fmt.Errorf("heurpred: artifact format %q, want %q", w.Format, modelFormat)
+	}
+	if w.Version > ModelFormatVersion {
+		return fmt.Errorf("heurpred: artifact version %d newer than supported %d", w.Version, ModelFormatVersion)
+	}
+	m.Observations = w.Observations
+	m.Heuristics = w.Heuristics
+	if len(m.Observations) > 0 {
+		// Precompute spans so concurrent Predict calls never race on the
+		// lazy initialization path.
+		m.computeSpans()
+	}
+	return nil
+}

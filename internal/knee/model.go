@@ -326,14 +326,14 @@ func (ms *ModelSet) Save(w io.Writer) error {
 	return enc.Encode(ms)
 }
 
-// Load reads a model set saved with Save.
+// Load reads a model set saved with Save (versioned or legacy format).
 func Load(r io.Reader) (*ModelSet, error) {
 	var ms ModelSet
 	if err := json.NewDecoder(r).Decode(&ms); err != nil {
 		return nil, fmt.Errorf("knee: load model: %w", err)
 	}
-	if len(ms.Models) == 0 {
-		return nil, errors.New("knee: loaded model set is empty")
+	if err := ms.validateLoaded(); err != nil {
+		return nil, err
 	}
 	return &ms, nil
 }

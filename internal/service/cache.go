@@ -1,0 +1,113 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// responseCache is a bounded LRU over fully rendered response bodies. The
+// value stored is the exact byte slice written to the first client, so a
+// hit is byte-identical to the original response by construction (the
+// cache-determinism contract in DESIGN.md §Serving). Entries are never
+// mutated after Put; readers share the slice.
+type responseCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResponseCache(max int) *responseCache {
+	if max < 1 {
+		max = 1
+	}
+	return &responseCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, max),
+	}
+}
+
+// Get returns the cached body and refreshes its recency.
+func (c *responseCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores a body, evicting the least recently used entry at capacity.
+func (c *responseCache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	for c.ll.Len() >= c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+}
+
+// Len returns the number of cached responses.
+func (c *responseCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flightGroup deduplicates concurrent identical requests: the first caller
+// for a key computes, later callers wait for the shared result. Unlike
+// x/sync's singleflight (unavailable: stdlib only), results are handed out
+// as shared immutable byte slices and the computation runs under the
+// server's context, not the leader's, so a leader disconnecting cannot fail
+// the followers.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when body/err are final
+	body []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// join returns the in-flight call for key, creating one if absent; leader
+// reports whether the caller must run the computation and then finish().
+func (g *flightGroup) join(key string) (call *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	return c, true
+}
+
+// finish publishes the leader's result and retires the key.
+func (g *flightGroup) finish(key string, c *flightCall, body []byte, err error) {
+	c.body, c.err = body, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+}

@@ -1,0 +1,441 @@
+// Package service is the serving subsystem behind cmd/rsgend: it exposes
+// the Chapter VII specification generator as an HTTP service. The paper's
+// end product is exactly service-shaped — a DAG comes in, a resource
+// specification in three selector languages comes out — and this package
+// adds the production concerns the one-shot CLIs lack:
+//
+//   - Persistent models: the server is constructed around an already
+//     trained spec.Generator (see spec.SaveGenerator/LoadGenerator), so
+//     cold start costs a JSON decode, not a training run.
+//   - Determinism at any concurrency: responses are cached in a bounded
+//     LRU keyed by dag.Fingerprint() plus every option that affects the
+//     output (the same key discipline as internal/eval), and concurrent
+//     identical requests are deduplicated through a single-flight group, so
+//     the same request returns byte-identical bodies whether it is computed,
+//     deduplicated, or replayed from cache.
+//   - Bounded resources: a handler concurrency limit, a request body size
+//     limit, and a per-request compute deadline.
+//
+// The handler set is POST /v1/spec, GET /healthz and GET /metrics
+// (Prometheus text exposition, including the internal/eval counters).
+// Everything is stdlib net/http + encoding/json.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/knee"
+	"rsgen/internal/sched"
+	"rsgen/internal/spec"
+)
+
+// Config parameterizes a Server. The zero value of every field except
+// Generator is usable; see the field comments for defaults.
+type Config struct {
+	// Generator is the trained specification generator (required).
+	Generator *spec.Generator
+	// MaxBodyBytes bounds the request body; 0 defaults to 1 MiB.
+	MaxBodyBytes int64
+	// Timeout bounds one specification computation; 0 defaults to 30s.
+	// The clock starts when the computation starts, so a request that
+	// waited for a concurrency slot still gets the full budget.
+	Timeout time.Duration
+	// MaxInflight bounds concurrently handled /v1/spec requests; waiting
+	// requests block until a slot frees or their client gives up (503).
+	// 0 defaults to 64.
+	MaxInflight int
+	// CacheEntries bounds the response LRU; 0 defaults to 1024.
+	CacheEntries int
+	// Workers bounds the evaluation pool used for alternative
+	// specifications; 0 uses all cores.
+	Workers int
+	// BaseCtx is the lifetime of shared computations (deduplicated
+	// requests compute under it, not under one client's context); nil
+	// defaults to context.Background(). Cancel it on shutdown to abort
+	// orphaned work.
+	BaseCtx context.Context
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.BaseCtx == nil {
+		c.BaseCtx = context.Background()
+	}
+	return c
+}
+
+// Server is the HTTP serving layer over a trained generator. It is safe for
+// concurrent use; construct with New and mount it as an http.Handler.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *responseCache
+	flight  *flightGroup
+	metrics *metrics
+	sem     chan struct{}
+	started time.Time
+
+	// computeHook, when set (tests), runs at the start of every leader
+	// computation — before the deadline check — so tests can stall or
+	// observe the compute path deterministically.
+	computeHook func()
+}
+
+// New validates the config and assembles the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Generator == nil || cfg.Generator.Size == nil || len(cfg.Generator.Size.Models) == 0 {
+		return nil, errors.New("service: config needs a generator with a trained size model")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   newResponseCache(cfg.CacheEntries),
+		flight:  newFlightGroup(),
+		metrics: newMetrics(),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/spec", s.handleSpec)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// ServeHTTP dispatches to the mux with request accounting.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	s.metrics.inflight.Add(1)
+	s.mux.ServeHTTP(rec, r)
+	s.metrics.inflight.Add(-1)
+	s.metrics.observe(metricPath(r.URL.Path), rec.code, time.Since(start))
+}
+
+// metricPath folds unknown paths into one label so arbitrary 404 traffic
+// cannot grow the metrics maps without bound.
+func metricPath(p string) string {
+	switch p {
+	case "/v1/spec", "/healthz", "/metrics":
+		return p
+	}
+	return "other"
+}
+
+// statusRecorder captures the handler's status code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// SpecRequest is the POST /v1/spec body.
+type SpecRequest struct {
+	// Dag is the workflow in the daggen JSON form:
+	// {"tasks":[{"id":0,"cost":10},…],"edges":[{"from":0,"to":1,"cost":5},…]}
+	Dag json.RawMessage `json:"dag"`
+	// Options tune the generation; all fields optional.
+	Options SpecOptions `json:"options"`
+}
+
+// SpecOptions is the wire form of spec.Options plus the alternative-spec
+// request knobs.
+type SpecOptions struct {
+	Threshold              float64 `json:"threshold,omitempty"`
+	UtilityLambda          float64 `json:"utility_lambda,omitempty"`
+	ClockGHz               float64 `json:"clock_ghz,omitempty"`
+	HeterogeneityTolerance float64 `json:"heterogeneity_tolerance,omitempty"`
+	MinMemoryMB            int     `json:"min_memory_mb,omitempty"`
+	SCR                    float64 `json:"scr,omitempty"`
+	MixedParallel          bool    `json:"mixed_parallel,omitempty"`
+	// Heuristic pins the scheduling heuristic instead of predicting it.
+	Heuristic string `json:"heuristic,omitempty"`
+	// AlternativeClocks, when non-empty, asks for the Chapter VII
+	// degraded fallback specs at these slower clock classes (GHz). This
+	// runs real evaluation sweeps and is the expensive path the request
+	// deadline guards.
+	AlternativeClocks []float64 `json:"alternative_clocks,omitempty"`
+	// AlternativeTolerance is the acceptable turn-around slack for an
+	// alternative (0 defaults to 0.02).
+	AlternativeTolerance float64 `json:"alternative_tolerance,omitempty"`
+}
+
+// SpecResponse is the POST /v1/spec response body.
+type SpecResponse struct {
+	Heuristic     string                `json:"heuristic"`
+	RCSize        int                   `json:"rc_size"`
+	MinClockGHz   float64               `json:"min_clock_ghz"`
+	MaxClockGHz   float64               `json:"max_clock_ghz"`
+	MinMemoryMB   int                   `json:"min_memory_mb"`
+	Threshold     float64               `json:"threshold"`
+	MixedParallel bool                  `json:"mixed_parallel,omitempty"`
+	VgDL          string                `json:"vgdl"`
+	ClassAd       string                `json:"classad"`
+	Sword         string                `json:"sword"`
+	Alternatives  []AlternativeResponse `json:"alternatives,omitempty"`
+}
+
+// AlternativeResponse is one degraded fallback specification.
+type AlternativeResponse struct {
+	ClockGHz     float64 `json:"clock_ghz"`
+	RCSize       int     `json:"rc_size"`
+	RelativeSize float64 `json:"relative_size"`
+	VgDL         string  `json:"vgdl"`
+	ClassAd      string  `json:"classad"`
+	Sword        string  `json:"sword"`
+}
+
+// errorBody is every non-2xx response's JSON shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSpec is POST /v1/spec.
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	// Concurrency limit: wait for a slot, bail if the client gives up
+	// first.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		s.metrics.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server saturated: %v", r.Context().Err())
+		return
+	}
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req SpecRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "malformed request JSON: %v", err)
+		return
+	}
+	if len(req.Dag) == 0 {
+		writeError(w, http.StatusBadRequest, "request has no dag")
+		return
+	}
+	d, err := dag.Decode(bytes.NewReader(req.Dag))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid dag: %v", err)
+		return
+	}
+	if err := s.validateOptions(req.Options); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
+		return
+	}
+
+	key := cacheKey(d, req.Options)
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		_, _ = w.Write(body)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	// Deduplicate concurrent identical requests: the leader computes
+	// under the server's context (so one client disconnecting cannot
+	// fail the rest), followers wait for the shared bytes.
+	call, leader := s.flight.join(key)
+	if leader {
+		body, err := s.computeResponse(d, req.Options)
+		if err == nil {
+			s.cache.Put(key, body)
+		}
+		s.flight.finish(key, call, body, err)
+	} else {
+		s.metrics.dedupShared.Add(1)
+		select {
+		case <-call.done:
+		case <-r.Context().Done():
+			writeError(w, http.StatusServiceUnavailable, "request abandoned: %v", r.Context().Err())
+			return
+		}
+	}
+	if call.err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(call.err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		} else if errors.Is(call.err, context.Canceled) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "generate: %v", call.err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "miss")
+	_, _ = w.Write(call.body)
+}
+
+// validateOptions rejects requests the generator would choke on, so bad
+// input is a 400 before any compute is spent.
+func (s *Server) validateOptions(o SpecOptions) error {
+	switch {
+	case o.Threshold < 0:
+		return fmt.Errorf("threshold %v < 0", o.Threshold)
+	case o.UtilityLambda < 0:
+		return fmt.Errorf("utility_lambda %v < 0", o.UtilityLambda)
+	case o.ClockGHz < 0:
+		return fmt.Errorf("clock_ghz %v < 0", o.ClockGHz)
+	case o.HeterogeneityTolerance < 0 || o.HeterogeneityTolerance >= 1:
+		return fmt.Errorf("heterogeneity_tolerance %v outside [0,1)", o.HeterogeneityTolerance)
+	case o.MinMemoryMB < 0:
+		return fmt.Errorf("min_memory_mb %d < 0", o.MinMemoryMB)
+	case o.SCR < 0:
+		return fmt.Errorf("scr %v < 0", o.SCR)
+	case o.AlternativeTolerance < 0:
+		return fmt.Errorf("alternative_tolerance %v < 0", o.AlternativeTolerance)
+	}
+	if o.Heuristic != "" {
+		if _, err := sched.ByName(o.Heuristic); err != nil {
+			return err
+		}
+	}
+	if o.Threshold > 0 {
+		if _, err := s.cfg.Generator.Size.ByThreshold(o.Threshold); err != nil {
+			return err
+		}
+	}
+	for _, c := range o.AlternativeClocks {
+		if c <= 0 {
+			return fmt.Errorf("alternative clock %v <= 0", c)
+		}
+	}
+	return nil
+}
+
+// cacheKey identifies a request by the DAG fingerprint plus every option
+// that affects the generated bytes — the internal/eval key discipline
+// applied one layer up.
+func cacheKey(d *dag.DAG, o SpecOptions) string {
+	return fmt.Sprintf("%016x|t%g|u%g|c%g|h%g|m%d|s%g|x%t|H%s|ac%v|at%g",
+		d.Fingerprint(), o.Threshold, o.UtilityLambda, o.ClockGHz,
+		o.HeterogeneityTolerance, o.MinMemoryMB, o.SCR, o.MixedParallel,
+		o.Heuristic, o.AlternativeClocks, o.AlternativeTolerance)
+}
+
+// computeResponse runs the generator and renders the response bytes. It
+// runs under the server's base context bounded by the configured timeout;
+// generation is deterministic, so recomputing after cache eviction yields
+// the same bytes.
+func (s *Server) computeResponse(d *dag.DAG, o SpecOptions) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(s.cfg.BaseCtx, s.cfg.Timeout)
+	defer cancel()
+	if s.computeHook != nil {
+		s.computeHook()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	g := s.cfg.Generator
+	sp, err := g.Generate(d, spec.Options{
+		Threshold:              o.Threshold,
+		UtilityLambda:          o.UtilityLambda,
+		ClockGHz:               o.ClockGHz,
+		HeterogeneityTolerance: o.HeterogeneityTolerance,
+		MinMemoryMB:            o.MinMemoryMB,
+		SCRValue:               o.SCR,
+		MixedParallel:          o.MixedParallel,
+		Heuristic:              o.Heuristic,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := SpecResponse{
+		Heuristic:     sp.Heuristic,
+		RCSize:        sp.RCSize,
+		MinClockGHz:   sp.MinClockGHz,
+		MaxClockGHz:   sp.MaxClockGHz,
+		MinMemoryMB:   sp.MinMemoryMB,
+		Threshold:     sp.Threshold,
+		MixedParallel: sp.MixedParallel,
+		VgDL:          sp.VgDL,
+		ClassAd:       sp.ClassAd,
+		Sword:         sp.SwordXML,
+	}
+	if len(o.AlternativeClocks) > 0 {
+		tol := o.AlternativeTolerance
+		if tol == 0 {
+			tol = 0.02
+		}
+		sweep := knee.SweepConfig{Ctx: ctx, Workers: s.cfg.Workers}
+		alts, err := g.Alternatives(d, sp, o.AlternativeClocks, sweep, tol)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range alts {
+			resp.Alternatives = append(resp.Alternatives, AlternativeResponse{
+				ClockGHz:     a.ClockGHz,
+				RCSize:       a.RCSize,
+				RelativeSize: a.RelativeSize,
+				VgDL:         a.Spec.VgDL,
+				ClassAd:      a.Spec.ClassAd,
+				Sword:        a.Spec.SwordXML,
+			})
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+// handleHealthz is GET /healthz: cheap liveness plus model provenance.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g := s.cfg.Generator
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"size_thresholds": len(g.Size.Models),
+		"heuristic_model": g.Heur != nil,
+		"uptime_seconds":  int64(time.Since(s.started).Seconds()),
+	})
+}
+
+// handleMetrics is GET /metrics: Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.expose(w, s.cache.Len())
+}

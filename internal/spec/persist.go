@@ -1,0 +1,73 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"rsgen/internal/heurpred"
+	"rsgen/internal/knee"
+)
+
+// ArtifactFormatVersion is the generator-artifact version SaveGenerator
+// writes. LoadGenerator accepts artifacts up to and including this version
+// (legacy unversioned {"size":…,"heuristic":…} envelopes decode as v0) and
+// rejects anything newer.
+const ArtifactFormatVersion = 1
+
+const artifactFormat = "rsgen-generator"
+
+// artifactWire is the on-disk form of a trained generator: every model in
+// one JSON document, plus training-provenance metadata so loaders can
+// report how much work the artifact saves.
+type artifactWire struct {
+	Format  string `json:"format,omitempty"`
+	Version int    `json:"version,omitempty"`
+	// TrainSeconds is the wall-clock cost of the training run that
+	// produced the artifact (0 when unknown).
+	TrainSeconds float64         `json:"train_seconds,omitempty"`
+	Size         *knee.ModelSet  `json:"size"`
+	Heuristic    *heurpred.Model `json:"heuristic,omitempty"`
+	SCR          *knee.SCRModel  `json:"scr,omitempty"`
+}
+
+// SaveGenerator writes the generator's trained models as one versioned JSON
+// artifact. trainSeconds records the training cost the artifact amortizes;
+// pass 0 when unknown.
+func SaveGenerator(w io.Writer, g *Generator, trainSeconds float64) error {
+	if g == nil || g.Size == nil || len(g.Size.Models) == 0 {
+		return errors.New("spec: cannot save a generator without a size model")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(artifactWire{
+		Format:       artifactFormat,
+		Version:      ArtifactFormatVersion,
+		TrainSeconds: trainSeconds,
+		Size:         g.Size,
+		Heuristic:    g.Heur,
+		SCR:          g.SCR,
+	})
+}
+
+// LoadGenerator reads an artifact written by SaveGenerator (or a legacy
+// unversioned model envelope) and returns the assembled generator plus the
+// recorded training cost in seconds (0 when the artifact predates the
+// field).
+func LoadGenerator(r io.Reader) (*Generator, float64, error) {
+	var w artifactWire
+	if err := json.NewDecoder(r).Decode(&w); err != nil {
+		return nil, 0, fmt.Errorf("spec: load generator: %w", err)
+	}
+	if w.Format != "" && w.Format != artifactFormat {
+		return nil, 0, fmt.Errorf("spec: artifact format %q, want %q", w.Format, artifactFormat)
+	}
+	if w.Version > ArtifactFormatVersion {
+		return nil, 0, fmt.Errorf("spec: artifact version %d newer than supported %d", w.Version, ArtifactFormatVersion)
+	}
+	if w.Size == nil || len(w.Size.Models) == 0 {
+		return nil, 0, errors.New("spec: artifact has no size models")
+	}
+	return &Generator{Size: w.Size, Heur: w.Heuristic, SCR: w.SCR}, w.TrainSeconds, nil
+}

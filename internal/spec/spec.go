@@ -17,6 +17,7 @@ import (
 	"rsgen/internal/dag"
 	"rsgen/internal/heurpred"
 	"rsgen/internal/knee"
+	"rsgen/internal/sched"
 	"rsgen/internal/sword"
 	"rsgen/internal/vgdl"
 )
@@ -61,6 +62,9 @@ type Options struct {
 	// well-connected nodes), the SWORD group demands LAN-class intra-group
 	// latency, and the ClassAd carries a WantsSingleCluster marker.
 	MixedParallel bool
+	// Heuristic, when non-empty, pins the scheduling heuristic instead of
+	// predicting it (must name an implemented heuristic, e.g. "MCP").
+	Heuristic string
 }
 
 func (o Options) withDefaults() Options {
@@ -130,7 +134,14 @@ func (g *Generator) Generate(d *dag.DAG, opts Options) (*Specification, error) {
 	}
 
 	heur := "MCP"
-	if g.Heur != nil {
+	switch {
+	case opts.Heuristic != "":
+		h, err := sched.ByName(opts.Heuristic)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+		heur = h.Name()
+	case g.Heur != nil:
 		h, err := g.Heur.Predict(chars)
 		if err == nil && h != "" {
 			heur = h

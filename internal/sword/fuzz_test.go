@@ -1,0 +1,52 @@
+package sword
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecode asserts the SWORD XML decoder never panics on malformed input
+// and that accepted requests survive an encode → re-decode round trip.
+func FuzzDecode(f *testing.F) {
+	clock := AtLeast(2800, 3000, 0.1)
+	mem := AtLeast(1024, 2048, 0.01)
+	lat := AtMost(10, math.Inf(1), 0.5)
+	req := &Request{
+		DistQueryBudget: 30,
+		OptimizerBudget: 100,
+		Groups: []Group{{
+			Name: "rc", NumMachines: 8,
+			Clock: &clock, FreeMem: &mem, Latency: &lat,
+			OS: &ValuePenalty{Value: "Linux", Penalty: 0},
+		}},
+		Constraints: []Constraint{{GroupNames: "rc rc", Latency: &lat}},
+	}
+	valid, err := req.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		valid,
+		"<request><group><name>g</name><num_machines>1</num_machines></group></request>",
+		"<request></request>",
+		"<request><group><name>g</name><num_machines>-3</num_machines></group>",
+		"not xml at all",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := Decode(src)
+		if err != nil {
+			return
+		}
+		rendered, err := r.Encode()
+		if err != nil {
+			t.Fatalf("re-encode of accepted request failed: %v", err)
+		}
+		if _, err := Decode(rendered); err != nil {
+			t.Fatalf("re-decode of rendered request failed: %v\nrendered:\n%s", err, rendered)
+		}
+	})
+}

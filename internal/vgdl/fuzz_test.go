@@ -1,0 +1,36 @@
+package vgdl
+
+import "testing"
+
+// FuzzParse asserts the parser never panics and that anything it accepts
+// survives a render → re-parse round trip: rsgend feeds service input
+// straight into Parse, so a parser crash would take the process down.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"VG =\n  TightBagOf(nodes) [10:10]\n  [rank = Clock]\n  {\n    nodes = [ (Clock>=3000) && (Memory>=1024) ]\n  }\n",
+		"VG =\n  LooseBagOf(n) [1:4]\n  {\n    n = [ true ]\n  }\n",
+		"VG =\n  ClusterOf(nodes) [500:2633]\n  {\n    nodes = [ (Clock>=2800) ]\n  }\n  CloseTo\n  TightBagOf(m) [2:2]\n  {\n    m = [ (Memory>=512) ]\n  }\n",
+		"// comment\nVG =\n  TightBagOf(nodes) [0:0]\n  {\n    nodes = [ (Clock==x) ]\n  }\n",
+		"VG = TightBagOf(nodes [3:",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted specs must re-render and re-parse to something the
+		// validator still accepts.
+		rendered := s.String()
+		s2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of rendered spec failed: %v\nrendered:\n%s", err, rendered)
+		}
+		if got := s2.String(); got != rendered {
+			t.Fatalf("render not a fixed point:\nfirst:\n%s\nsecond:\n%s", rendered, got)
+		}
+	})
+}

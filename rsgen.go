@@ -29,6 +29,7 @@ package rsgen
 
 import (
 	"fmt"
+	"io"
 
 	"rsgen/internal/bind"
 	"rsgen/internal/classad"
@@ -232,6 +233,53 @@ func QuickGenerator(seed uint64) (*Generator, error) {
 		return nil, err
 	}
 	return &Generator{Size: size, Heur: heur}, nil
+}
+
+// TinyGenerator trains a minimal model pair (about a second of CPU) —
+// enough for smoke tests, service bring-up and demos, far too coarse for
+// real predictions. Use QuickGenerator or the full training configs for
+// anything that matters.
+func TinyGenerator(seed uint64) (*Generator, error) {
+	size, err := knee.Train(knee.TrainConfig{
+		Sizes:      []int{50, 200},
+		CCRs:       []float64{0.1, 0.5},
+		Alphas:     []float64{0.4, 0.7},
+		Betas:      []float64{0.2, 0.8},
+		Reps:       1,
+		Density:    0.5,
+		MeanCost:   40,
+		Thresholds: knee.Thresholds,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	heur, err := heurpred.Train(heurpred.TrainConfig{
+		Sizes:  []int{50, 200},
+		CCRs:   []float64{0.1},
+		Alphas: []float64{0.5},
+		Betas:  []float64{0.5},
+		Reps:   1,
+		Seed:   seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{Size: size, Heur: heur}, nil
+}
+
+// SaveGenerator writes a trained generator as one versioned JSON artifact
+// that serve mode (cmd/rsgend) and the CLI (-models) load without
+// retraining. trainSeconds records the training cost the artifact
+// amortizes; pass 0 when unknown.
+func SaveGenerator(w io.Writer, g *Generator, trainSeconds float64) error {
+	return spec.SaveGenerator(w, g, trainSeconds)
+}
+
+// LoadGenerator reads an artifact written by SaveGenerator and returns the
+// generator plus the recorded training cost in seconds.
+func LoadGenerator(r io.Reader) (*Generator, float64, error) {
+	return spec.LoadGenerator(r)
 }
 
 // EquivalentSize finds the smallest RC size at altClock matching the

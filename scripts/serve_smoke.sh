@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test for the rsgend spec service.
+#
+# Trains a smoke-scale model artifact, starts rsgend on an ephemeral port,
+# POSTs the Figure III-2 example DAG to /v1/spec, and diffs the response
+# against the committed golden spec. Then sends SIGTERM and asserts the
+# server drains and exits 0.
+#
+# Run from the repository root (make serve-smoke does this for you).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TESTDATA="$ROOT/cmd/rsgend/testdata"
+WORK="$(mktemp -d)"
+SRV_PID=""
+
+cleanup() {
+    if [[ -n "$SRV_PID" ]] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill -KILL "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building rsgend"
+go build -o "$WORK/rsgend" "$ROOT/cmd/rsgend"
+
+echo "serve-smoke: training smoke-scale models"
+"$WORK/rsgend" -train -models "$WORK/models.json" -scale smoke -seed 1
+
+echo "serve-smoke: starting rsgend on an ephemeral port"
+"$WORK/rsgend" -models "$WORK/models.json" -addr 127.0.0.1:0 2>"$WORK/serve.log" &
+SRV_PID=$!
+
+# The server prints "rsgend: listening on http://HOST:PORT" once the
+# listener is bound; poll for it rather than sleeping a fixed time.
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's#.*listening on http://##p' "$WORK/serve.log" | head -n1)"
+    [[ -n "$ADDR" ]] && break
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+        echo "serve-smoke: FAIL — server exited before binding" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+    echo "serve-smoke: FAIL — server never reported its address" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+echo "serve-smoke: server up at $ADDR"
+
+curl -sS -X POST --data-binary "@$TESTDATA/fig_iii2_request.json" \
+    "http://$ADDR/v1/spec" -o "$WORK/resp.json"
+
+if ! diff -u "$TESTDATA/fig_iii2_spec.golden.json" "$WORK/resp.json"; then
+    cp "$WORK/resp.json" /tmp/rsgend_serve_smoke_got.json
+    echo "serve-smoke: FAIL — /v1/spec response diverged from golden spec" >&2
+    echo "serve-smoke: got response saved to /tmp/rsgend_serve_smoke_got.json;" >&2
+    echo "serve-smoke: if the change is intentional, copy it over" >&2
+    echo "  cmd/rsgend/testdata/fig_iii2_spec.golden.json" >&2
+    exit 1
+fi
+echo "serve-smoke: /v1/spec matches golden spec"
+
+kill -TERM "$SRV_PID"
+set +e
+wait "$SRV_PID"
+CODE=$?
+set -e
+SRV_PID=""
+if [[ "$CODE" -ne 0 ]]; then
+    echo "serve-smoke: FAIL — server exited $CODE after SIGTERM (want 0)" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+echo "serve-smoke: PASS (graceful shutdown, exit 0)"
