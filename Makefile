@@ -3,9 +3,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race bench fuzz-smoke serve-smoke
+.PHONY: check vet build test race bench bench-smoke bench-json fuzz-smoke serve-smoke
 
-check: vet build race fuzz-smoke
+check: vet build race bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,17 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
+
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or that fail outright, without paying for real measurements.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Machine-readable benchmark baseline: writes BENCH_3.json mapping each
+# benchmark to ns/op, B/op and allocs/op. BENCH_ARGS narrows the set, e.g.
+# BENCH_ARGS='BenchmarkSchedule' make bench-json
+bench-json:
+	bash scripts/bench_json.sh $(BENCH_ARGS)
 
 # Short fuzzing pass over every parser the rsgend service exposes to
 # untrusted input. `go test -fuzz` accepts one target per invocation,

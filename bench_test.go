@@ -226,10 +226,18 @@ func BenchmarkSpecGenerate(b *testing.B) {
 // Ablation benchmarks for the design choices DESIGN.md documents.
 
 func benchMCPPrefix(b *testing.B, prefix int) {
-	old := sched.MCPPrefix
-	sched.MCPPrefix = prefix
-	defer func() { sched.MCPPrefix = old }()
-	benchSchedule(b, "MCP", 64)
+	if prefix == 0 {
+		prefix = -1 // MCP.Prefix < 0 means zero-length prefix (pure ALAP)
+	}
+	d := benchDAG(b, 1000)
+	rc := rsgen.HomogeneousRC(64, 2.8, 1000)
+	h := sched.MCP{Prefix: prefix}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Schedule(d, rc); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkAblationMCPPrefix0(b *testing.B) { benchMCPPrefix(b, 0) }

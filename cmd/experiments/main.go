@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rsgen/internal/eval"
@@ -37,6 +39,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		format  = fs.String("format", "text", "text | csv")
 		workers = fs.Int("j", 0, "evaluation workers (0 = all cores, 1 = serial)")
 		timeout = fs.Duration("timeout", 0, "per-evaluation-point deadline (0 = none)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "Usage: experiments [flags]")
@@ -50,6 +54,37 @@ Exit codes:
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "experiments:", err)
+			}
+		}()
 	}
 
 	if *list {

@@ -12,6 +12,10 @@
 //	GET  /healthz   liveness + model provenance
 //	GET  /metrics   Prometheus text exposition (requests, latencies, caches)
 //
+// With -debug-addr a second, operator-only listener additionally serves
+// net/http/pprof (plus /healthz and /metrics) on a separate mux; profiling
+// endpoints are never mounted on the public -addr listener.
+//
 // SIGINT/SIGTERM drain in-flight requests (bounded by -drain) and exit 0.
 package main
 
@@ -50,6 +54,7 @@ func run(args []string) int {
 		cacheSize   = fs.Int("cache", 1024, "response cache entries")
 		workers     = fs.Int("j", 0, "evaluation workers for alternative specs (0 = all cores)")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		debugAddr   = fs.String("debug-addr", "", "operator-only listen address for net/http/pprof, /healthz and /metrics (e.g. 127.0.0.1:6060); never exposed on -addr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -99,6 +104,24 @@ func run(args []string) int {
 	}
 	// Print the resolved address so scripts using :0 can find the port.
 	fmt.Fprintf(os.Stderr, "rsgend: listening on http://%s\n", ln.Addr())
+
+	if *debugAddr != "" {
+		// The pprof handlers live on their own mux and listener: they leak
+		// heap contents and must never ride on the public -addr handler.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsgend:", err)
+			return 1
+		}
+		dbg := &http.Server{Handler: service.DebugMux(srv)}
+		go func() {
+			if err := dbg.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "rsgend: debug listener:", err)
+			}
+		}()
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "rsgend: debug endpoints (pprof) on http://%s/debug/pprof/\n", dln.Addr())
+	}
 
 	httpSrv := &http.Server{Handler: srv}
 	errc := make(chan error, 1)

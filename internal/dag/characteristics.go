@@ -106,7 +106,7 @@ func (d *DAG) Density() float64 {
 			continue
 		}
 		prev := float64(d.lsize[l-1])
-		sum += float64(len(d.pred[v])) / prev
+		sum += float64(d.NumPred(TaskID(v))) / prev
 		cnt++
 	}
 	if cnt == 0 {

@@ -52,8 +52,14 @@ type DAG struct {
 	tasks []Task
 	edges []Edge
 
-	succ [][]Adj // successors (children) of each task
-	pred [][]Adj // predecessors (parents) of each task
+	// Adjacency in CSR (compressed sparse row) form: the neighbors of task
+	// v are succAdj[succOff[v]:succOff[v+1]] (and likewise for pred). One
+	// flat backing array per direction keeps Pred/Succ iteration free of
+	// slice-of-slice indirection and pointer chasing in scheduler loops.
+	succOff []int32
+	predOff []int32
+	succAdj []Adj
+	predAdj []Adj
 
 	level  []int // level(v): longest entry→v path length in edges
 	height int   // number of levels
@@ -92,8 +98,6 @@ func New(tasks []Task, edges []Edge) (*DAG, error) {
 	d := &DAG{
 		tasks: append([]Task(nil), tasks...),
 		edges: append([]Edge(nil), edges...),
-		succ:  make([][]Adj, n),
-		pred:  make([][]Adj, n),
 	}
 	type key struct{ a, b TaskID }
 	seen := make(map[key]struct{}, len(edges))
@@ -112,13 +116,40 @@ func New(tasks []Task, edges []Edge) (*DAG, error) {
 			return nil, fmt.Errorf("dag: duplicate edge %d→%d", e.From, e.To)
 		}
 		seen[k] = struct{}{}
-		d.succ[e.From] = append(d.succ[e.From], Adj{Task: e.To, Cost: e.Cost})
-		d.pred[e.To] = append(d.pred[e.To], Adj{Task: e.From, Cost: e.Cost})
 	}
+	d.buildCSR()
 	if err := d.computeLevels(); err != nil {
 		return nil, err
 	}
 	return d, nil
+}
+
+// buildCSR assembles the flat adjacency arrays. A counting pass sizes each
+// row, then edges are written in input order, so each task's neighbor order
+// matches the historical append order exactly (schedulers depend on it for
+// byte-identical output).
+func (d *DAG) buildCSR() {
+	n := len(d.tasks)
+	d.succOff = make([]int32, n+1)
+	d.predOff = make([]int32, n+1)
+	for _, e := range d.edges {
+		d.succOff[e.From+1]++
+		d.predOff[e.To+1]++
+	}
+	for v := 0; v < n; v++ {
+		d.succOff[v+1] += d.succOff[v]
+		d.predOff[v+1] += d.predOff[v]
+	}
+	d.succAdj = make([]Adj, len(d.edges))
+	d.predAdj = make([]Adj, len(d.edges))
+	sNext := append([]int32(nil), d.succOff[:n]...)
+	pNext := append([]int32(nil), d.predOff[:n]...)
+	for _, e := range d.edges {
+		d.succAdj[sNext[e.From]] = Adj{Task: e.To, Cost: e.Cost}
+		sNext[e.From]++
+		d.predAdj[pNext[e.To]] = Adj{Task: e.From, Cost: e.Cost}
+		pNext[e.To]++
+	}
 }
 
 // MustNew is New but panics on error; for tests and literals.
@@ -137,7 +168,7 @@ func (d *DAG) computeLevels() error {
 	n := len(d.tasks)
 	indeg := make([]int, n)
 	for v := 0; v < n; v++ {
-		indeg[v] = len(d.pred[v])
+		indeg[v] = int(d.predOff[v+1] - d.predOff[v])
 	}
 	d.level = make([]int, n)
 	queue := make([]TaskID, 0, n)
@@ -150,7 +181,7 @@ func (d *DAG) computeLevels() error {
 	for head < len(queue) {
 		v := queue[head]
 		head++
-		for _, a := range d.succ[v] {
+		for _, a := range d.Succ(v) {
 			if l := d.level[v] + 1; l > d.level[a.Task] {
 				d.level[a.Task] = l
 			}
@@ -195,10 +226,18 @@ func (d *DAG) Tasks() []Task { return d.tasks }
 func (d *DAG) Edges() []Edge { return d.edges }
 
 // Succ returns the successors of id; callers must not modify the slice.
-func (d *DAG) Succ(id TaskID) []Adj { return d.succ[id] }
+// The slice is a view into a flat CSR array, so taking it is allocation-free.
+func (d *DAG) Succ(id TaskID) []Adj { return d.succAdj[d.succOff[id]:d.succOff[id+1]] }
 
 // Pred returns the predecessors of id; callers must not modify the slice.
-func (d *DAG) Pred(id TaskID) []Adj { return d.pred[id] }
+// The slice is a view into a flat CSR array, so taking it is allocation-free.
+func (d *DAG) Pred(id TaskID) []Adj { return d.predAdj[d.predOff[id]:d.predOff[id+1]] }
+
+// NumSucc returns the out-degree of id without materializing the slice.
+func (d *DAG) NumSucc(id TaskID) int { return int(d.succOff[id+1] - d.succOff[id]) }
+
+// NumPred returns the in-degree of id without materializing the slice.
+func (d *DAG) NumPred(id TaskID) int { return int(d.predOff[id+1] - d.predOff[id]) }
 
 // Level returns level(id): the longest entry-to-id path length in edges.
 func (d *DAG) Level(id TaskID) int { return d.level[id] }
@@ -229,7 +268,7 @@ func (d *DAG) Width() int {
 func (d *DAG) Entries() []TaskID {
 	var out []TaskID
 	for v := range d.tasks {
-		if len(d.pred[v]) == 0 {
+		if d.NumPred(TaskID(v)) == 0 {
 			out = append(out, TaskID(v))
 		}
 	}
@@ -240,7 +279,7 @@ func (d *DAG) Entries() []TaskID {
 func (d *DAG) Exits() []TaskID {
 	var out []TaskID
 	for v := range d.tasks {
-		if len(d.succ[v]) == 0 {
+		if d.NumSucc(TaskID(v)) == 0 {
 			out = append(out, TaskID(v))
 		}
 	}
@@ -268,7 +307,7 @@ func (d *DAG) CriticalPathLength() float64 {
 	dist := make([]float64, n)
 	for _, v := range d.TopoOrder() {
 		base := dist[v] + d.tasks[v].Cost
-		for _, a := range d.succ[v] {
+		for _, a := range d.Succ(v) {
 			if t := base + a.Cost; t > dist[a.Task] {
 				dist[a.Task] = t
 			}
@@ -295,7 +334,7 @@ func (d *DAG) BLevels() []float64 {
 		for i := n - 1; i >= 0; i-- {
 			v := order[i]
 			best := 0.0
-			for _, a := range d.succ[v] {
+			for _, a := range d.Succ(v) {
 				if t := a.Cost + bl[a.Task]; t > best {
 					best = t
 				}
@@ -317,7 +356,7 @@ func (d *DAG) TLevels() []float64 {
 		tl := make([]float64, n)
 		for _, v := range d.TopoOrder() {
 			base := tl[v] + d.tasks[v].Cost
-			for _, a := range d.succ[v] {
+			for _, a := range d.Succ(v) {
 				if t := base + a.Cost; t > tl[a.Task] {
 					tl[a.Task] = t
 				}

@@ -71,11 +71,28 @@ var DefaultCache = NewCache(DefaultCacheEntries)
 // Cache memoizes evaluation results. It is safe for concurrent use. A hit
 // returns the exact Result a previous Evaluate produced, so caching never
 // changes observable output — only wall-clock time.
+//
+// The cache is striped into shards keyed by a hash of the Key, so parallel
+// evaluation workers (internal/eval's pool fans out across GOMAXPROCS) do
+// not serialize on a single lock. Small caches use a single shard so the
+// capacity bound stays exact; large caches split the capacity evenly and
+// enforce it per shard, which preserves the global bound to within the
+// arbitrary-eviction semantics already documented on Put.
 type Cache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+type cacheShard struct {
 	mu  sync.RWMutex
 	max int
 	m   map[Key]Result
+	_   [24]byte // soften false sharing between adjacent shards
 }
+
+// minEntriesPerShard is the smallest per-shard capacity worth striping for;
+// below it lock contention is cheaper than a sloppy capacity bound.
+const minEntriesPerShard = 1 << 10
 
 // NewCache returns a cache bounded to max entries (max <= 0 uses
 // DefaultCacheEntries). At capacity an arbitrary entry is evicted per
@@ -84,40 +101,80 @@ func NewCache(max int) *Cache {
 	if max <= 0 {
 		max = DefaultCacheEntries
 	}
-	return &Cache{max: max, m: make(map[Key]Result)}
+	n := 1
+	for n < 64 && max/(n*2) >= minEntriesPerShard {
+		n *= 2
+	}
+	c := &Cache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		per := max / n
+		if i < max%n {
+			per++
+		}
+		c.shards[i] = cacheShard{max: per, m: make(map[Key]Result)}
+	}
+	return c
+}
+
+// shardOf hashes every field of the key down to a shard.
+func (c *Cache) shardOf(key Key) *cacheShard {
+	h := mix64(uint64(fnvOffset), key.Dags)
+	h = mix64(h, uint64(key.Size))
+	for i := 0; i < len(key.Heuristic); i++ {
+		h = (h ^ uint64(key.Heuristic[i])) * fnvPrime
+	}
+	h = mix64(h, key.ClockGHz)
+	h = mix64(h, key.Heterogeneity)
+	h = mix64(h, key.BandwidthMbps)
+	h = mix64(h, key.SCR)
+	h = mix64(h, key.Seed)
+	if key.Simulate {
+		h = mix64(h, 1)
+	}
+	return &c.shards[h&c.mask]
 }
 
 // Get returns the memoized result for key, if present.
 func (c *Cache) Get(key Key) (Result, bool) {
-	c.mu.RLock()
-	r, ok := c.m[key]
-	c.mu.RUnlock()
+	s := c.shardOf(key)
+	s.mu.RLock()
+	r, ok := s.m[key]
+	s.mu.RUnlock()
 	return r, ok
 }
 
 // Put stores a result, evicting an arbitrary entry if the cache is full.
 func (c *Cache) Put(key Key, r Result) {
-	c.mu.Lock()
-	if _, exists := c.m[key]; !exists && len(c.m) >= c.max {
-		for k := range c.m {
-			delete(c.m, k)
+	s := c.shardOf(key)
+	s.mu.Lock()
+	if _, exists := s.m[key]; !exists && len(s.m) >= s.max {
+		for k := range s.m {
+			delete(s.m, k)
 			break
 		}
 	}
-	c.m[key] = r
-	c.mu.Unlock()
+	s.m[key] = r
+	s.mu.Unlock()
 }
 
 // Len returns the number of memoized results.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // Clear drops every memoized result.
 func (c *Cache) Clear() {
-	c.mu.Lock()
-	c.m = make(map[Key]Result)
-	c.mu.Unlock()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[Key]Result)
+		s.mu.Unlock()
+	}
 }

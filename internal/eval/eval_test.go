@@ -3,6 +3,7 @@ package eval
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -241,5 +242,40 @@ func TestHeterogeneousRCIndependentOfOrder(t *testing.T) {
 	}
 	if alone[0] != batch[len(batch)-1] {
 		t.Errorf("size-6 point depends on evaluation order: %+v vs %+v", alone[0], batch[len(batch)-1])
+	}
+}
+
+func TestCacheShardedConcurrent(t *testing.T) {
+	// A default-capacity cache is striped into multiple shards; hammer it
+	// from many goroutines (run under -race in `make check`) and confirm
+	// every written entry reads back exactly and the capacity bound holds.
+	c := NewCache(0)
+	if len(c.shards) < 2 {
+		t.Fatalf("default cache not striped: %d shard(s)", len(c.shards))
+	}
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 500
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := Key{Dags: uint64(w), Size: i, Heuristic: "MCP", Seed: uint64(i)}
+				c.Put(k, Result{Size: i, Makespan: float64(w)})
+				got, ok := c.Get(k)
+				if !ok || got.Size != i || got.Makespan != float64(w) {
+					t.Errorf("w%d i%d: read-after-write mismatch: %+v ok=%v", w, i, got, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n != writers*perWriter {
+		t.Errorf("Len = %d, want %d (no evictions expected below capacity)", n, writers*perWriter)
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Errorf("Clear left %d entries", c.Len())
 	}
 }

@@ -149,6 +149,38 @@ func (n platformNet) TransferTime(edgeCost float64, a, b int) float64 {
 	return n.p.TransferTime(edgeCost, n.hosts[a].ID, n.hosts[b].ID)
 }
 
+// ClusterNetwork is implemented by networks whose transfer time between two
+// distinct hosts depends only on the clusters the hosts belong to. Schedulers
+// exploit this to evaluate one candidate per cluster instead of every host
+// (see internal/sched's grouped host selection); the results are required to
+// be identical to per-host TransferTime evaluation.
+type ClusterNetwork interface {
+	Network
+	// HostCluster returns the cluster of RC host i.
+	HostCluster(i int) int
+	// ClusterTransferTime returns TransferTime between any two distinct
+	// hosts of clusters ca and cb (which may be equal: intra-cluster
+	// transfers between distinct hosts pay the LAN bandwidth).
+	ClusterTransferTime(edgeCost float64, ca, cb int) float64
+}
+
+// HostCluster implements ClusterNetwork.
+func (n platformNet) HostCluster(i int) int { return n.hosts[i].Cluster }
+
+// ClusterTransferTime implements ClusterNetwork.
+func (n platformNet) ClusterTransferTime(edgeCost float64, ca, cb int) float64 {
+	if edgeCost == 0 {
+		return 0
+	}
+	var bw float64
+	if ca == cb {
+		bw = n.p.Clusters[ca].IntraMbps
+	} else {
+		bw = n.p.interClusterBandwidth(ca, cb)
+	}
+	return edgeCost * ReferenceBandwidthMbps / bw
+}
+
 // TopHostsRC returns the k-fastest-hosts naive abstraction of §IV.2.4.1 as
 // an RC over the platform network.
 func TopHostsRC(p *Platform, k int) *ResourceCollection {

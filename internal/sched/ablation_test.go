@@ -14,9 +14,6 @@ import (
 // Pure ALAP ordering (prefix 0) and a deep prefix (8) must stay within a
 // few percent of the default on a spread of DAG shapes.
 func TestMCPPrefixAblation(t *testing.T) {
-	old := MCPPrefix
-	defer func() { MCPPrefix = old }()
-
 	specs := []dag.GenSpec{
 		{Size: 200, CCR: 0.1, Parallelism: 0.5, Density: 0.5, Regularity: 0.5, MeanCost: 40},
 		{Size: 300, CCR: 1.0, Parallelism: 0.7, Density: 0.3, Regularity: 0.8, MeanCost: 20},
@@ -27,8 +24,11 @@ func TestMCPPrefixAblation(t *testing.T) {
 		d := dag.MustGenerate(spec, xrand.NewFrom(51, uint64(si)))
 		makespans := map[int]float64{}
 		for _, prefix := range []int{0, 4, 8} {
-			MCPPrefix = prefix
-			s, err := MCP{}.Schedule(d, rc)
+			p := prefix
+			if p == 0 {
+				p = -1 // field semantics: negative = zero-length prefix
+			}
+			s, err := MCP{Prefix: p}.Schedule(d, rc)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -40,19 +40,16 @@ func (r Random) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule
 	s.ops += float64(d.Size() + d.NumEdges())
 	rng := xrand.NewFrom(r.Seed, 0x52414E44)
 	m := len(rc.Hosts)
-	s.run(
-		func(ready []dag.TaskID) int { return 0 },
-		func(v dag.TaskID) (int, float64) {
-			h := rng.Intn(m)
-			ready := s.readyTimes(v)
-			start := s.free[h]
-			if rr := ready.at(h); rr > start {
-				start = rr
-			}
-			s.ops++ // one draw per task
-			return h, start
-		},
-	)
+	s.runArrival(func(v dag.TaskID) (int, float64) {
+		h := rng.Intn(m)
+		ready := s.readyTimes(v)
+		start := s.free[h]
+		if rr := ready.at(h); rr > start {
+			start = rr
+		}
+		s.ops++ // one draw per task
+		return h, start
+	})
 	return s.finish(), nil
 }
 
@@ -72,20 +69,17 @@ func (RoundRobin) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedu
 	s.ops += float64(d.Size() + d.NumEdges())
 	m := len(rc.Hosts)
 	next := 0
-	s.run(
-		func(ready []dag.TaskID) int { return 0 },
-		func(v dag.TaskID) (int, float64) {
-			h := next
-			next = (next + 1) % m
-			ready := s.readyTimes(v)
-			start := s.free[h]
-			if rr := ready.at(h); rr > start {
-				start = rr
-			}
-			s.ops++
-			return h, start
-		},
-	)
+	s.runArrival(func(v dag.TaskID) (int, float64) {
+		h := next
+		next = (next + 1) % m
+		ready := s.readyTimes(v)
+		start := s.free[h]
+		if rr := ready.at(h); rr > start {
+			start = rr
+		}
+		s.ops++
+		return h, start
+	})
 	return s.finish(), nil
 }
 

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"math"
 
 	"rsgen/internal/dag"
@@ -18,19 +17,39 @@ import (
 // (the node's ALAP plus its mcpPrefix smallest descendant ALAPs), which
 // preserves the ordering in practice. Ties after the prefix break by task
 // ID, keeping the sort total and deterministic.
-type MCP struct{}
+type MCP struct {
+	// Prefix overrides the package-level MCPPrefix default for this
+	// instance: 0 means "use MCPPrefix", a negative value means a
+	// zero-length prefix (pure ALAP order). Per-instance configuration
+	// keeps concurrent ablations race-free — never mutate MCPPrefix from
+	// a running program.
+	Prefix int
+}
 
-// MCPPrefix is the number of descendant ALAP values kept for lexicographic
-// comparison (beyond the node's own ALAP). The default of 4 keeps memory
-// linear; the ablation benchmarks vary it to show the schedule quality is
-// insensitive to the bound (see DESIGN.md's documented reconstruction).
+// MCPPrefix is the default number of descendant ALAP values kept for
+// lexicographic comparison (beyond the node's own ALAP). The default of 4
+// keeps memory linear; the ablation benchmarks vary it (via the MCP.Prefix
+// field) to show the schedule quality is insensitive to the bound (see
+// DESIGN.md's documented reconstruction).
 var MCPPrefix = 4
 
 // Name implements Heuristic.
 func (MCP) Name() string { return "MCP" }
 
+// prefixLen resolves the effective descendant-prefix length.
+func (mc MCP) prefixLen() int {
+	p := mc.Prefix
+	if p == 0 {
+		p = MCPPrefix
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
 // Schedule implements Heuristic.
-func (MCP) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, error) {
+func (mc MCP) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, error) {
 	s, err := newState(d, rc)
 	if err != nil {
 		return nil, err
@@ -40,21 +59,28 @@ func (MCP) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, err
 	// Graph-metric cost: b-levels + ALAP are O(n + e).
 	s.ops += float64(n + d.NumEdges())
 
-	// keys[v] = [alap(v), k smallest descendant ALAPs...], ascending.
+	// keys[v] = [alap(v), k smallest descendant ALAPs...], ascending,
+	// stored flat (stride floats per task, lenBuf[v] live entries).
 	// Children's keys are already sorted, so the k smallest of their
 	// union come from a bounded insertion pass — no per-node sort.
-	prefix := MCPPrefix
-	if prefix < 0 {
-		prefix = 0
-	}
-	keys := make([][]float64, n)
+	prefix := mc.prefixLen()
+	stride := 1 + prefix
+	s.keyBuf = growF64(s.keyBuf, n*stride)
+	s.lenBuf = growI32(s.lenBuf, n)
+	keys := s.keyBuf
+	klen := s.lenBuf
 	order := d.TopoOrder()
-	buf := make([]float64, prefix)
+	var bufArr [16]float64
+	buf := bufArr[:]
+	if prefix > len(buf) {
+		buf = make([]float64, prefix)
+	}
 	for i := n - 1; i >= 0; i-- {
 		v := order[i]
 		cnt := 0
 		for _, a := range d.Succ(v) {
-			ck := keys[a.Task]
+			cb := int(a.Task) * stride
+			ck := keys[cb : cb+int(klen[a.Task])]
 			s.ops += float64(len(ck))
 			for _, x := range ck {
 				if prefix == 0 {
@@ -79,16 +105,17 @@ func (MCP) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, err
 				}
 			}
 		}
-		key := make([]float64, 1+cnt)
-		key[0] = alap[v]
-		copy(key[1:], buf[:cnt])
-		keys[v] = key
+		base := int(v) * stride
+		keys[base] = alap[v]
+		copy(keys[base+1:base+1+cnt], buf[:cnt])
+		klen[v] = int32(1 + cnt)
 	}
 	// Lexicographic sort cost.
 	s.ops += float64(n) * math.Log2(float64(n)+1)
 
 	less := func(a, b dag.TaskID) bool {
-		ka, kb := keys[a], keys[b]
+		ka := keys[int(a)*stride : int(a)*stride+int(klen[a])]
+		kb := keys[int(b)*stride : int(b)*stride+int(klen[b])]
 		for i := 0; i < len(ka) && i < len(kb); i++ {
 			if ka[i] != kb[i] {
 				return ka[i] < kb[i]
@@ -103,19 +130,7 @@ func (MCP) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, err
 	// Process in MCP priority order restricted to ready tasks: ALAP order
 	// is topological for positive task costs, so this visits tasks in the
 	// exact MCP order while remaining robust to zero-cost corner cases.
-	s.run(
-		func(ready []dag.TaskID) int {
-			best := 0
-			for i := 1; i < len(ready); i++ {
-				if less(ready[i], ready[best]) {
-					best = i
-				}
-			}
-			s.ops += float64(len(ready))
-			return best
-		},
-		s.minFinishHost,
-	)
+	s.runOrdered(less, s.minFinishHost)
 	return s.finish(), nil
 }
 
@@ -135,10 +150,7 @@ func (Greedy) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, 
 		return nil, err
 	}
 	s.ops += float64(d.Size() + d.NumEdges()) // ready-list bookkeeping
-	s.run(
-		func(ready []dag.TaskID) int { return 0 }, // arrival order
-		s.minStartHost,
-	)
+	s.runArrival(s.minStartHost)
 	return s.finish(), nil
 }
 
@@ -160,23 +172,21 @@ func (FCFS) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, er
 	m := len(rc.Hosts)
 	h := &hostHeap{}
 	for i := 0; i < m; i++ {
-		heap.Push(h, hostSlot{host: i, free: 0})
+		h.push(hostSlot{host: i, free: 0})
 	}
-	s.run(
-		func(ready []dag.TaskID) int { return 0 },
-		func(v dag.TaskID) (int, float64) {
-			slot := heap.Pop(h).(hostSlot)
-			ready := s.readyTimes(v)
-			start := slot.free
-			if r := ready.at(slot.host); r > start {
-				start = r
-			}
-			exec := execTime(s.d.Task(v).Cost, s.rc.Hosts[slot.host])
-			heap.Push(h, hostSlot{host: slot.host, free: start + exec})
-			s.ops += math.Log2(float64(m) + 1)
-			return slot.host, start
-		},
-	)
+	logM := math.Log2(float64(m) + 1)
+	s.runArrival(func(v dag.TaskID) (int, float64) {
+		slot := h.pop()
+		ready := s.readyTimes(v)
+		start := slot.free
+		if r := ready.at(slot.host); r > start {
+			start = r
+		}
+		exec := execTime(s.d.Task(v).Cost, s.rc.Hosts[slot.host])
+		h.push(hostSlot{host: slot.host, free: start + exec})
+		s.ops += logM
+		return slot.host, start
+	})
 	return s.finish(), nil
 }
 
@@ -200,39 +210,34 @@ func (FCA) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, err
 	}
 	bl := d.BLevels()
 	s.ops += float64(d.Size()+d.NumEdges()) + float64(d.Size())*math.Log2(float64(d.Size())+1)
-	s.run(
-		func(ready []dag.TaskID) int {
-			best := 0
-			for i := 1; i < len(ready); i++ {
-				if bl[ready[i]] > bl[ready[best]] ||
-					(bl[ready[i]] == bl[ready[best]] && ready[i] < ready[best]) {
-					best = i
-				}
+	m := len(rc.Hosts)
+	s.runOrdered(
+		func(a, b dag.TaskID) bool {
+			if bl[a] != bl[b] {
+				return bl[a] > bl[b]
 			}
-			s.ops += float64(len(ready))
-			return best
+			return a < b
 		},
 		func(v dag.TaskID) (int, float64) {
 			ready := s.readyTimes(v)
 			// Earliest the task could possibly be data-ready anywhere:
-			// the idle test below is deliberately communication-blind.
+			// the idle test below is deliberately communication-blind, so
+			// it needs only free times and clocks — the class index
+			// answers it for any network model. Leaves are ordered
+			// fastest class first, lowest host index within a class, so
+			// the leftmost idle leaf is exactly the scan's pick.
 			r := ready.maxParentFin
-			bestIdle, bestIdleClock := -1, 0.0
-			bestWait, bestWaitFree := -1, math.Inf(1)
-			for h := range s.rc.Hosts {
-				if s.free[h] <= r {
-					if c := s.rc.Hosts[h].ClockGHz; c > bestIdleClock {
-						bestIdle, bestIdleClock = h, c
-					}
-				} else if s.free[h] < bestWaitFree {
-					bestWait, bestWaitFree = h, s.free[h]
-				}
+			ci := s.classIndex()
+			var h int
+			if p := ci.tree.leftmostLE(0, m, r); p >= 0 {
+				h = ci.hostAt(p)
+			} else {
+				// No host is idle at r: fall back to the earliest-free
+				// host, ties by lowest host index (identity order).
+				_, p := s.identityIndex().tree.argmin(0, m)
+				h = p
 			}
-			s.ops += float64(len(s.rc.Hosts))
-			h := bestIdle
-			if h == -1 {
-				h = bestWait
-			}
+			s.ops += float64(m)
 			start := s.free[h]
 			if rr := ready.at(h); rr > start {
 				start = rr
@@ -247,12 +252,24 @@ func (FCA) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, err
 // among all (ready task, host) pairs, pick the pair maximizing the dynamic
 // level DL(t, h) = SL(t) − max(dataReady(t, h), free(h)) + Δ(t, h), where SL
 // is the static b-level at reference speed and Δ(t, h) = w(t) − w(t, h)
-// rewards faster hosts. It is the most expensive heuristic studied: every
-// step re-evaluates every ready task against every host.
+// rewards faster hosts. It is the most expensive heuristic studied, and its
+// modeled cost still charges every (ready task, host) pair each step; the
+// implementation, however, caches each ready task's best (host, level) pair
+// and re-evaluates a task only when the host it was counting on got busier
+// — placements only ever increase free times, so every other cached
+// winner provably stays optimal.
 type DLS struct{}
 
 // Name implements Heuristic.
 func (DLS) Name() string { return "DLS" }
+
+// dlsCand is a ready task's cached best host under the DL order.
+type dlsCand struct {
+	h     int32
+	valid bool
+	dl    float64
+	start float64
+}
 
 // Schedule implements Heuristic.
 func (DLS) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, error) {
@@ -265,76 +282,122 @@ func (DLS) Schedule(d *dag.DAG, rc *platform.ResourceCollection) (*Schedule, err
 
 	n := d.Size()
 	m := len(rc.Hosts)
-	unmet := make([]int, n)
-	var ready []dag.TaskID
-	for v := 0; v < n; v++ {
-		unmet[v] = len(d.Pred(dag.TaskID(v)))
-		if unmet[v] == 0 {
-			ready = append(ready, dag.TaskID(v))
-		}
-	}
-	// Cache each ready task's readyFn; parents are final once ready.
-	rf := make(map[dag.TaskID]readyFn, len(ready))
+	hosts := rc.Hosts
+	s.initReady()
+	ready := s.ready
+	// Each ready task's readyFn is built once (parents are final once
+	// ready); its best (host, DL) is recomputed only after invalidation.
+	rfs := make([]readyFn, n)
+	built := make([]bool, n)
+	cands := make([]dlsCand, n)
 	for len(ready) > 0 {
 		bestI, bestH := -1, -1
 		bestDL := math.Inf(-1)
 		bestStart := 0.0
 		for i, v := range ready {
-			f, ok := rf[v]
-			if !ok {
-				f = s.readyTimesOwned(v)
-				rf[v] = f
+			if !built[v] {
+				rfs[v] = s.readyTimesOwned(v)
+				built[v] = true
 			}
-			w := d.Task(v).Cost
-			for h := 0; h < m; h++ {
-				st := s.free[h]
-				if r := f.at(h); r > st {
-					st = r
+			c := &cands[v]
+			if !c.valid {
+				f := &rfs[v]
+				w := d.Task(v).Cost
+				cd, ch, cst := math.Inf(-1), -1, 0.0
+				for h := 0; h < m; h++ {
+					st := s.free[h]
+					if r := f.at(h); r > st {
+						st = r
+					}
+					delta := w - execTime(w, hosts[h])
+					dl := sl[v] - st + delta
+					if dl > cd {
+						cd, ch, cst = dl, h, st
+					}
 				}
-				delta := w - execTime(w, s.rc.Hosts[h])
-				dl := sl[v] - st + delta
-				if dl > bestDL || (dl == bestDL && (bestI == -1 || v < ready[bestI])) {
-					bestI, bestH, bestDL, bestStart = i, h, dl, st
-				}
+				c.h, c.dl, c.start, c.valid = int32(ch), cd, cst, true
+			}
+			if c.dl > bestDL || (c.dl == bestDL && (bestI == -1 || v < ready[bestI])) {
+				bestI, bestH, bestDL, bestStart = i, int(c.h), c.dl, c.start
 			}
 		}
+		// Modeled cost: the classic implementation re-evaluates every
+		// (ready, host) pair each step.
 		s.ops += float64(len(ready) * m)
 		v := ready[bestI]
 		ready[bestI] = ready[len(ready)-1]
 		ready = ready[:len(ready)-1]
-		delete(rf, v)
 		s.place(v, bestH, bestStart)
+		// Only free[bestH] changed, and it only increased: a cached best
+		// on any other host is still the lexicographic (DL, lowest-host)
+		// maximum. Tasks that were counting on bestH must re-evaluate.
+		for _, u := range ready {
+			if cands[u].valid && int(cands[u].h) == bestH {
+				cands[u].valid = false
+			}
+		}
 		for _, a := range d.Succ(v) {
-			unmet[a.Task]--
-			if unmet[a.Task] == 0 {
+			s.unmet[a.Task]--
+			if s.unmet[a.Task] == 0 {
 				ready = append(ready, a.Task)
 			}
 		}
 	}
+	s.ready = ready[:0]
 	return s.finish(), nil
 }
 
-// hostSlot / hostHeap implement the earliest-free-host queue for FCFS.
+// hostSlot / hostHeap implement the earliest-free-host queue for FCFS as a
+// direct binary heap (no container/heap interface boxing).
 type hostSlot struct {
 	host int
 	free float64
 }
 
-type hostHeap []hostSlot
-
-func (h hostHeap) Len() int { return len(h) }
-func (h hostHeap) Less(i, j int) bool {
-	if h[i].free != h[j].free {
-		return h[i].free < h[j].free
-	}
-	return h[i].host < h[j].host
+type hostHeap struct {
+	slots []hostSlot
 }
-func (h hostHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *hostHeap) Push(x interface{}) { *h = append(*h, x.(hostSlot)) }
-func (h *hostHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *hostHeap) slotLess(a, b hostSlot) bool {
+	if a.free != b.free {
+		return a.free < b.free
+	}
+	return a.host < b.host
+}
+
+func (h *hostHeap) push(x hostSlot) {
+	h.slots = append(h.slots, x)
+	i := len(h.slots) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.slotLess(h.slots[i], h.slots[parent]) {
+			break
+		}
+		h.slots[i], h.slots[parent] = h.slots[parent], h.slots[i]
+		i = parent
+	}
+}
+
+func (h *hostHeap) pop() hostSlot {
+	top := h.slots[0]
+	last := len(h.slots) - 1
+	h.slots[0] = h.slots[last]
+	h.slots = h.slots[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= last {
+			break
+		}
+		c := l
+		if r < last && h.slotLess(h.slots[r], h.slots[l]) {
+			c = r
+		}
+		if !h.slotLess(h.slots[c], h.slots[i]) {
+			break
+		}
+		h.slots[i], h.slots[c] = h.slots[c], h.slots[i]
+		i = c
+	}
+	return top
 }

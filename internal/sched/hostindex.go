@@ -1,0 +1,276 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"rsgen/internal/platform"
+)
+
+// This file implements the bucketed host-selection index behind the
+// uniform-network fast paths of minFinishHost/minStartHost and FCA's
+// idle-host test. The key observation: under a uniform network every host
+// that holds no parent of the task has the same data-ready time (readyFn's
+// best1), so the earliest-start host among them is fully determined by the
+// per-host free times — argmin queries a segment tree answers in O(log m)
+// instead of the O(m) scan. Hosts with the same clock rate form a speed
+// class; within a class, minimizing finish time equals minimizing start
+// time, so one candidate per class (plus the parent-holding hosts, which
+// are evaluated exactly) provably contains the scan's winner under the
+// scan's exact tie-breaking order.
+//
+// The modeled Ops counts are charged by the original formulas regardless:
+// this index changes wall-clock time only, never the reproduced numbers.
+
+// minTree is a segment tree over a fixed set of float64 leaves supporting
+// point updates, "leftmost leaf ≤ threshold in range" and "leftmost argmin
+// in range" queries. Unused padding leaves hold +Inf.
+type minTree struct {
+	size int       // leaves padded to a power of two
+	val  []float64 // 1-based heap layout; leaves at [size, 2*size)
+}
+
+// build initializes the tree with n leaves; leaf p takes leafVal(p).
+func (t *minTree) build(n int, leafVal func(p int) float64) {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	t.size = size
+	need := 2 * size
+	if cap(t.val) < need {
+		t.val = make([]float64, need)
+	} else {
+		t.val = t.val[:need]
+	}
+	for p := 0; p < n; p++ {
+		t.val[size+p] = leafVal(p)
+	}
+	inf := math.Inf(1)
+	for p := n; p < size; p++ {
+		t.val[size+p] = inf
+	}
+	for i := size - 1; i >= 1; i-- {
+		t.val[i] = math.Min(t.val[2*i], t.val[2*i+1])
+	}
+}
+
+// set point-updates leaf p and reestablishes the min invariant upward,
+// carrying the updated subtree min so each level costs one sibling compare.
+func (t *minTree) set(p int, v float64) {
+	i := t.size + p
+	t.val[i] = v
+	for i > 1 {
+		if s := t.val[i^1]; s < v {
+			v = s
+		}
+		i >>= 1
+		if t.val[i] == v {
+			return
+		}
+		t.val[i] = v
+	}
+}
+
+// get returns the current value of leaf p.
+func (t *minTree) get(p int) float64 { return t.val[t.size+p] }
+
+// leftmostLE returns the leftmost leaf position in [lo, hi) whose value is
+// ≤ r, or -1 if none.
+func (t *minTree) leftmostLE(lo, hi int, r float64) int {
+	return t.lle(1, 0, t.size, lo, hi, r)
+}
+
+func (t *minTree) lle(node, nLo, nHi, lo, hi int, r float64) int {
+	if hi <= nLo || nHi <= lo || t.val[node] > r {
+		return -1
+	}
+	if nHi-nLo == 1 {
+		return nLo
+	}
+	mid := (nLo + nHi) / 2
+	if p := t.lle(2*node, nLo, mid, lo, hi, r); p >= 0 {
+		return p
+	}
+	return t.lle(2*node+1, mid, nHi, lo, hi, r)
+}
+
+// argmin returns the minimum leaf value in [lo, hi) and the leftmost
+// position achieving it ((+Inf, -1) for an empty range; a +Inf value means
+// every leaf in range is masked).
+func (t *minTree) argmin(lo, hi int) (float64, int) {
+	return t.amin(1, 0, t.size, lo, hi)
+}
+
+func (t *minTree) amin(node, nLo, nHi, lo, hi int) (float64, int) {
+	if hi <= nLo || nHi <= lo {
+		return math.Inf(1), -1
+	}
+	if lo <= nLo && nHi <= hi {
+		v := t.val[node]
+		for nHi-nLo > 1 {
+			node *= 2
+			mid := (nLo + nHi) / 2
+			if t.val[node] == v {
+				nHi = mid
+			} else {
+				node++
+				nLo = mid
+			}
+		}
+		return v, nLo
+	}
+	mid := (nLo + nHi) / 2
+	lv, lp := t.amin(2*node, nLo, mid, lo, hi)
+	rv, rp := t.amin(2*node+1, mid, nHi, lo, hi)
+	if lp >= 0 && (rp < 0 || lv <= rv) {
+		return lv, lp
+	}
+	return rv, rp
+}
+
+// hostIndex is a minTree over per-host free times, either in host-index
+// order (identity mode: leaf p ↔ host p) or grouped into speed classes
+// (class mode: leaves ordered by descending clock rate, then ascending host
+// index, so each class is a contiguous leaf range and the leftmost leaf of
+// any predicate is the fastest-then-lowest-index host satisfying it).
+type hostIndex struct {
+	built bool
+	m     int
+	tree  minTree
+
+	// Class mode only; identity mode leaves these nil.
+	perm     []int32 // leaf → host
+	pos      []int32 // host → leaf
+	classEnd []int32 // one-past-last leaf of each class, ascending
+
+	// Masking scratch: saved leaf values for unmask.
+	savedVal  []float64
+	savedLeaf []int32
+}
+
+// buildIdentity initializes identity mode over free.
+func (x *hostIndex) buildIdentity(free []float64) {
+	x.m = len(free)
+	x.perm, x.pos, x.classEnd = nil, nil, nil
+	x.tree.build(len(free), func(p int) float64 { return free[p] })
+	x.savedVal = x.savedVal[:0]
+	x.savedLeaf = x.savedLeaf[:0]
+	x.built = true
+}
+
+// buildClasses initializes class mode over free, grouping hosts by exact
+// ClockGHz, fastest class first.
+func (x *hostIndex) buildClasses(hosts []platform.Host, free []float64) {
+	m := len(hosts)
+	x.m = m
+	if cap(x.perm) < m {
+		x.perm = make([]int32, m)
+		x.pos = make([]int32, m)
+	} else {
+		x.perm = x.perm[:m]
+		x.pos = x.pos[:m]
+	}
+	for i := range x.perm {
+		x.perm[i] = int32(i)
+	}
+	sort.Slice(x.perm, func(a, b int) bool {
+		ha, hb := hosts[x.perm[a]], hosts[x.perm[b]]
+		if ha.ClockGHz != hb.ClockGHz {
+			return ha.ClockGHz > hb.ClockGHz
+		}
+		return x.perm[a] < x.perm[b]
+	})
+	x.classEnd = x.classEnd[:0]
+	for p := 1; p < m; p++ {
+		if hosts[x.perm[p]].ClockGHz != hosts[x.perm[p-1]].ClockGHz {
+			x.classEnd = append(x.classEnd, int32(p))
+		}
+	}
+	x.classEnd = append(x.classEnd, int32(m))
+	for p, h := range x.perm {
+		x.pos[h] = int32(p)
+	}
+	x.tree.build(m, func(p int) float64 { return free[x.perm[p]] })
+	x.savedVal = x.savedVal[:0]
+	x.savedLeaf = x.savedLeaf[:0]
+	x.built = true
+}
+
+// buildGroups initializes class mode with explicit group keys: leaves are
+// ordered by ascending key, then ascending host index, so each key forms a
+// contiguous leaf range (recorded in classEnd) whose leftmost leaf is the
+// lowest host index of that group.
+func (x *hostIndex) buildGroups(keys []int32, free []float64) {
+	m := len(keys)
+	x.m = m
+	if cap(x.perm) < m {
+		x.perm = make([]int32, m)
+		x.pos = make([]int32, m)
+	} else {
+		x.perm = x.perm[:m]
+		x.pos = x.pos[:m]
+	}
+	for i := range x.perm {
+		x.perm[i] = int32(i)
+	}
+	sort.Slice(x.perm, func(a, b int) bool {
+		ka, kb := keys[x.perm[a]], keys[x.perm[b]]
+		if ka != kb {
+			return ka < kb
+		}
+		return x.perm[a] < x.perm[b]
+	})
+	x.classEnd = x.classEnd[:0]
+	for p := 1; p < m; p++ {
+		if keys[x.perm[p]] != keys[x.perm[p-1]] {
+			x.classEnd = append(x.classEnd, int32(p))
+		}
+	}
+	x.classEnd = append(x.classEnd, int32(m))
+	for p, h := range x.perm {
+		x.pos[h] = int32(p)
+	}
+	x.tree.build(m, func(p int) float64 { return free[x.perm[p]] })
+	x.savedVal = x.savedVal[:0]
+	x.savedLeaf = x.savedLeaf[:0]
+	x.built = true
+}
+
+// leafOf maps a host index to its leaf position.
+func (x *hostIndex) leafOf(h int) int {
+	if x.pos == nil {
+		return h
+	}
+	return int(x.pos[h])
+}
+
+// hostAt maps a leaf position back to a host index.
+func (x *hostIndex) hostAt(p int) int {
+	if x.perm == nil {
+		return p
+	}
+	return int(x.perm[p])
+}
+
+// update reflects a new free time for host h.
+func (x *hostIndex) update(h int, free float64) {
+	x.tree.set(x.leafOf(h), free)
+}
+
+// mask temporarily excludes host h from queries (its leaf becomes +Inf).
+// unmaskAll restores every masked host; masks do not nest per host.
+func (x *hostIndex) mask(h int) {
+	p := x.leafOf(h)
+	x.savedVal = append(x.savedVal, x.tree.get(p))
+	x.savedLeaf = append(x.savedLeaf, int32(p))
+	x.tree.set(p, math.Inf(1))
+}
+
+func (x *hostIndex) unmaskAll() {
+	for i, p := range x.savedLeaf {
+		x.tree.set(int(p), x.savedVal[i])
+	}
+	x.savedVal = x.savedVal[:0]
+	x.savedLeaf = x.savedLeaf[:0]
+}

@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/platform"
+	"rsgen/internal/xrand"
+)
+
+// TestConcurrentSchedules runs every heuristic — including MCP ablations
+// with per-instance Prefix values — concurrently against shared inputs.
+// Under `go test -race` this proves the ablation knob no longer requires
+// mutating the MCPPrefix package global (a data race for concurrent eval
+// workers) and that the pooled scheduler state is goroutine-safe. Each
+// configuration must also reproduce its own serial schedule exactly.
+func TestConcurrentSchedules(t *testing.T) {
+	d := dag.MustGenerate(dag.GenSpec{
+		Size: 150, CCR: 0.4, Parallelism: 0.6, Density: 0.5, Regularity: 0.5, MeanCost: 30,
+	}, xrand.New(71))
+	rc := platform.HeterogeneousRC(12, 2.8, 0.5, 1000, xrand.New(72))
+
+	hs := []Heuristic{
+		MCP{Prefix: -1}, MCP{}, MCP{Prefix: 4}, MCP{Prefix: 8},
+		Greedy{}, FCA{}, FCFS{}, DLS{},
+	}
+	want := make([]uint64, len(hs))
+	for i, h := range hs {
+		s, err := h.Schedule(d, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = scheduleHash(s)
+	}
+
+	const rounds = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, len(hs)*rounds)
+	for r := 0; r < rounds; r++ {
+		for i, h := range hs {
+			wg.Add(1)
+			go func(i int, h Heuristic) {
+				defer wg.Done()
+				s, err := h.Schedule(d, rc)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := scheduleHash(s); got != want[i] {
+					t.Errorf("%s (case %d): concurrent schedule hash %016x != serial %016x", h.Name(), i, got, want[i])
+				}
+			}(i, h)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -16,12 +16,22 @@
 // (minutes) reported in Chapter IV. The §V.7 scheduler-clock-rate ratio
 // (SCR) scales this conversion. Wall-clock measurement remains available via
 // MeasuredSchedulingTime for benchmarks.
+//
+// # Ops model vs. implementation
+//
+// Ops are charged by explicit formulas that model the 2007-era
+// implementation's complexity (e.g. MCP pays m × (1 + parents) per task).
+// The actual Go implementation is free to be faster: host selection uses
+// indexed bucketed candidates, ready queues use heaps, and per-call scratch
+// is pooled. None of that changes a schedule or an Ops count — the golden
+// corpus test pins every output byte. See DESIGN.md, "Scheduler
+// performance".
 package sched
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 	"time"
 
 	"rsgen/internal/dag"
@@ -124,54 +134,246 @@ func execTime(cost float64, h platform.Host) float64 {
 	return cost / h.Speedup()
 }
 
-// state is the shared bookkeeping for all list-scheduling heuristics.
+// state is the shared bookkeeping for all list-scheduling heuristics. States
+// are pooled: everything except the returned Host/Start/Finish slices is
+// scratch reused across Schedule calls, so the steady-state inner loop
+// allocates nothing.
 type state struct {
 	d     *dag.DAG
 	rc    *platform.ResourceCollection
-	free  []float64 // per-host earliest idle time
-	host  []int     // per-task host (-1 while unscheduled)
+	free  []float64 // per-host earliest idle time (pooled)
+	host  []int     // per-task host (-1 while unscheduled; escapes into Schedule)
 	start []float64
 	fin   []float64
 	ops   float64
 
 	uniform       bool // rc.Net is a UniformNetwork: locality-only transfer costs
 	uniformFactor float64
-	transfer      func(edgeCost float64, a, b int) float64
+
+	// Cluster-network fast path (rc.Net is a platform.ClusterNetwork, e.g.
+	// the universe RC): transfer time between distinct hosts depends only
+	// on the cluster pair, so per-task data-ready times collapse to one
+	// value per cluster. grpState tracks the lazily built group index:
+	// 0 = not attempted this call, 1 = usable, 2 = unusable.
+	cnet     platform.ClusterNetwork
+	grpState int8
+	hostCl   []int32 // per RC host: platform cluster
+	grpCl    []int32 // per group (grpIdx order): platform cluster
+	rdBuf    []float64
+	grpIdx   hostIndex
 
 	// Shared per-host scratch for the uniform-network fast path: the
 	// per-host max parent finish of the task currently being evaluated,
 	// valid where scratchStamp matches stamp. Stamping avoids clearing
-	// the arrays between tasks. Only one readyFn may use the scratch at
-	// a time; DLS, which caches many readyFns, uses owned maps instead.
+	// the arrays between tasks; the stamp survives pooling, so stale
+	// entries from a previous schedule can never match. Only one readyFn
+	// may use the scratch at a time; DLS and MinMin, which cache many
+	// readyFns, use owned storage instead.
 	scratchFin   []float64
 	scratchStamp []int64
 	stamp        int64
+
+	// sp holds the distinct parent-holding hosts of the task currently in
+	// the shared-scratch readyFn: the only hosts whose data-ready time can
+	// differ from best1 under a uniform network.
+	sp []int32
+
+	// Pooled ready-loop scratch.
+	unmet []int32
+	ready []dag.TaskID
+	heap  taskHeap
+
+	// Lazily built host-selection indexes (see hostindex.go).
+	idIdx    hostIndex
+	classIdx hostIndex
+
+	// MCP key scratch (flat lexicographic keys).
+	keyBuf []float64
+	lenBuf []int32
 }
+
+var statePool = sync.Pool{New: func() interface{} { return new(state) }}
 
 func newState(d *dag.DAG, rc *platform.ResourceCollection) (*state, error) {
 	if err := rc.Validate(); err != nil {
 		return nil, err
 	}
 	n := d.Size()
-	s := &state{
-		d:     d,
-		rc:    rc,
-		free:  make([]float64, rc.Size()),
-		host:  make([]int, n),
-		start: make([]float64, n),
-		fin:   make([]float64, n),
-	}
+	m := rc.Size()
+	s := statePool.Get().(*state)
+	s.d = d
+	s.rc = rc
+	s.ops = 0
+	// Host/Start/Finish escape into the returned Schedule: fresh per call.
+	s.host = make([]int, n)
+	s.start = make([]float64, n)
+	s.fin = make([]float64, n)
 	for i := range s.host {
 		s.host[i] = -1
 	}
+	s.free = growF64(s.free, m)
+	for i := range s.free {
+		s.free[i] = 0
+	}
+	s.idIdx.built = false
+	s.classIdx.built = false
+	s.grpIdx.built = false
+	s.grpState = 0
+	s.uniform = false
+	s.cnet = nil
 	if un, ok := rc.Net.(platform.UniformNetwork); ok {
 		s.uniform = true
 		s.uniformFactor = platform.ReferenceBandwidthMbps / un.Mbps
-		s.scratchFin = make([]float64, rc.Size())
-		s.scratchStamp = make([]int64, rc.Size())
+	} else if cn, ok := rc.Net.(platform.ClusterNetwork); ok {
+		s.cnet = cn
 	}
-	s.transfer = rc.Net.TransferTime
+	if s.uniform || s.cnet != nil {
+		s.scratchFin = growF64(s.scratchFin, m)
+		// scratchStamp entries are guarded by the monotonically increasing
+		// stamp, which persists across pooling; only grown space needs
+		// zeroing (growI64 zeroes everything, which is just as safe).
+		s.scratchStamp = growI64(s.scratchStamp, m)
+	}
 	return s, nil
+}
+
+// groupsOK lazily builds the cluster-group index on first use, returning
+// whether the grouped fast path applies: every cluster must be internally
+// clock-uniform (true for generated platforms), so that minimizing start
+// time within a group also minimizes finish time.
+func (s *state) groupsOK() bool {
+	if s.grpState != 0 {
+		return s.grpState == 1
+	}
+	m := len(s.rc.Hosts)
+	s.hostCl = growI32(s.hostCl, m)
+	for i := 0; i < m; i++ {
+		s.hostCl[i] = int32(s.cnet.HostCluster(i))
+	}
+	s.grpIdx.buildGroups(s.hostCl, s.free)
+	s.grpCl = s.grpCl[:0]
+	hosts := s.rc.Hosts
+	lo := 0
+	for _, end := range s.grpIdx.classEnd {
+		hi := int(end)
+		h0 := int(s.grpIdx.perm[lo])
+		clk := hosts[h0].ClockGHz
+		for p := lo + 1; p < hi; p++ {
+			if hosts[s.grpIdx.perm[p]].ClockGHz != clk {
+				s.grpState = 2
+				s.grpIdx.built = false
+				return false
+			}
+		}
+		s.grpCl = append(s.grpCl, s.hostCl[h0])
+		lo = hi
+	}
+	s.rdBuf = growF64(s.rdBuf, len(s.grpCl))
+	s.grpState = 1
+	return true
+}
+
+// groupReadyTimes fills rdBuf with, per cluster group, the data-ready time
+// shared by every host of the group that holds none of v's parents (a host
+// holding a parent gets that edge for free and is evaluated exactly by the
+// caller instead).
+func (s *state) groupReadyTimes(v dag.TaskID) []float64 {
+	rd := s.rdBuf[:len(s.grpCl)]
+	for g := range rd {
+		rd[g] = 0
+	}
+	host := s.host
+	fin := s.fin
+	for _, p := range s.d.Pred(v) {
+		pf := fin[p.Task]
+		if p.Cost == 0 {
+			for g := range rd {
+				if pf > rd[g] {
+					rd[g] = pf
+				}
+			}
+			continue
+		}
+		pcl := int(s.hostCl[host[p.Task]])
+		for g := range rd {
+			t := pf + s.cnet.ClusterTransferTime(p.Cost, pcl, int(s.grpCl[g]))
+			if t > rd[g] {
+				rd[g] = t
+			}
+		}
+	}
+	return rd
+}
+
+// finish assembles the Schedule from the state and returns the state to the
+// pool. The state must not be used afterwards.
+func (s *state) finish() *Schedule {
+	mk := 0.0
+	for _, f := range s.fin {
+		if f > mk {
+			mk = f
+		}
+	}
+	sch := &Schedule{
+		Host:     s.host,
+		Start:    s.start,
+		Finish:   s.fin,
+		Makespan: mk,
+		Ops:      s.ops,
+	}
+	s.d = nil
+	s.rc = nil
+	s.cnet = nil
+	s.host = nil
+	s.start = nil
+	s.fin = nil
+	s.heap.less = nil
+	statePool.Put(s)
+	return sch
+}
+
+func growF64(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
+func growI64(b []int64, n int) []int64 {
+	if cap(b) < n {
+		return make([]int64, n)
+	}
+	return b[:n]
+}
+
+func growI32(b []int32, n int) []int32 {
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
+}
+
+// identityIndex returns the host-order free-time index, building it from
+// the current free times on first use (place keeps it in sync afterwards).
+func (s *state) identityIndex() *hostIndex {
+	if !s.idIdx.built {
+		s.idIdx.buildIdentity(s.free)
+	}
+	return &s.idIdx
+}
+
+// classIndex returns the speed-class free-time index (fastest class first).
+func (s *state) classIndex() *hostIndex {
+	if !s.classIdx.built {
+		s.classIdx.buildClasses(s.rc.Hosts, s.free)
+	}
+	return &s.classIdx
+}
+
+// hostFin is one (host, max parent finish) pair of an owned readyFn.
+type hostFin struct {
+	host int32
+	fin  float64
 }
 
 // readyFn captures, for one task whose parents are all scheduled, the
@@ -189,22 +391,25 @@ type readyFn struct {
 	// Fast path (uniform network): off-host max of finish+transfer over
 	// up to two distinct hosts, plus per-host max parent finish. The
 	// per-host values live either in the state's stamped scratch arrays
-	// (one readyFn live at a time) or in an owned map (DLS caches many).
+	// (one readyFn live at a time) or in an owned pair list (DLS and
+	// MinMin cache many).
 	best1, best2         float64 // top-2 finish+transfer over distinct hosts
 	bestHost1, bestHost2 int
-	stamp                int64 // scratch validity tag; 0 = owned map mode
-	onHostMax            map[int]float64
+	stamp                int64 // scratch validity tag; 0 = owned mode
+	own                  []hostFin
 	fast                 bool
 }
 
 // readyTimes builds the shared-scratch readyFn. The result is invalidated
-// by the next readyTimes call on the same state.
+// by the next readyTimes call on the same state. As a side effect it leaves
+// the distinct parent-holding hosts in s.sp for the fast host-selection
+// paths.
 func (s *state) readyTimes(v dag.TaskID) readyFn {
 	return s.buildReady(v, false)
 }
 
 // readyTimesOwned builds a readyFn whose per-host data is privately owned
-// and stays valid across later readyTimes calls (used by DLS).
+// and stays valid across later readyTimes calls (used by DLS and MinMin).
 func (s *state) readyTimesOwned(v dag.TaskID) readyFn {
 	return s.buildReady(v, true)
 }
@@ -212,43 +417,78 @@ func (s *state) readyTimesOwned(v dag.TaskID) readyFn {
 func (s *state) buildReady(v dag.TaskID, owned bool) readyFn {
 	r := readyFn{s: s, v: v, bestHost1: -1, bestHost2: -1, fast: s.uniform}
 	preds := s.d.Pred(v)
+	fin := s.fin
 	for _, p := range preds {
-		if f := s.fin[p.Task]; f > r.maxParentFin {
+		if f := fin[p.Task]; f > r.maxParentFin {
 			r.maxParentFin = f
 		}
 	}
 	if !r.fast {
+		if owned || s.cnet == nil {
+			return r
+		}
+		// Cluster network: at() stays the exact per-parent path, but the
+		// grouped host selection needs the parent-holding hosts stamped
+		// (they are the only hosts whose data-ready time differs from
+		// their group's).
+		s.stamp++
+		r.stamp = s.stamp
+		s.sp = s.sp[:0]
+		host := s.host
+		for _, p := range preds {
+			ph := host[p.Task]
+			f := fin[p.Task]
+			if s.scratchStamp[ph] == r.stamp {
+				if f > s.scratchFin[ph] {
+					s.scratchFin[ph] = f
+				}
+			} else {
+				s.scratchFin[ph] = f
+				s.scratchStamp[ph] = r.stamp
+				s.sp = append(s.sp, int32(ph))
+			}
+		}
 		return r
 	}
-	var onHost func(h int) float64
-	var setHost func(h int, f float64)
 	if owned {
-		r.onHostMax = make(map[int]float64, len(preds))
-		onHost = func(h int) float64 { return r.onHostMax[h] }
-		setHost = func(h int, f float64) { r.onHostMax[h] = f }
+		r.own = make([]hostFin, 0, len(preds))
 	} else {
 		s.stamp++
 		r.stamp = s.stamp
-		onHost = func(h int) float64 {
-			if s.scratchStamp[h] == r.stamp {
-				return s.scratchFin[h]
-			}
-			return 0
-		}
-		setHost = func(h int, f float64) {
-			s.scratchFin[h] = f
-			s.scratchStamp[h] = r.stamp
-		}
+		s.sp = s.sp[:0]
 	}
+	host := s.host
 	for _, p := range preds {
-		ph := s.host[p.Task]
-		f := s.fin[p.Task]
-		if f > onHost(ph) {
-			setHost(ph, f)
+		ph := host[p.Task]
+		f := fin[p.Task]
+		if owned {
+			found := false
+			for i := range r.own {
+				if r.own[i].host == int32(ph) {
+					if f > r.own[i].fin {
+						r.own[i].fin = f
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				r.own = append(r.own, hostFin{host: int32(ph), fin: f})
+			}
+		} else {
+			if s.scratchStamp[ph] == r.stamp {
+				if f > s.scratchFin[ph] {
+					s.scratchFin[ph] = f
+				}
+			} else {
+				s.scratchFin[ph] = f
+				s.scratchStamp[ph] = r.stamp
+				s.sp = append(s.sp, int32(ph))
+			}
 		}
 		// Transfer cost to any *other* host is locality-independent
 		// under a uniform network.
-		t := f + uniformTransfer(s, p.Cost)
+		t := f + p.Cost*s.uniformFactor
 		if ph == r.bestHost1 {
 			if t > r.best1 {
 				r.best1 = t
@@ -265,10 +505,6 @@ func (s *state) buildReady(v dag.TaskID, owned bool) readyFn {
 	return r
 }
 
-func uniformTransfer(s *state, edgeCost float64) float64 {
-	return edgeCost * s.uniformFactor
-}
-
 // at returns the data-ready time of task v on host h.
 func (r *readyFn) at(h int) float64 {
 	s := r.s
@@ -279,7 +515,12 @@ func (r *readyFn) at(h int) float64 {
 				ready = s.scratchFin[h]
 			}
 		} else {
-			ready = r.onHostMax[h]
+			for i := range r.own {
+				if r.own[i].host == int32(h) {
+					ready = r.own[i].fin
+					break
+				}
+			}
 		}
 		if r.bestHost1 != h {
 			if r.best1 > ready {
@@ -291,8 +532,11 @@ func (r *readyFn) at(h int) float64 {
 		return ready
 	}
 	ready := 0.0
+	net := s.rc.Net
+	host := s.host
+	fin := s.fin
 	for _, p := range s.d.Pred(r.v) {
-		t := s.fin[p.Task] + s.transfer(p.Cost, s.host[p.Task], h)
+		t := fin[p.Task] + net.TransferTime(p.Cost, host[p.Task], h)
 		if t > ready {
 			ready = t
 		}
@@ -300,120 +544,435 @@ func (r *readyFn) at(h int) float64 {
 	return ready
 }
 
-// place commits task v to host h with the given start time.
+// place commits task v to host h with the given start time, keeping any
+// built host index in sync with the new free time.
 func (s *state) place(v dag.TaskID, h int, start float64) {
 	exec := execTime(s.d.Task(v).Cost, s.rc.Hosts[h])
 	s.host[v] = h
 	s.start[v] = start
-	s.fin[v] = start + exec
-	if s.fin[v] > s.free[h] {
-		s.free[h] = s.fin[v]
-	}
-}
-
-// finish assembles the Schedule from the state.
-func (s *state) finish() *Schedule {
-	mk := 0.0
-	for _, f := range s.fin {
-		if f > mk {
-			mk = f
+	f := start + exec
+	s.fin[v] = f
+	if f > s.free[h] {
+		s.free[h] = f
+		if s.idIdx.built {
+			s.idIdx.update(h, f)
+		}
+		if s.classIdx.built {
+			s.classIdx.update(h, f)
+		}
+		if s.grpIdx.built {
+			s.grpIdx.update(h, f)
 		}
 	}
-	return &Schedule{
-		Host:     s.host,
-		Start:    s.start,
-		Finish:   s.fin,
-		Makespan: mk,
-		Ops:      s.ops,
-	}
 }
 
-// readyOrder runs a generic ready-list scheduling loop: tasks become ready
-// when all parents are scheduled; pick chooses the next ready task; assign
-// chooses its host and start time. Used by every heuristic.
-func (s *state) run(
-	pick func(ready []dag.TaskID) int,
-	assign func(v dag.TaskID) (host int, start float64),
-) {
+// initReady fills s.unmet with in-degrees and s.ready with the entry tasks
+// in ID order.
+func (s *state) initReady() {
 	d := s.d
 	n := d.Size()
-	unmet := make([]int, n)
-	var ready []dag.TaskID
+	s.unmet = growI32(s.unmet, n)
+	s.ready = s.ready[:0]
 	for v := 0; v < n; v++ {
-		unmet[v] = len(d.Pred(dag.TaskID(v)))
-		if unmet[v] == 0 {
-			ready = append(ready, dag.TaskID(v))
+		u := int32(d.NumPred(dag.TaskID(v)))
+		s.unmet[v] = u
+		if u == 0 {
+			s.ready = append(s.ready, dag.TaskID(v))
 		}
 	}
+}
+
+// runArrival runs the ready-list loop in the historical "arrival" order:
+// take slot 0, move the last ready task into it. Used by every heuristic
+// without an explicit ready-task priority (Greedy, FCFS, Random,
+// RoundRobin); the exact order is pinned by the golden corpus.
+func (s *state) runArrival(assign func(v dag.TaskID) (host int, start float64)) {
+	d := s.d
+	s.initReady()
+	ready := s.ready
 	for len(ready) > 0 {
-		i := pick(ready)
-		v := ready[i]
-		ready[i] = ready[len(ready)-1]
+		v := ready[0]
+		ready[0] = ready[len(ready)-1]
 		ready = ready[:len(ready)-1]
 		h, start := assign(v)
 		s.place(v, h, start)
 		for _, a := range d.Succ(v) {
-			unmet[a.Task]--
-			if unmet[a.Task] == 0 {
+			s.unmet[a.Task]--
+			if s.unmet[a.Task] == 0 {
 				ready = append(ready, a.Task)
+			}
+		}
+	}
+	s.ready = ready[:0]
+}
+
+// runOrdered runs the ready-list loop popping tasks in the strict total
+// order given by less, via a binary heap: O(log width) per pick instead of
+// the O(width) scan, selecting exactly the same task every step. Each pick
+// charges len(ready) ops — the modeled cost of the classic linear scan.
+func (s *state) runOrdered(
+	less func(a, b dag.TaskID) bool,
+	assign func(v dag.TaskID) (host int, start float64),
+) {
+	d := s.d
+	s.initReady()
+	h := &s.heap
+	h.reset(less)
+	for _, v := range s.ready {
+		h.push(v)
+	}
+	for h.len() > 0 {
+		s.ops += float64(h.len())
+		v := h.pop()
+		hh, start := assign(v)
+		s.place(v, hh, start)
+		for _, a := range d.Succ(v) {
+			s.unmet[a.Task]--
+			if s.unmet[a.Task] == 0 {
+				h.push(a.Task)
 			}
 		}
 	}
 }
 
-// minFinishHost evaluates every host for task v and returns the one with the
+// taskHeap is a binary min-heap of task IDs under a strict total order,
+// implemented directly (no interface boxing, no per-push allocation).
+type taskHeap struct {
+	items []dag.TaskID
+	less  func(a, b dag.TaskID) bool
+}
+
+func (h *taskHeap) reset(less func(a, b dag.TaskID) bool) {
+	h.items = h.items[:0]
+	h.less = less
+}
+
+func (h *taskHeap) len() int { return len(h.items) }
+
+func (h *taskHeap) push(v dag.TaskID) {
+	h.items = append(h.items, v)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *taskHeap) pop() dag.TaskID {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= last {
+			break
+		}
+		c := l
+		if r < last && h.less(h.items[r], h.items[l]) {
+			c = r
+		}
+		if !h.less(h.items[c], h.items[i]) {
+			break
+		}
+		h.items[i], h.items[c] = h.items[c], h.items[i]
+		i = c
+	}
+	return top
+}
+
+// minFinishHost evaluates the hosts for task v and returns the one with the
 // earliest finish time (insertion-free end-of-queue policy), charging
 // m × (1 + parents) ops: the per-(task, host) pair cost of the classic MCP
 // implementation, which recomputes the data-ready time from the parents for
-// every candidate host. This is deliberately the 2007-era implementation's
-// complexity, not our optimized inner loop: the dissertation's own Table
-// V-2 shows the knee saturating and dipping at α = 0.9, the signature of a
-// scheduling cost that grows with edge count × hosts.
+// every candidate host. The ops are deliberately the 2007-era
+// implementation's complexity — the dissertation's own Table V-2 shows the
+// knee saturating and dipping at α = 0.9, the signature of a scheduling
+// cost that grows with edge count × hosts — while the actual search runs on
+// the bucketed index for uniform networks: only the parent-holding hosts
+// and one provably optimal candidate per speed class can win, with the
+// linear scan's (finish, start, index) tie-breaking reproduced exactly.
 func (s *state) minFinishHost(v dag.TaskID) (int, float64) {
 	ready := s.readyTimes(v)
 	cost := s.d.Task(v).Cost
-	bestH, bestStart, bestFin := 0, math.Inf(1), math.Inf(1)
-	for h := range s.rc.Hosts {
+	npred := s.d.NumPred(v)
+	var bestH int
+	var bestStart float64
+	if s.uniform && len(s.rc.Hosts) >= indexMinHosts {
+		bestH, bestStart = s.minFinishFast(&ready, cost)
+	} else if s.cnet != nil && len(s.rc.Hosts) >= indexMinHosts && s.groupsOK() {
+		bestH, bestStart = s.minFinishGrouped(&ready, v, cost)
+	} else {
+		hosts := s.rc.Hosts
+		bestFin := math.Inf(1)
+		bestH, bestStart = 0, math.Inf(1)
+		for h := range hosts {
+			st := s.free[h]
+			if r := ready.at(h); r > st {
+				st = r
+			}
+			fin := st + execTime(cost, hosts[h])
+			if fin < bestFin || (fin == bestFin && st < bestStart) {
+				bestH, bestStart, bestFin = h, st, fin
+			}
+		}
+	}
+	s.ops += float64(len(s.rc.Hosts)) * float64(1+npred)
+	return bestH, bestStart
+}
+
+// indexMinHosts gates the segment-tree host selection: below this host
+// count the plain O(m) scan is faster than the index's O(parents · log m)
+// bookkeeping. Both paths compute the identical lexicographic argmin (see
+// TestIndexedHostSelectionMatchesScan); the variable exists so tests can
+// force either path.
+var indexMinHosts = 128
+
+// minFinishFast is the uniform-network bucketed host search. Every host
+// holding no parent data has data-ready time best1, so within one speed
+// class the scan's lexicographic (finish, start, index) minimum is either
+// the lowest-index host already free at best1 or, failing that, the
+// earliest-free host — one segment-tree query each. Parent-holding hosts
+// are masked out and evaluated exactly.
+func (s *state) minFinishFast(ready *readyFn, cost float64) (int, float64) {
+	ci := s.classIndex()
+	hosts := s.rc.Hosts
+	bestH, bestStart, bestFin := -1, math.Inf(1), math.Inf(1)
+	consider := func(h int, st float64) {
+		fin := st + execTime(cost, hosts[h])
+		if fin < bestFin ||
+			(fin == bestFin && (st < bestStart || (st == bestStart && h < bestH))) {
+			bestH, bestStart, bestFin = h, st, fin
+		}
+	}
+	for _, ph := range s.sp {
+		h := int(ph)
 		st := s.free[h]
 		if r := ready.at(h); r > st {
 			st = r
 		}
-		fin := st + execTime(cost, s.rc.Hosts[h])
-		if fin < bestFin || (fin == bestFin && st < bestStart) {
+		consider(h, st)
+	}
+	// Parent-holding hosts were evaluated exactly above; within a class
+	// every other host starts at max(free, best1). Instead of eagerly
+	// masking every parent host (O(parents·log m) tree updates), query
+	// first and mask only on conflict: the leftmost winner is rarely a
+	// parent host when m is large.
+	thr := ready.best1
+	stamp := ready.stamp
+	lo := 0
+	for _, end := range ci.classEnd {
+		hi := int(end)
+		for {
+			if p := ci.tree.leftmostLE(lo, hi, thr); p >= 0 {
+				// Free no later than the class-wide data-ready time: the
+				// class minimum start is exactly thr, achieved first by
+				// the lowest host index (leaves ascend by index within a
+				// class).
+				h := ci.hostAt(p)
+				if s.scratchStamp[h] == stamp {
+					ci.mask(h)
+					continue
+				}
+				consider(h, thr)
+				break
+			}
+			// Every host in the class waits for its own free time.
+			val, p := ci.tree.argmin(lo, hi)
+			if p < 0 || math.IsInf(val, 1) {
+				break
+			}
+			h := ci.hostAt(p)
+			if s.scratchStamp[h] == stamp {
+				ci.mask(h)
+				continue
+			}
+			consider(h, val)
+			break
+		}
+		lo = hi
+	}
+	ci.unmaskAll()
+	return bestH, bestStart
+}
+
+// minFinishGrouped is the cluster-network bucketed host search: every host
+// of a cluster group that holds no parent shares the group data-ready time
+// rd[g], and groups are clock-uniform, so each group contributes one
+// provably optimal candidate exactly as in minFinishFast.
+func (s *state) minFinishGrouped(ready *readyFn, v dag.TaskID, cost float64) (int, float64) {
+	gi := &s.grpIdx
+	hosts := s.rc.Hosts
+	bestH, bestStart, bestFin := -1, math.Inf(1), math.Inf(1)
+	consider := func(h int, st float64) {
+		fin := st + execTime(cost, hosts[h])
+		if fin < bestFin ||
+			(fin == bestFin && (st < bestStart || (st == bestStart && h < bestH))) {
 			bestH, bestStart, bestFin = h, st, fin
 		}
 	}
-	s.ops += float64(len(s.rc.Hosts)) * float64(1+len(s.d.Pred(v)))
+	for _, ph := range s.sp {
+		h := int(ph)
+		st := s.free[h]
+		if r := ready.at(h); r > st {
+			st = r
+		}
+		consider(h, st)
+	}
+	rd := s.groupReadyTimes(v)
+	stamp := ready.stamp
+	lo := 0
+	for g, end := range gi.classEnd {
+		hi := int(end)
+		thr := rd[g]
+		for {
+			if p := gi.tree.leftmostLE(lo, hi, thr); p >= 0 {
+				h := gi.hostAt(p)
+				if s.scratchStamp[h] == stamp {
+					gi.mask(h)
+					continue
+				}
+				consider(h, thr)
+				break
+			}
+			val, p := gi.tree.argmin(lo, hi)
+			if p < 0 || math.IsInf(val, 1) {
+				break
+			}
+			h := gi.hostAt(p)
+			if s.scratchStamp[h] == stamp {
+				gi.mask(h)
+				continue
+			}
+			consider(h, val)
+			break
+		}
+		lo = hi
+	}
+	gi.unmaskAll()
+	return bestH, bestStart
+}
+
+// minStartGrouped is minFinishGrouped for the Greedy (minimum start) rule.
+func (s *state) minStartGrouped(ready *readyFn, v dag.TaskID) (int, float64) {
+	gi := &s.grpIdx
+	bestH, bestStart := -1, math.Inf(1)
+	consider := func(h int, st float64) {
+		if st < bestStart || (st == bestStart && h < bestH) {
+			bestH, bestStart = h, st
+		}
+	}
+	for _, ph := range s.sp {
+		h := int(ph)
+		st := s.free[h]
+		if r := ready.at(h); r > st {
+			st = r
+		}
+		consider(h, st)
+	}
+	rd := s.groupReadyTimes(v)
+	stamp := ready.stamp
+	lo := 0
+	for g, end := range gi.classEnd {
+		hi := int(end)
+		thr := rd[g]
+		for {
+			if p := gi.tree.leftmostLE(lo, hi, thr); p >= 0 {
+				h := gi.hostAt(p)
+				if s.scratchStamp[h] == stamp {
+					gi.mask(h)
+					continue
+				}
+				consider(h, thr)
+				break
+			}
+			val, p := gi.tree.argmin(lo, hi)
+			if p < 0 || math.IsInf(val, 1) {
+				break
+			}
+			h := gi.hostAt(p)
+			if s.scratchStamp[h] == stamp {
+				gi.mask(h)
+				continue
+			}
+			consider(h, val)
+			break
+		}
+		lo = hi
+	}
+	gi.unmaskAll()
 	return bestH, bestStart
 }
 
 // minStartHost is minFinishHost but minimizes start time, ignoring host
-// speed: the Greedy policy of Fig. IV-3.
+// speed: the Greedy policy of Fig. IV-3. Charges m ops (Greedy evaluates
+// only availability, not per-parent costs).
 func (s *state) minStartHost(v dag.TaskID) (int, float64) {
 	ready := s.readyTimes(v)
-	bestH, bestStart := 0, math.Inf(1)
-	for h := range s.rc.Hosts {
-		st := s.free[h]
-		if r := ready.at(h); r > st {
-			st = r
+	var bestH int
+	var bestStart float64
+	if s.uniform && len(s.rc.Hosts) >= indexMinHosts {
+		ii := s.identityIndex()
+		bestH, bestStart = -1, math.Inf(1)
+		consider := func(h int, st float64) {
+			if st < bestStart || (st == bestStart && h < bestH) {
+				bestH, bestStart = h, st
+			}
 		}
-		if st < bestStart {
-			bestH, bestStart = h, st
+		for _, ph := range s.sp {
+			h := int(ph)
+			st := s.free[h]
+			if r := ready.at(h); r > st {
+				st = r
+			}
+			consider(h, st)
+		}
+		// Same conflict-driven masking as minFinishFast: parent-holding
+		// hosts were handled exactly above, so they are skipped (masked)
+		// only if the tree actually nominates one.
+		thr := ready.best1
+		stamp := ready.stamp
+		m := len(s.rc.Hosts)
+		for {
+			if p := ii.tree.leftmostLE(0, m, thr); p >= 0 {
+				if s.scratchStamp[p] == stamp {
+					ii.mask(p)
+					continue
+				}
+				consider(p, thr)
+				break
+			}
+			val, p := ii.tree.argmin(0, m)
+			if p < 0 || math.IsInf(val, 1) {
+				break
+			}
+			if s.scratchStamp[p] == stamp {
+				ii.mask(p)
+				continue
+			}
+			consider(p, val)
+			break
+		}
+		ii.unmaskAll()
+	} else if s.cnet != nil && len(s.rc.Hosts) >= indexMinHosts && s.groupsOK() {
+		bestH, bestStart = s.minStartGrouped(&ready, v)
+	} else {
+		bestH, bestStart = 0, math.Inf(1)
+		for h := range s.rc.Hosts {
+			st := s.free[h]
+			if r := ready.at(h); r > st {
+				st = r
+			}
+			if st < bestStart {
+				bestH, bestStart = h, st
+			}
 		}
 	}
-	// Greedy evaluates only availability, not per-parent costs: m ops.
 	s.ops += float64(len(s.rc.Hosts))
 	return bestH, bestStart
-}
-
-// sortedByBLevel returns task IDs ordered by descending b-level (ties by
-// ID): the classic static list-scheduling priority.
-func sortedByBLevel(d *dag.DAG) []dag.TaskID {
-	bl := d.BLevels()
-	ids := make([]dag.TaskID, d.Size())
-	for i := range ids {
-		ids[i] = dag.TaskID(i)
-	}
-	sort.SliceStable(ids, func(a, b int) bool { return bl[ids[a]] > bl[ids[b]] })
-	return ids
 }

@@ -1,0 +1,29 @@
+package service
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns the operator-only diagnostic mux: the full net/http/pprof
+// suite plus the server's metrics and health endpoints (so one scrape target
+// suffices when the public listener is firewalled). srv may be nil, in which
+// case only the pprof handlers are mounted.
+//
+// Debug endpoints are intentionally separated from the public Server: the
+// pprof handlers expose heap contents and symbol tables, so they must never
+// be reachable through the listener that serves untrusted clients. Bind the
+// returned mux only to an operator-chosen (typically loopback) address.
+func DebugMux(srv *Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if srv != nil {
+		mux.HandleFunc("/healthz", srv.handleHealthz)
+		mux.HandleFunc("/metrics", srv.handleMetrics)
+	}
+	return mux
+}

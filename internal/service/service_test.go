@@ -391,3 +391,30 @@ func TestDagDecodeMatchesIO(t *testing.T) {
 		t.Errorf("size = %d", d.Size())
 	}
 }
+
+func TestDebugMux(t *testing.T) {
+	srv := newTestServer(t, nil)
+	mux := DebugMux(srv)
+	for _, path := range []string{"/debug/pprof/", "/healthz", "/metrics"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Errorf("GET %s on debug mux: status %d", path, w.Code)
+		}
+	}
+	// The public server must NOT expose the profiling endpoints.
+	req := httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code == http.StatusOK {
+		t.Fatal("public handler serves /debug/pprof/ — profiling endpoints leaked onto the public listener")
+	}
+	// Nil server: pprof only.
+	req = httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil)
+	w = httptest.NewRecorder()
+	DebugMux(nil).ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Errorf("nil-server debug mux: status %d", w.Code)
+	}
+}

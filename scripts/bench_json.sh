@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# bench_json.sh [bench-regex] [output.json]
+#
+# Runs the Go benchmarks and converts `go test -bench` output into a JSON
+# object mapping benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op},
+# written to BENCH_3.json (or the second argument). The schedule-focused
+# default regex keeps the run to a few minutes; pass '.' for everything.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-BenchmarkSchedule|BenchmarkDAG|BenchmarkEvalPool|BenchmarkAblationMCPPrefix}"
+OUT="${2:-BENCH_3.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "${BENCHTIME:-10x}" . | tee "$RAW"
+
+awk '
+BEGIN { print "{"; n = 0 }
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)      # strip -GOMAXPROCS suffix
+    ns = $3; bytes = "null"; allocs = "null"
+    if ($6 == "B/op")      { bytes = $5 }
+    if ($8 == "allocs/op") { allocs = $7 }
+    if (n++) printf ",\n"
+    printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+}
+END { print "\n}" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT ($(grep -c ns_per_op "$OUT") benchmarks)" >&2
