@@ -8,15 +8,26 @@
 //
 // Serve mode exposes:
 //
-//	POST /v1/spec   {"dag": {...}, "options": {...}} → generated specification
-//	GET  /healthz   liveness + model provenance
-//	GET  /metrics   Prometheus text exposition (requests, latencies, caches)
+//	POST /v1/spec     {"dag": {...}, "options": {...}} → generated specification
+//	PUT  /v1/platform {"generate": {...}} → register a synthetic inventory
+//	GET  /v1/platform inventory summary + lease occupancy (404 before PUT)
+//	POST /v1/select   closed-loop selection: spec ladder → select → lease → bind
+//	POST /v1/release  {"lease_id": "..."} → free a lease's hosts
+//	GET  /healthz     liveness + model provenance
+//	GET  /metrics     Prometheus text exposition (requests, latencies, caches,
+//	                  broker rung attempts, fallback depth, lease occupancy)
+//
+// /v1/select answers 412 until an inventory is registered, 409 (with the
+// per-rung trace) when no rung of the specification ladder can be satisfied,
+// 503 while draining, and 504 on deadline; successes carry an
+// X-Fallback-Depth header (0 = the optimal specification was fulfilled).
 //
 // With -debug-addr a second, operator-only listener additionally serves
 // net/http/pprof (plus /healthz and /metrics) on a separate mux; profiling
 // endpoints are never mounted on the public -addr listener.
 //
-// SIGINT/SIGTERM drain in-flight requests (bounded by -drain) and exit 0.
+// SIGINT/SIGTERM drain in-flight requests and selections (bounded by -drain)
+// and exit 0.
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 	"time"
 
 	"rsgen"
+	"rsgen/internal/broker"
 	"rsgen/internal/service"
 )
 
@@ -53,6 +65,8 @@ func run(args []string) int {
 		maxInflight = fs.Int("max-inflight", 64, "handler concurrency limit")
 		cacheSize   = fs.Int("cache", 1024, "response cache entries")
 		workers     = fs.Int("j", 0, "evaluation workers for alternative specs (0 = all cores)")
+		leaseTTL    = fs.Duration("lease-ttl", 5*time.Minute, "default host-lease lifetime for /v1/select")
+		leaseSweep  = fs.Duration("lease-sweep", 30*time.Second, "background lease-expiry sweep interval")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		debugAddr   = fs.String("debug-addr", "", "operator-only listen address for net/http/pprof, /healthz and /metrics (e.g. 127.0.0.1:6060); never exposed on -addr")
 	)
@@ -83,6 +97,17 @@ func run(args []string) int {
 
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
+	brk, err := broker.New(broker.Config{
+		Generator: gen,
+		Workers:   *workers,
+		LeaseTTL:  *leaseTTL,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsgend:", err)
+		return 1
+	}
+	stopSweeper := brk.StartSweeper(*leaseSweep)
+	defer stopSweeper()
 	srv, err := service.New(service.Config{
 		Generator:    gen,
 		MaxBodyBytes: *maxBody,
@@ -91,6 +116,7 @@ func run(args []string) int {
 		CacheEntries: *cacheSize,
 		Workers:      *workers,
 		BaseCtx:      baseCtx,
+		Broker:       brk,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rsgend:", err)
@@ -132,6 +158,10 @@ func run(args []string) int {
 	select {
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "rsgend: %v: draining (budget %v)\n", sig, *drain)
+		// Stop admitting new selections first, then drain the HTTP layer
+		// (which waits for in-flight handlers, selections included), then
+		// wait out any selection still running off-handler.
+		brk.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
@@ -139,6 +169,10 @@ func run(args []string) int {
 			cancelBase()
 			_ = httpSrv.Close()
 			fmt.Fprintln(os.Stderr, "rsgend: drain incomplete:", err)
+			return 1
+		}
+		if err := brk.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "rsgend: broker drain incomplete:", err)
 			return 1
 		}
 		fmt.Fprintln(os.Stderr, "rsgend: drained, exiting")

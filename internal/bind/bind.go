@@ -106,8 +106,23 @@ func NewGrid(p *platform.Platform, meanQueueWait float64, rng *xrand.RNG) *Grid 
 	return g
 }
 
+// DedicatedGrid assigns an immediate-access dedicated manager to every
+// cluster: the deterministic baseline for served inventories. Individual
+// managers can then be overridden with SetManager to model queues,
+// reservations, and admission limits.
+func DedicatedGrid(p *platform.Platform) *Grid {
+	g := &Grid{p: p, managers: make([]Manager, len(p.Clusters))}
+	for i := range p.Clusters {
+		g.managers[i] = Manager{Cluster: i, Discipline: Dedicated}
+	}
+	return g
+}
+
 // Manager returns the manager for a cluster.
 func (g *Grid) Manager(cluster int) Manager { return g.managers[cluster] }
+
+// NumClusters returns the number of managed clusters.
+func (g *Grid) NumClusters() int { return len(g.managers) }
 
 // SetManager overrides a cluster's manager (tests and what-if analyses).
 func (g *Grid) SetManager(m Manager) {

@@ -157,6 +157,139 @@ func TestBindBestEffortPreservesTransfers(t *testing.T) {
 	}
 }
 
+// TestBindEdgeCases table-drives the admission corners: MaxHosts=0 meaning
+// unlimited, empty collections, all-reservation grids whose next slots sit
+// beyond any reasonable bound, and mixed-discipline collections whose
+// availability is the slowest member's.
+func TestBindEdgeCases(t *testing.T) {
+	p := platform.MustGenerate(platform.GenSpec{Clusters: 8, Year: 2006}, xrand.New(11))
+	wholeCluster := func(c int) []platform.Host {
+		cl := p.Clusters[c]
+		hosts := make([]platform.Host, cl.NumHosts)
+		for i := range hosts {
+			hosts[i] = p.Hosts[int(cl.FirstHost)+i]
+		}
+		return hosts
+	}
+	firstOf := func(clusters ...int) []platform.Host {
+		var hosts []platform.Host
+		for _, c := range clusters {
+			hosts = append(hosts, p.Hosts[p.Clusters[c].FirstHost])
+		}
+		return hosts
+	}
+	cases := []struct {
+		name        string
+		managers    []Manager
+		hosts       []platform.Host
+		maxWait     float64
+		wantErr     bool
+		wantAvailAt float64
+	}{
+		{
+			// MaxHosts 0 is "no limit", not "admit nothing": a request for
+			// the whole cluster must pass.
+			name:     "max hosts zero is unlimited",
+			managers: []Manager{{Cluster: 0, Discipline: Dedicated, MaxHosts: 0}},
+			hosts:    wholeCluster(0),
+			maxWait:  0,
+		},
+		{
+			name:     "max hosts exactly at the limit",
+			managers: []Manager{{Cluster: 0, Discipline: Dedicated, MaxHosts: len(wholeCluster(0))}},
+			hosts:    wholeCluster(0),
+			maxWait:  0,
+		},
+		{
+			name:    "empty collection rejected",
+			hosts:   nil,
+			maxWait: 1e9,
+			wantErr: true,
+		},
+		{
+			name: "all reservations with distant slots",
+			managers: []Manager{
+				{Cluster: 0, Discipline: Reservation, NextSlot: 90000},
+				{Cluster: 1, Discipline: Reservation, NextSlot: 86400},
+				{Cluster: 2, Discipline: Reservation, NextSlot: 172800},
+			},
+			hosts:   firstOf(0, 1, 2),
+			maxWait: 3600,
+			wantErr: true,
+		},
+		{
+			name: "all reservations admitted under a wide bound",
+			managers: []Manager{
+				{Cluster: 0, Discipline: Reservation, NextSlot: 90000},
+				{Cluster: 1, Discipline: Reservation, NextSlot: 86400},
+				{Cluster: 2, Discipline: Reservation, NextSlot: 172800},
+			},
+			hosts:       firstOf(0, 1, 2),
+			maxWait:     200000,
+			wantAvailAt: 172800,
+		},
+		{
+			name: "mixed disciplines take the slowest member",
+			managers: []Manager{
+				{Cluster: 0, Discipline: Dedicated},
+				{Cluster: 1, Discipline: BatchQueue, QueueWait: 300},
+				{Cluster: 2, Discipline: Reservation, NextSlot: 450},
+			},
+			hosts:       firstOf(0, 1, 2),
+			maxWait:     600,
+			wantAvailAt: 450,
+		},
+		{
+			name: "mixed disciplines fail on one slow member",
+			managers: []Manager{
+				{Cluster: 0, Discipline: Dedicated},
+				{Cluster: 1, Discipline: BatchQueue, QueueWait: 900},
+			},
+			hosts:   firstOf(0, 1),
+			maxWait: 600,
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := DedicatedGrid(p)
+			for _, m := range tc.managers {
+				g.SetManager(m)
+			}
+			rc := platform.SubsetRC(p, tc.hosts)
+			b, err := g.Bind(rc, tc.maxWait)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("bound %d hosts, want error", b.RC.Size())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Bind: %v", err)
+			}
+			if b.AvailableAt != tc.wantAvailAt {
+				t.Errorf("available at %v, want %v", b.AvailableAt, tc.wantAvailAt)
+			}
+			if b.RC.Size() != len(tc.hosts) {
+				t.Errorf("bound %d hosts, want %d", b.RC.Size(), len(tc.hosts))
+			}
+		})
+	}
+}
+
+func TestDedicatedGridAllImmediate(t *testing.T) {
+	p := platform.MustGenerate(platform.GenSpec{Clusters: 6, Year: 2006}, xrand.New(11))
+	g := DedicatedGrid(p)
+	if g.NumClusters() != len(p.Clusters) {
+		t.Fatalf("NumClusters = %d, want %d", g.NumClusters(), len(p.Clusters))
+	}
+	for c := range p.Clusters {
+		if m := g.Manager(c); m.Discipline != Dedicated || m.Cluster != c {
+			t.Errorf("cluster %d manager %+v, want dedicated", c, m)
+		}
+	}
+}
+
 func TestBindRejectsInvalidRC(t *testing.T) {
 	g, _ := testGrid(t)
 	empty := &platform.ResourceCollection{Net: platform.UniformNetwork{Mbps: 1}}

@@ -1,0 +1,538 @@
+// Package broker closes the dissertation's selection loop (Fig. I-2,
+// Chapter VII): the specification generator renders an optimal request plus
+// degraded alternatives, and this package runs the full lifecycle against a
+// live resource pool — generate the spec ladder, try each rung through a
+// pluggable selection backend with leased hosts masked out, bind the
+// winning collection through the cluster managers with bounded retry, and
+// fall to the next rung when selection or binding fails. Successful
+// selections hold host leases (TTL'd, swept on expiry) so concurrent
+// sessions share one inventory without double-allocating nodes, and every
+// request returns a per-rung outcome trace recording which spec, which
+// backend, and why each failed rung failed.
+package broker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"rsgen/internal/bind"
+	"rsgen/internal/dag"
+	"rsgen/internal/knee"
+	"rsgen/internal/platform"
+	"rsgen/internal/spec"
+)
+
+// Config parameterizes a Broker. The zero value of every field except
+// Generator is usable; see the field comments for defaults.
+type Config struct {
+	// Generator is the trained specification generator (required): it
+	// renders the ladder of specs the broker walks.
+	Generator *spec.Generator
+	// SwordSeed seeds the synthetic SWORD directory built at inventory
+	// registration; 0 defaults to 1.
+	SwordSeed uint64
+	// LeaseTTL is the default host-lease lifetime; 0 defaults to 5m.
+	LeaseTTL time.Duration
+	// MaxBindWaitSeconds bounds the acceptable manager delay when binding;
+	// 0 defaults to 3600 (one hour of queue or reservation wait).
+	MaxBindWaitSeconds float64
+	// BindAttempts bounds bind retries per rung; 0 defaults to 3.
+	BindAttempts int
+	// BindBackoff is the first retry delay, doubling per attempt; 0
+	// defaults to 50ms.
+	BindBackoff time.Duration
+	// LeaseAttempts bounds re-selections after losing an acquisition race
+	// to a concurrent session; 0 defaults to 3.
+	LeaseAttempts int
+	// Workers bounds the evaluation pool used when computing alternative
+	// specifications; 0 uses all cores.
+	Workers int
+	// Now is the clock (tests); nil defaults to time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.SwordSeed == 0 {
+		c.SwordSeed = 1
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = 5 * time.Minute
+	}
+	if c.MaxBindWaitSeconds == 0 {
+		c.MaxBindWaitSeconds = 3600
+	}
+	if c.BindAttempts == 0 {
+		c.BindAttempts = 3
+	}
+	if c.BindBackoff == 0 {
+		c.BindBackoff = 50 * time.Millisecond
+	}
+	if c.LeaseAttempts == 0 {
+		c.LeaseAttempts = 3
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Sentinel errors the serving layer maps to HTTP statuses.
+var (
+	// ErrNoInventory means no platform has been registered yet.
+	ErrNoInventory = errors.New("broker: no inventory registered")
+	// ErrDraining means the broker is shutting down and rejects new work.
+	ErrDraining = errors.New("broker: draining, not accepting selections")
+)
+
+// UnsatisfiableError reports that every rung of the ladder failed; Trace
+// records each attempt and its failure reason.
+type UnsatisfiableError struct {
+	Trace []RungAttempt
+}
+
+func (e *UnsatisfiableError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "broker: all %d rung attempts failed", len(e.Trace))
+	for _, a := range e.Trace {
+		fmt.Fprintf(&b, "; rung %d via %s: %s (%s)", a.Rung, a.Backend, a.Err, a.Stage)
+	}
+	return b.String()
+}
+
+// inventory is one registered resource pool: the platform, its binding
+// managers, and the selection backends materialized over it.
+type inventory struct {
+	p         *platform.Platform
+	grid      *bind.Grid
+	selectors map[string]Selector
+}
+
+// Broker owns a registered inventory, the concurrent lease table over its
+// hosts, and the closed-loop select→lease→bind lifecycle. It is safe for
+// concurrent use.
+type Broker struct {
+	cfg     Config
+	leases  *leaseTable
+	metrics *Metrics
+
+	invMu sync.RWMutex
+	inv   *inventory
+
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// New validates the config and assembles an inventory-less broker;
+// selections fail with ErrNoInventory until RegisterInventory.
+func New(cfg Config) (*Broker, error) {
+	if cfg.Generator == nil || cfg.Generator.Size == nil || len(cfg.Generator.Size.Models) == 0 {
+		return nil, errors.New("broker: config needs a generator with a trained size model")
+	}
+	return &Broker{
+		cfg:     cfg.withDefaults(),
+		leases:  newLeaseTable(),
+		metrics: newBrokerMetrics(),
+	}, nil
+}
+
+// RegisterInventory installs (or replaces) the resource pool the broker
+// selects from. Replacing the inventory drops every outstanding lease: the
+// hosts they referenced no longer exist.
+func (b *Broker) RegisterInventory(p *platform.Platform, grid *bind.Grid) error {
+	if p == nil || grid == nil {
+		return errors.New("broker: inventory needs a platform and a binding grid")
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if grid.NumClusters() != len(p.Clusters) {
+		return fmt.Errorf("broker: grid manages %d clusters, platform has %d", grid.NumClusters(), len(p.Clusters))
+	}
+	inv := &inventory{p: p, grid: grid, selectors: newSelectors(p, b.cfg.SwordSeed)}
+	b.invMu.Lock()
+	b.inv = inv
+	b.invMu.Unlock()
+	b.leases.Clear()
+	return nil
+}
+
+// Inventory returns the registered platform and grid (nil, nil before
+// registration).
+func (b *Broker) Inventory() (*platform.Platform, *bind.Grid) {
+	b.invMu.RLock()
+	defer b.invMu.RUnlock()
+	if b.inv == nil {
+		return nil, nil
+	}
+	return b.inv.p, b.inv.grid
+}
+
+// Metrics returns the broker's counter set.
+func (b *Broker) Metrics() *Metrics { return b.metrics }
+
+// LeaseStats sweeps expired leases and reports occupancy.
+func (b *Broker) LeaseStats() LeaseStats { return b.leases.Stats(b.cfg.Now()) }
+
+// Release frees a lease; ok is false for unknown or expired IDs.
+func (b *Broker) Release(id string) bool {
+	ok := b.leases.Release(id, b.cfg.Now())
+	if ok {
+		b.metrics.releases.Add(1)
+	}
+	return ok
+}
+
+// StartSweeper reclaims expired leases every interval until the returned
+// stop function is called. Sweeping also happens inline on every lease
+// operation; the background pass only keeps occupancy gauges fresh while
+// the broker is idle.
+func (b *Broker) StartSweeper(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				b.leases.Sweep(b.cfg.Now())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// BeginDrain makes every subsequent Select fail fast with ErrDraining;
+// in-flight selections continue.
+func (b *Broker) BeginDrain() {
+	b.drainMu.Lock()
+	b.draining = true
+	b.drainMu.Unlock()
+}
+
+// Drain begins draining and waits for in-flight selections to finish or the
+// context to expire.
+func (b *Broker) Drain(ctx context.Context) error {
+	b.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		b.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (b *Broker) enter() bool {
+	b.drainMu.Lock()
+	defer b.drainMu.Unlock()
+	if b.draining {
+		return false
+	}
+	b.inflight.Add(1)
+	return true
+}
+
+// Request is one closed-loop selection request.
+type Request struct {
+	// Dag is the workflow to select resources for (required).
+	Dag *dag.DAG
+	// Options tune the base specification.
+	Options spec.Options
+	// AlternativeClocks, when non-empty, extends the ladder with the
+	// Chapter VII degraded specifications at these slower clock classes
+	// (GHz), tried in order after the optimal rung fails.
+	AlternativeClocks []float64
+	// AlternativeTolerance is the acceptable turn-around slack for an
+	// alternative; 0 defaults to 0.02.
+	AlternativeTolerance float64
+	// Backends names the selection backends to try per rung, in order;
+	// empty defaults to ["vgdl"].
+	Backends []string
+	// TTL overrides the broker's default lease lifetime when positive.
+	TTL time.Duration
+	// MaxBindWaitSeconds overrides the broker's bind-wait bound when
+	// positive.
+	MaxBindWaitSeconds float64
+}
+
+// RungAttempt is one entry of the outcome trace: a (rung, backend) attempt
+// and where in the lifecycle it ended.
+type RungAttempt struct {
+	// Rung indexes the ladder: 0 is the optimal spec, 1.. the
+	// alternatives in order.
+	Rung int `json:"rung"`
+	// ClockGHz and RCSize summarize the rung's specification.
+	ClockGHz float64 `json:"clock_ghz"`
+	RCSize   int     `json:"rc_size"`
+	// Backend is the selection backend tried.
+	Backend string `json:"backend"`
+	// Stage is where the attempt ended: select | lease | bind | bound.
+	Stage string `json:"stage"`
+	// Err is the failure reason (empty when Stage is bound).
+	Err string `json:"error,omitempty"`
+	// BindWaitSeconds is the winning binding's availability delay.
+	BindWaitSeconds float64 `json:"bind_wait_seconds,omitempty"`
+}
+
+// Outcome is a successful closed-loop selection.
+type Outcome struct {
+	// Lease holds the acquired hosts until released or expired.
+	Lease *Lease
+	// Rung is the winning ladder index; FallbackDepth aliases it in the
+	// response for the Fig. VII fallback-depth accounting.
+	Rung int
+	// Backend is the winning selection backend.
+	Backend string
+	// Spec is the winning rung's specification.
+	Spec *spec.Specification
+	// RC is the bound resource collection.
+	RC *platform.ResourceCollection
+	// Clusters counts the distinct clusters of the collection.
+	Clusters int
+	// AvailableAtSeconds is the binding's manager delay (bind.Binding).
+	AvailableAtSeconds float64
+	// Trace records every rung attempt, failures included.
+	Trace []RungAttempt
+}
+
+// Select runs the paper lifecycle for one request: generate the spec
+// ladder, then per rung and per backend select → lease → bind, falling to
+// the next backend/rung on failure. The error is ErrNoInventory,
+// ErrDraining, a generation error, the context's error, or an
+// *UnsatisfiableError carrying the full trace.
+func (b *Broker) Select(ctx context.Context, req Request) (*Outcome, error) {
+	if !b.enter() {
+		return nil, ErrDraining
+	}
+	defer b.inflight.Done()
+	b.metrics.inflight.Add(1)
+	defer b.metrics.inflight.Add(-1)
+	b.metrics.selections.Add(1)
+
+	b.invMu.RLock()
+	inv := b.inv
+	b.invMu.RUnlock()
+	if inv == nil {
+		return nil, ErrNoInventory
+	}
+	if req.Dag == nil {
+		return nil, errors.New("broker: request has no dag")
+	}
+	sels, err := inv.selectorsFor(req.Backends)
+	if err != nil {
+		return nil, err
+	}
+
+	ladder, err := b.ladder(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+
+	ttl := req.TTL
+	if ttl <= 0 {
+		ttl = b.cfg.LeaseTTL
+	}
+	maxWait := req.MaxBindWaitSeconds
+	if maxWait <= 0 {
+		maxWait = b.cfg.MaxBindWaitSeconds
+	}
+
+	// stalled accumulates, per request, the hosts of clusters whose
+	// managers refused or stalled past the wait bound: the Chapter VII
+	// rebind loop routes every later attempt around them instead of
+	// re-selecting the same dead clusters.
+	stalled := make(map[platform.HostID]bool)
+	var trace []RungAttempt
+	for rung, sp := range ladder {
+		for _, sel := range sels {
+			out, atts := b.tryRung(ctx, inv, rung, sp, sel, ttl, maxWait, stalled)
+			trace = append(trace, atts...)
+			if out != nil {
+				out.Trace = trace
+				b.metrics.fallbackDepth(rung)
+				return out, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	b.metrics.unsatisfied.Add(1)
+	return nil, &UnsatisfiableError{Trace: trace}
+}
+
+// selectorsFor resolves backend names (default: vgdl only) against the
+// registry.
+func (inv *inventory) selectorsFor(names []string) ([]Selector, error) {
+	if len(names) == 0 {
+		names = []string{"vgdl"}
+	}
+	out := make([]Selector, 0, len(names))
+	for _, n := range names {
+		s, ok := inv.selectors[n]
+		if !ok {
+			return nil, fmt.Errorf("broker: unknown backend %q (have %s)", n, strings.Join(BackendNames, ", "))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ladder renders the optimal specification plus the requested degraded
+// alternatives, in fallback order.
+func (b *Broker) ladder(ctx context.Context, req Request) ([]*spec.Specification, error) {
+	base, err := b.cfg.Generator.Generate(req.Dag, req.Options)
+	if err != nil {
+		return nil, err
+	}
+	ladder := []*spec.Specification{base}
+	if len(req.AlternativeClocks) > 0 {
+		tol := req.AlternativeTolerance
+		if tol == 0 {
+			tol = 0.02
+		}
+		sweep := knee.SweepConfig{Ctx: ctx, Workers: b.cfg.Workers}
+		alts, err := b.cfg.Generator.Alternatives(req.Dag, base, req.AlternativeClocks, sweep, tol)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range alts {
+			ladder = append(ladder, a.Spec)
+		}
+	}
+	return ladder, nil
+}
+
+// tryRung attempts one (rung, backend) pair: select with leased hosts
+// masked, acquire the lease, bind with bounded retry. Two failures restart
+// the loop with a bigger mask instead of abandoning the rung: losing the
+// acquisition race to a concurrent session (bounded by LeaseAttempts) and a
+// bind refusal that stalls new clusters — the Chapter VII rebind loop, which
+// re-selects around the stalled clusters and is bounded because every
+// iteration must grow the mask. A selection failure ends the rung: it is
+// deterministic given the mask, so the caller moves on.
+func (b *Broker) tryRung(ctx context.Context, inv *inventory, rung int, sp *spec.Specification, sel Selector, ttl time.Duration, maxWait float64, stalled map[platform.HostID]bool) (*Outcome, []RungAttempt) {
+	var atts []RungAttempt
+	leaseMisses := 0
+	for {
+		att := RungAttempt{Rung: rung, ClockGHz: sp.MaxClockGHz, RCSize: sp.RCSize, Backend: sel.Name()}
+		excluded := b.leases.Leased(b.cfg.Now())
+		for h := range stalled {
+			excluded[h] = true
+		}
+		rc, err := sel.Select(sp, excluded)
+		if err != nil {
+			att.Stage, att.Err = StageSelect, err.Error()
+			b.metrics.rungAttempt(sel.Name(), StageSelect)
+			return nil, append(atts, att)
+		}
+		lease, err := b.leases.Acquire(rc.Hosts, ttl, b.cfg.Now(), rung, sel.Name())
+		if err != nil {
+			att.Stage, att.Err = StageLease, err.Error()
+			b.metrics.rungAttempt(sel.Name(), StageLease)
+			atts = append(atts, att)
+			leaseMisses++
+			if leaseMisses >= b.cfg.LeaseAttempts {
+				return nil, atts
+			}
+			continue // a concurrent session won the race: re-select
+		}
+		binding, err := b.bindWithRetry(ctx, inv.grid, rc, maxWait)
+		if err != nil {
+			b.leases.Release(lease.ID, b.cfg.Now())
+			grew := b.markStalled(inv, rc, maxWait, stalled)
+			att.Stage, att.Err = StageBind, err.Error()
+			b.metrics.rungAttempt(sel.Name(), StageBind)
+			b.metrics.bindFailures.Add(1)
+			atts = append(atts, att)
+			if grew > 0 && ctx.Err() == nil {
+				continue // route the re-selection around the stalled clusters
+			}
+			return nil, atts
+		}
+		att.Stage = StageBound
+		att.BindWaitSeconds = binding.AvailableAt
+		b.metrics.rungAttempt(sel.Name(), StageBound)
+		return &Outcome{
+			Lease:              lease,
+			Rung:               rung,
+			Backend:            sel.Name(),
+			Spec:               sp,
+			RC:                 rc,
+			Clusters:           countClusters(rc),
+			AvailableAtSeconds: binding.AvailableAt,
+		}, append(atts, att)
+	}
+}
+
+// bindWithRetry binds the collection with exponential backoff: manager
+// state can change between attempts (operators repoint managers at
+// runtime), so transient refusals get BindAttempts chances before the rung
+// is abandoned.
+func (b *Broker) bindWithRetry(ctx context.Context, grid *bind.Grid, rc *platform.ResourceCollection, maxWait float64) (*bind.Binding, error) {
+	backoff := b.cfg.BindBackoff
+	var lastErr error
+	for attempt := 0; attempt < b.cfg.BindAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, fmt.Errorf("%w (after %v)", ctx.Err(), lastErr)
+			}
+			backoff *= 2
+		}
+		binding, err := grid.Bind(rc, maxWait)
+		if err == nil {
+			return binding, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("bind failed after %d attempts: %w", b.cfg.BindAttempts, lastErr)
+}
+
+// markStalled probes the failed collection's clusters and masks every host
+// of the clusters that refuse the request or cannot grant it within the
+// wait bound, so later attempts, rungs, and backends route around them (the
+// vgdl Finder's cluster exclusion, generalized to host level for all
+// backends). It returns the number of newly masked hosts; 0 means the probe
+// learned nothing and retrying the same selection would loop.
+func (b *Broker) markStalled(inv *inventory, rc *platform.ResourceCollection, maxWait float64, stalled map[platform.HostID]bool) int {
+	grew := 0
+	probe := inv.grid.Probe(rc)
+	for cluster, at := range probe {
+		if at <= maxWait {
+			continue
+		}
+		c := inv.p.Clusters[cluster]
+		for i := 0; i < c.NumHosts; i++ {
+			h := c.FirstHost + platform.HostID(i)
+			if !stalled[h] {
+				stalled[h] = true
+				grew++
+			}
+		}
+	}
+	return grew
+}
+
+func countClusters(rc *platform.ResourceCollection) int {
+	seen := make(map[int]bool)
+	for _, h := range rc.Hosts {
+		seen[h.Cluster] = true
+	}
+	return len(seen)
+}

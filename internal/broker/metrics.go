@@ -1,0 +1,114 @@
+package broker
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Stage labels where in the select→lease→bind lifecycle a rung attempt
+// ended.
+const (
+	StageSelect = "select" // the backend could not satisfy the spec
+	StageLease  = "lease"  // a concurrent session won the acquisition race
+	StageBind   = "bind"   // the managers refused or stalled past the bound
+	StageBound  = "bound"  // success: hosts leased and bound
+)
+
+// Metrics aggregates the broker's counters for the Prometheus text
+// exposition. All series are monotone counters except the lease-occupancy
+// gauges, which are read from the lease table at exposition time.
+type Metrics struct {
+	mu           sync.Mutex
+	rungAttempts map[rungKey]uint64
+	fallbackHist map[int]uint64 // successful selections by fallback depth
+
+	selections   atomic.Uint64 // Select calls admitted
+	unsatisfied  atomic.Uint64 // Select calls that exhausted the ladder
+	bindFailures atomic.Uint64
+	releases     atomic.Uint64
+	inflight     atomic.Int64
+}
+
+type rungKey struct {
+	backend string
+	stage   string
+}
+
+func newBrokerMetrics() *Metrics {
+	return &Metrics{
+		rungAttempts: make(map[rungKey]uint64),
+		fallbackHist: make(map[int]uint64),
+	}
+}
+
+func (m *Metrics) rungAttempt(backend, stage string) {
+	m.mu.Lock()
+	m.rungAttempts[rungKey{backend, stage}]++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) fallbackDepth(depth int) {
+	m.mu.Lock()
+	m.fallbackHist[depth]++
+	m.mu.Unlock()
+}
+
+// Write emits the broker series in Prometheus text exposition format.
+// Series are sorted so repeated scrapes with the same counters are
+// byte-identical, matching the service metrics contract.
+func (m *Metrics) Write(w io.Writer, leases LeaseStats) {
+	m.mu.Lock()
+	rungKeys := make([]rungKey, 0, len(m.rungAttempts))
+	for k := range m.rungAttempts {
+		rungKeys = append(rungKeys, k)
+	}
+	attempts := make(map[rungKey]uint64, len(m.rungAttempts))
+	for k, v := range m.rungAttempts {
+		attempts[k] = v
+	}
+	depths := make([]int, 0, len(m.fallbackHist))
+	for d := range m.fallbackHist {
+		depths = append(depths, d)
+	}
+	hist := make(map[int]uint64, len(m.fallbackHist))
+	for d, v := range m.fallbackHist {
+		hist[d] = v
+	}
+	m.mu.Unlock()
+
+	sort.Slice(rungKeys, func(i, j int) bool {
+		if rungKeys[i].backend != rungKeys[j].backend {
+			return rungKeys[i].backend < rungKeys[j].backend
+		}
+		return rungKeys[i].stage < rungKeys[j].stage
+	})
+	sort.Ints(depths)
+
+	fmt.Fprintln(w, "# TYPE rsgend_broker_rung_attempts_total counter")
+	for _, k := range rungKeys {
+		fmt.Fprintf(w, "rsgend_broker_rung_attempts_total{backend=%q,stage=%q} %d\n", k.backend, k.stage, attempts[k])
+	}
+	fmt.Fprintln(w, "# TYPE rsgend_broker_fallback_depth_total counter")
+	for _, d := range depths {
+		fmt.Fprintf(w, "rsgend_broker_fallback_depth_total{depth=\"%d\"} %d\n", d, hist[d])
+	}
+	fmt.Fprintln(w, "# TYPE rsgend_broker_selections_total counter")
+	fmt.Fprintf(w, "rsgend_broker_selections_total %d\n", m.selections.Load())
+	fmt.Fprintln(w, "# TYPE rsgend_broker_unsatisfied_total counter")
+	fmt.Fprintf(w, "rsgend_broker_unsatisfied_total %d\n", m.unsatisfied.Load())
+	fmt.Fprintln(w, "# TYPE rsgend_broker_bind_failures_total counter")
+	fmt.Fprintf(w, "rsgend_broker_bind_failures_total %d\n", m.bindFailures.Load())
+	fmt.Fprintln(w, "# TYPE rsgend_broker_releases_total counter")
+	fmt.Fprintf(w, "rsgend_broker_releases_total %d\n", m.releases.Load())
+	fmt.Fprintln(w, "# TYPE rsgend_broker_inflight_selections gauge")
+	fmt.Fprintf(w, "rsgend_broker_inflight_selections %d\n", m.inflight.Load())
+	fmt.Fprintln(w, "# TYPE rsgend_broker_active_leases gauge")
+	fmt.Fprintf(w, "rsgend_broker_active_leases %d\n", leases.ActiveLeases)
+	fmt.Fprintln(w, "# TYPE rsgend_broker_leased_hosts gauge")
+	fmt.Fprintf(w, "rsgend_broker_leased_hosts %d\n", leases.LeasedHosts)
+	fmt.Fprintln(w, "# TYPE rsgend_broker_leases_expired_total counter")
+	fmt.Fprintf(w, "rsgend_broker_leases_expired_total %d\n", leases.ExpiredTotal)
+}

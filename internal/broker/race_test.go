@@ -1,0 +1,123 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"rsgen/internal/platform"
+	"rsgen/internal/spec"
+)
+
+// TestConcurrentSessionsNeverDoubleLease runs N sessions selecting and
+// releasing against one broker inventory. Between a session's Select
+// returning and its Release, the lease's hosts belong to that session alone;
+// a tracker map catches any overlap. Run under -race (make check does), this
+// also exercises the lease table and metrics for data races.
+func TestConcurrentSessionsNeverDoubleLease(t *testing.T) {
+	b, _, _ := newTestBroker(t, nil)
+
+	const sessions = 8
+	const rounds = 10
+
+	var mu sync.Mutex
+	held := make(map[platform.HostID]int) // host → holding session
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(session int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				out, err := b.Select(context.Background(), Request{
+					Dag:     testDAG(t),
+					Options: spec.Options{ClockGHz: 2.0},
+				})
+				if err != nil {
+					// Pool exhaustion under contention is legal; anything
+					// else is a bug.
+					var unsat *UnsatisfiableError
+					if errors.As(err, &unsat) {
+						continue
+					}
+					errs <- err
+					return
+				}
+				mu.Lock()
+				for _, h := range out.Lease.Hosts {
+					if owner, taken := held[h]; taken {
+						t.Errorf("host %d double-leased by sessions %d and %d", h, owner, session)
+					}
+					held[h] = session
+				}
+				mu.Unlock()
+
+				mu.Lock()
+				for _, h := range out.Lease.Hosts {
+					delete(held, h)
+				}
+				mu.Unlock()
+				if !b.Release(out.Lease.ID) {
+					errs <- errors.New("release of a live lease failed")
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := b.LeaseStats(); st.ActiveLeases != 0 || st.LeasedHosts != 0 {
+		t.Errorf("lease stats %+v after all sessions released", st)
+	}
+}
+
+// TestConcurrentExpiryReclaims leaks leases with tiny TTLs from concurrent
+// sessions and verifies expiry hands every host back.
+func TestConcurrentExpiryReclaims(t *testing.T) {
+	b, _, _ := newTestBroker(t, nil)
+
+	const sessions = 6
+	var wg sync.WaitGroup
+	var granted sync.Map
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := b.Select(context.Background(), Request{
+				Dag:     testDAG(t),
+				Options: spec.Options{ClockGHz: 2.0},
+				TTL:     10 * time.Millisecond,
+			})
+			if err == nil {
+				granted.Store(out.Lease.ID, true)
+			}
+		}()
+	}
+	wg.Wait()
+	var leaked int
+	granted.Range(func(any, any) bool { leaked++; return true })
+	if leaked == 0 {
+		t.Fatal("no session obtained a lease")
+	}
+	time.Sleep(20 * time.Millisecond)
+	st := b.LeaseStats()
+	if st.ActiveLeases != 0 || st.LeasedHosts != 0 {
+		t.Fatalf("lease stats %+v after TTL expiry", st)
+	}
+	if st.ExpiredTotal != uint64(leaked) {
+		t.Errorf("expired %d leases, want %d", st.ExpiredTotal, leaked)
+	}
+	// The reclaimed hosts are immediately selectable.
+	if _, err := b.Select(context.Background(), Request{
+		Dag:     testDAG(t),
+		Options: spec.Options{ClockGHz: 2.0},
+	}); err != nil {
+		t.Fatalf("post-expiry Select: %v", err)
+	}
+}

@@ -364,15 +364,31 @@ func Rank(a, b *Ad) float64 {
 // MatchBest returns the highest-ranked matching candidates (up to limit) in
 // descending request-rank order, ties broken by candidate order.
 func MatchBest(request *Ad, candidates []*Ad, limit int) []*Ad {
+	idx := MatchBestIndices(request, candidates, limit, nil)
+	out := make([]*Ad, len(idx))
+	for i, j := range idx {
+		out[i] = candidates[j]
+	}
+	return out
+}
+
+// MatchBestIndices returns the candidate indices of the highest-ranked
+// matching candidates (up to limit) in descending request-rank order, ties
+// broken by candidate order. excluded, when non-nil, masks candidates by
+// index before matching — host-level exclusion when the ads follow
+// MachineAds host order, so a broker can route around leased machines.
+func MatchBestIndices(request *Ad, candidates []*Ad, limit int, excluded func(int) bool) []int {
 	type scored struct {
-		ad   *Ad
 		rank float64
 		idx  int
 	}
 	var ms []scored
 	for i, c := range candidates {
+		if excluded != nil && excluded(i) {
+			continue
+		}
 		if Match(request, c) {
-			ms = append(ms, scored{ad: c, rank: Rank(request, c), idx: i})
+			ms = append(ms, scored{rank: Rank(request, c), idx: i})
 		}
 	}
 	sort.Slice(ms, func(i, j int) bool {
@@ -384,9 +400,9 @@ func MatchBest(request *Ad, candidates []*Ad, limit int) []*Ad {
 	if limit > 0 && len(ms) > limit {
 		ms = ms[:limit]
 	}
-	out := make([]*Ad, len(ms))
+	out := make([]int, len(ms))
 	for i, m := range ms {
-		out[i] = m.ad
+		out[i] = m.idx
 	}
 	return out
 }

@@ -1,0 +1,36 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSelectRequest drives the /v1/select body decoder, the one parser the
+// broker endpoints expose to untrusted input: whatever the bytes, it must
+// return an error or a well-formed (request, dag) pair — never panic.
+func FuzzSelectRequest(f *testing.F) {
+	f.Add([]byte(selectBody("", "")))
+	f.Add([]byte(selectBody(`{"clock_ghz": 2.8, "alternative_clocks": [2.0, 1.5]}`, `"backends": ["vgdl", "sword"], "ttl_seconds": 300`)))
+	f.Add([]byte(`{"dag": {"tasks": []}}`))
+	f.Add([]byte(`{"dag": 17}`))
+	f.Add([]byte(`{"dag": {"tasks":[{"id":0,"cost":1}],"edges":[{"from":0,"to":0,"cost":1}]}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(strings.Repeat(`{"dag":`, 50)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, d, err := decodeSelectRequest(data)
+		if err != nil {
+			if req != nil || d != nil {
+				t.Fatalf("error %v with non-nil results", err)
+			}
+			return
+		}
+		if req == nil || d == nil {
+			t.Fatal("nil results without error")
+		}
+		if d.Size() == 0 {
+			t.Fatal("decoded dag has no tasks")
+		}
+	})
+}

@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"time"
 
+	"rsgen/internal/broker"
 	"rsgen/internal/dag"
 	"rsgen/internal/knee"
 	"rsgen/internal/sched"
@@ -61,6 +62,10 @@ type Config struct {
 	// defaults to context.Background(). Cancel it on shutdown to abort
 	// orphaned work.
 	BaseCtx context.Context
+	// Broker is the closed-loop selection broker behind /v1/select; nil
+	// builds one with default lease/bind settings over the same Generator
+	// and Workers.
+	Broker *broker.Broker
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +95,7 @@ type Server struct {
 	cache   *responseCache
 	flight  *flightGroup
 	metrics *metrics
+	brk     *broker.Broker
 	sem     chan struct{}
 	started time.Time
 
@@ -105,20 +111,37 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("service: config needs a generator with a trained size model")
 	}
 	cfg = cfg.withDefaults()
+	brk := cfg.Broker
+	if brk == nil {
+		var err error
+		brk, err = broker.New(broker.Config{Generator: cfg.Generator, Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		cache:   newResponseCache(cfg.CacheEntries),
 		flight:  newFlightGroup(),
 		metrics: newMetrics(),
+		brk:     brk,
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		started: time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/spec", s.handleSpec)
+	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
+	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
+	s.mux.HandleFunc("PUT /v1/platform", s.handlePlatformPut)
+	s.mux.HandleFunc("GET /v1/platform", s.handlePlatformGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
+
+// Broker returns the selection broker behind /v1/select, so the serving
+// binary can start its lease sweeper and drain it on shutdown.
+func (s *Server) Broker() *broker.Broker { return s.brk }
 
 // ServeHTTP dispatches to the mux with request accounting.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -134,7 +157,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // cannot grow the metrics maps without bound.
 func metricPath(p string) string {
 	switch p {
-	case "/v1/spec", "/healthz", "/metrics":
+	case "/v1/spec", "/v1/select", "/v1/release", "/v1/platform", "/healthz", "/metrics":
 		return p
 	}
 	return "other"
@@ -434,8 +457,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics is GET /metrics: Prometheus text exposition.
+// handleMetrics is GET /metrics: Prometheus text exposition, service
+// counters followed by the broker's selection/lease series.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.expose(w, s.cache.Len())
+	s.brk.Metrics().Write(w, s.brk.LeaseStats())
 }

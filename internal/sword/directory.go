@@ -144,8 +144,20 @@ func (s *Selection) Hosts(groups []Group) []platform.Host {
 // accumulated. A violated required bound anywhere fails the whole request —
 // SWORD's "best effort within requirements" semantics.
 func (d *Directory) Select(req *Request) (*Selection, error) {
+	return d.SelectExcluding(req, nil)
+}
+
+// SelectExcluding is Select with the given hosts masked from consideration
+// before any group is filled — the leased-host exclusion the brokered
+// selection loop needs to keep concurrent sessions off each other's nodes.
+func (d *Directory) SelectExcluding(req *Request, excluded map[platform.HostID]bool) (*Selection, error) {
 	sel := &Selection{Members: map[string][]Node{}}
-	used := map[platform.HostID]bool{}
+	used := make(map[platform.HostID]bool, len(excluded))
+	for id, on := range excluded {
+		if on {
+			used[id] = true
+		}
+	}
 	for gi := range req.Groups {
 		g := &req.Groups[gi]
 		nodes, penalty, err := d.selectGroup(g, used)

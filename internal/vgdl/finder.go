@@ -19,7 +19,11 @@ type Finder struct {
 	// Chapter VII marks clusters whose managers refused or stalled so the
 	// next attempt routes around them.
 	Excluded map[int]bool
-	p        *platform.Platform
+	// ExcludedHosts are individual hosts skipped during selection: the
+	// broker masks already-leased hosts so concurrent sessions never
+	// compete for the same nodes.
+	ExcludedHosts map[platform.HostID]bool
+	p             *platform.Platform
 }
 
 // NewFinder builds a finder over the platform.
@@ -34,6 +38,17 @@ func (f *Finder) Exclude(clusters ...int) {
 	}
 	for _, c := range clusters {
 		f.Excluded[c] = true
+	}
+}
+
+// ExcludeHosts marks individual hosts to be skipped by subsequent Find
+// calls (leased-host masking).
+func (f *Finder) ExcludeHosts(hosts ...platform.HostID) {
+	if f.ExcludedHosts == nil {
+		f.ExcludedHosts = make(map[platform.HostID]bool, len(hosts))
+	}
+	for _, h := range hosts {
+		f.ExcludedHosts[h] = true
 	}
 }
 
@@ -170,7 +185,7 @@ func (f *Finder) findCluster(agg Aggregate, taken map[platform.HostID]bool, near
 		var hs []platform.Host
 		for i := 0; i < c.NumHosts; i++ {
 			h := f.p.Hosts[int(c.FirstHost)+i]
-			if taken[h.ID] || !hostMatches(h, agg.Constraints) {
+			if taken[h.ID] || f.ExcludedHosts[h.ID] || !hostMatches(h, agg.Constraints) {
 				continue
 			}
 			hs = append(hs, h)
@@ -210,7 +225,7 @@ func (f *Finder) findBag(agg Aggregate, taken map[platform.HostID]bool, near map
 	// Group qualifying hosts by cluster.
 	byCluster := make(map[int][]platform.Host)
 	for _, h := range f.p.Hosts {
-		if taken[h.ID] || f.Excluded[h.Cluster] || (near != nil && !near[h.Cluster]) || !hostMatches(h, agg.Constraints) {
+		if taken[h.ID] || f.ExcludedHosts[h.ID] || f.Excluded[h.Cluster] || (near != nil && !near[h.Cluster]) || !hostMatches(h, agg.Constraints) {
 			continue
 		}
 		byCluster[h.Cluster] = append(byCluster[h.Cluster], h)

@@ -3,8 +3,12 @@
 #
 # Trains a smoke-scale model artifact, starts rsgend on an ephemeral port,
 # POSTs the Figure III-2 example DAG to /v1/spec, and diffs the response
-# against the committed golden spec. Then sends SIGTERM and asserts the
-# server drains and exits 0.
+# against the committed golden spec. Then exercises the closed selection
+# loop: registers a generated 2003-era inventory, /v1/select's the same DAG
+# with a 2.8 GHz optimal rung that no 2003 cluster can satisfy, asserts the
+# broker fell back to the 2.0 GHz alternative (X-Fallback-Depth: 1, full
+# rung trace, a held lease), and releases the lease. Finally sends SIGTERM
+# and asserts the server drains and exits 0.
 #
 # Run from the repository root (make serve-smoke does this for you).
 set -euo pipefail
@@ -64,6 +68,70 @@ if ! diff -u "$TESTDATA/fig_iii2_spec.golden.json" "$WORK/resp.json"; then
     exit 1
 fi
 echo "serve-smoke: /v1/spec matches golden spec"
+
+echo "serve-smoke: /v1/select before any inventory must be 412"
+CODE="$(curl -sS -o /dev/null -w '%{http_code}' -X POST \
+    --data-binary "@$TESTDATA/fig_iii2_select_request.json" "http://$ADDR/v1/select")"
+if [[ "$CODE" != "412" ]]; then
+    echo "serve-smoke: FAIL — /v1/select without inventory returned $CODE, want 412" >&2
+    exit 1
+fi
+
+echo "serve-smoke: registering a 2003-era inventory"
+curl -sS -X PUT -d '{"generate": {"clusters": 24, "year": 2003, "seed": 7}}' \
+    "http://$ADDR/v1/platform" -o "$WORK/platform.json"
+jq -e '.clusters == 24 and .hosts > 0' "$WORK/platform.json" >/dev/null || {
+    echo "serve-smoke: FAIL — unexpected PUT /v1/platform response:" >&2
+    cat "$WORK/platform.json" >&2
+    exit 1
+}
+
+echo "serve-smoke: /v1/select with an unsatisfiable 2.8 GHz optimal rung"
+curl -sS -D "$WORK/select.hdr" -X POST \
+    --data-binary "@$TESTDATA/fig_iii2_select_request.json" \
+    "http://$ADDR/v1/select" -o "$WORK/select.json"
+jq -e '
+    (.lease_id | startswith("lease-")) and
+    .fallback_depth == 1 and
+    .max_clock_ghz == 2.0 and
+    (.hosts | length) == .rc_size and
+    (.trace | length) >= 2 and
+    (.trace[0] | .rung == 0 and .stage == "select" and .error != "") and
+    (.trace[-1].stage == "bound")
+' "$WORK/select.json" >/dev/null || {
+    echo "serve-smoke: FAIL — /v1/select response not a depth-1 fallback with trace:" >&2
+    cat "$WORK/select.json" >&2
+    exit 1
+}
+if ! grep -qi '^x-fallback-depth: 1' "$WORK/select.hdr"; then
+    echo "serve-smoke: FAIL — X-Fallback-Depth header missing or not 1" >&2
+    cat "$WORK/select.hdr" >&2
+    exit 1
+fi
+echo "serve-smoke: fell back to the 2.0 GHz alternative (depth 1) with a bound lease"
+
+LEASE="$(jq -r '.lease_id' "$WORK/select.json")"
+curl -sS -X GET "http://$ADDR/v1/platform" -o "$WORK/occupancy.json"
+jq -e '.leases.active_leases == 1 and .leases.leased_hosts > 0' "$WORK/occupancy.json" >/dev/null || {
+    echo "serve-smoke: FAIL — lease not visible in GET /v1/platform:" >&2
+    cat "$WORK/occupancy.json" >&2
+    exit 1
+}
+
+echo "serve-smoke: releasing $LEASE"
+curl -sS -X POST -d "{\"lease_id\": \"$LEASE\"}" "http://$ADDR/v1/release" -o "$WORK/release.json"
+jq -e '.released == true' "$WORK/release.json" >/dev/null || {
+    echo "serve-smoke: FAIL — release failed:" >&2
+    cat "$WORK/release.json" >&2
+    exit 1
+}
+curl -sS -X GET "http://$ADDR/v1/platform" -o "$WORK/occupancy.json"
+jq -e '.leases.active_leases == 0 and .leases.leased_hosts == 0' "$WORK/occupancy.json" >/dev/null || {
+    echo "serve-smoke: FAIL — occupancy nonzero after release:" >&2
+    cat "$WORK/occupancy.json" >&2
+    exit 1
+}
+echo "serve-smoke: lease released, occupancy back to zero"
 
 kill -TERM "$SRV_PID"
 set +e
