@@ -23,8 +23,13 @@
 // X-Fallback-Depth header (0 = the optimal specification was fulfilled).
 //
 // With -debug-addr a second, operator-only listener additionally serves
-// net/http/pprof (plus /healthz and /metrics) on a separate mux; profiling
-// endpoints are never mounted on the public -addr listener.
+// net/http/pprof and GET /debug/traces — the span-level breakdown of recent
+// and slowest requests — plus /healthz and /metrics on a separate mux;
+// these endpoints are never mounted on the public -addr listener.
+//
+// Every response carries X-Trace-Id (honoring an inbound W3C traceparent
+// header), and -log-level/-log-format/-slow-request control the structured
+// logs the service emits to stderr.
 //
 // SIGINT/SIGTERM drain in-flight requests and selections (bounded by -drain)
 // and exit 0.
@@ -44,6 +49,7 @@ import (
 
 	"rsgen"
 	"rsgen/internal/broker"
+	"rsgen/internal/obs"
 	"rsgen/internal/service"
 )
 
@@ -68,7 +74,11 @@ func run(args []string) int {
 		leaseTTL    = fs.Duration("lease-ttl", 5*time.Minute, "default host-lease lifetime for /v1/select")
 		leaseSweep  = fs.Duration("lease-sweep", 30*time.Second, "background lease-expiry sweep interval")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
-		debugAddr   = fs.String("debug-addr", "", "operator-only listen address for net/http/pprof, /healthz and /metrics (e.g. 127.0.0.1:6060); never exposed on -addr")
+		debugAddr   = fs.String("debug-addr", "", "operator-only listen address for net/http/pprof, /debug/traces, /healthz and /metrics (e.g. 127.0.0.1:6060); never exposed on -addr")
+		logLevel    = fs.String("log-level", "info", "log verbosity: debug | info | warn | error")
+		logFormat   = fs.String("log-format", "text", "log encoding: text | json")
+		slowReq     = fs.Duration("slow-request", time.Second, "log a warning with the span breakdown for requests at least this slow (0 disables)")
+		traceSize   = fs.Int("trace-entries", 256, "finished request traces held for /debug/traces")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,6 +94,16 @@ func run(args []string) int {
 			return 1
 		}
 		return 0
+	}
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsgend:", err)
+		return 2
+	}
+	slowThreshold := *slowReq
+	if slowThreshold == 0 {
+		slowThreshold = -1 // Config treats 0 as "default", negative as off
 	}
 
 	gen, trainSeconds, err := loadModels(*modelsPath)
@@ -117,6 +137,9 @@ func run(args []string) int {
 		Workers:      *workers,
 		BaseCtx:      baseCtx,
 		Broker:       brk,
+		Logger:       logger,
+		TraceEntries: *traceSize,
+		SlowRequest:  slowThreshold,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rsgend:", err)
@@ -158,10 +181,12 @@ func run(args []string) int {
 	select {
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "rsgend: %v: draining (budget %v)\n", sig, *drain)
-		// Stop admitting new selections first, then drain the HTTP layer
+		logger.Info("draining", "signal", sig.String(), "budget", drain.String())
+		// Stop admitting new selections first (also flips /healthz to 503
+		// and the rsgend_draining gauge to 1), then drain the HTTP layer
 		// (which waits for in-flight handlers, selections included), then
 		// wait out any selection still running off-handler.
-		brk.BeginDrain()
+		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

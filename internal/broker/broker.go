@@ -22,6 +22,7 @@ import (
 	"rsgen/internal/bind"
 	"rsgen/internal/dag"
 	"rsgen/internal/knee"
+	"rsgen/internal/obs"
 	"rsgen/internal/platform"
 	"rsgen/internal/spec"
 )
@@ -133,11 +134,12 @@ func New(cfg Config) (*Broker, error) {
 	if cfg.Generator == nil || cfg.Generator.Size == nil || len(cfg.Generator.Size.Models) == 0 {
 		return nil, errors.New("broker: config needs a generator with a trained size model")
 	}
-	return &Broker{
-		cfg:     cfg.withDefaults(),
-		leases:  newLeaseTable(),
-		metrics: newBrokerMetrics(),
-	}, nil
+	b := &Broker{
+		cfg:    cfg.withDefaults(),
+		leases: newLeaseTable(),
+	}
+	b.metrics = newBrokerMetrics(b.LeaseStats)
+	return b, nil
 }
 
 // RegisterInventory installs (or replaces) the resource pool the broker
@@ -174,6 +176,10 @@ func (b *Broker) Inventory() (*platform.Platform, *bind.Grid) {
 
 // Metrics returns the broker's counter set.
 func (b *Broker) Metrics() *Metrics { return b.metrics }
+
+// Registry returns the broker's metric registry so a serving layer can
+// mount it into a combined scrape.
+func (b *Broker) Registry() *obs.Registry { return b.metrics.reg }
 
 // LeaseStats sweeps expired leases and reports occupancy.
 func (b *Broker) LeaseStats() LeaseStats { return b.leases.Stats(b.cfg.Now()) }
@@ -335,7 +341,10 @@ func (b *Broker) Select(ctx context.Context, req Request) (*Outcome, error) {
 		return nil, err
 	}
 
-	ladder, err := b.ladder(ctx, req)
+	genCtx, genSpan := obs.StartSpan(ctx, "generate")
+	ladder, err := b.ladder(genCtx, req)
+	genSpan.SetDetail("rungs=%d", len(ladder))
+	genSpan.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
@@ -432,13 +441,19 @@ func (b *Broker) tryRung(ctx context.Context, inv *inventory, rung int, sp *spec
 		for h := range stalled {
 			excluded[h] = true
 		}
+		_, selSpan := obs.StartSpan(ctx, "select")
+		selSpan.SetDetail("rung=%d backend=%s", rung, sel.Name())
 		rc, err := sel.Select(sp, excluded)
+		selSpan.EndErr(err)
 		if err != nil {
 			att.Stage, att.Err = StageSelect, err.Error()
 			b.metrics.rungAttempt(sel.Name(), StageSelect)
 			return nil, append(atts, att)
 		}
+		_, leaseSpan := obs.StartSpan(ctx, "lease")
+		leaseSpan.SetDetail("rung=%d hosts=%d", rung, len(rc.Hosts))
 		lease, err := b.leases.Acquire(rc.Hosts, ttl, b.cfg.Now(), rung, sel.Name())
+		leaseSpan.EndErr(err)
 		if err != nil {
 			att.Stage, att.Err = StageLease, err.Error()
 			b.metrics.rungAttempt(sel.Name(), StageLease)
@@ -449,13 +464,18 @@ func (b *Broker) tryRung(ctx context.Context, inv *inventory, rung int, sp *spec
 			}
 			continue // a concurrent session won the race: re-select
 		}
-		binding, err := b.bindWithRetry(ctx, inv.grid, rc, maxWait)
+		bindCtx, bindSpan := obs.StartSpan(ctx, "bind")
+		bindSpan.SetDetail("rung=%d backend=%s", rung, sel.Name())
+		binding, err := b.bindWithRetry(bindCtx, inv.grid, rc, maxWait)
+		bindSpan.EndErr(err)
 		if err != nil {
 			b.leases.Release(lease.ID, b.cfg.Now())
 			grew := b.markStalled(inv, rc, maxWait, stalled)
 			att.Stage, att.Err = StageBind, err.Error()
 			b.metrics.rungAttempt(sel.Name(), StageBind)
 			b.metrics.bindFailures.Add(1)
+			obs.LoggerFrom(ctx).Debug("bind failed",
+				"rung", rung, "backend", sel.Name(), "stalled_hosts", grew, "error", err)
 			atts = append(atts, att)
 			if grew > 0 && ctx.Err() == nil {
 				continue // route the re-selection around the stalled clusters

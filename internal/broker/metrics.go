@@ -1,11 +1,11 @@
 package broker
 
 import (
-	"fmt"
-	"io"
 	"sort"
+	"strconv"
 	"sync"
-	"sync/atomic"
+
+	"rsgen/internal/obs"
 )
 
 // Stage labels where in the select→lease→bind lifecycle a rung attempt
@@ -17,98 +17,74 @@ const (
 	StageBound  = "bound"  // success: hosts leased and bound
 )
 
-// Metrics aggregates the broker's counters for the Prometheus text
-// exposition. All series are monotone counters except the lease-occupancy
-// gauges, which are read from the lease table at exposition time.
+// Metrics aggregates the broker's counters, registered on the broker's own
+// obs.Registry so the serving layer mounts them into its scrape without
+// owning them. Series names, order and rendering are byte-compatible with
+// the hand-rolled exposition this replaced. All series are monotone
+// counters except the lease-occupancy gauges, which are read from the lease
+// table at exposition time.
 type Metrics struct {
+	reg *obs.Registry
+
+	rungAttempts *obs.CounterVec
+
 	mu           sync.Mutex
-	rungAttempts map[rungKey]uint64
 	fallbackHist map[int]uint64 // successful selections by fallback depth
 
-	selections   atomic.Uint64 // Select calls admitted
-	unsatisfied  atomic.Uint64 // Select calls that exhausted the ladder
-	bindFailures atomic.Uint64
-	releases     atomic.Uint64
-	inflight     atomic.Int64
+	selections   *obs.Counter // Select calls admitted
+	unsatisfied  *obs.Counter // Select calls that exhausted the ladder
+	bindFailures *obs.Counter
+	releases     *obs.Counter
+	inflight     *obs.Gauge
 }
 
-type rungKey struct {
-	backend string
-	stage   string
-}
-
-func newBrokerMetrics() *Metrics {
-	return &Metrics{
-		rungAttempts: make(map[rungKey]uint64),
-		fallbackHist: make(map[int]uint64),
-	}
+// newBrokerMetrics registers the broker families in the legacy exposition
+// order. leases is read at scrape time (it sweeps expired leases, which is
+// what keeps the occupancy gauges fresh on idle brokers).
+func newBrokerMetrics(leases func() LeaseStats) *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{reg: reg, fallbackHist: make(map[int]uint64)}
+	m.rungAttempts = reg.CounterVec("rsgend_broker_rung_attempts_total", "backend", "stage")
+	// Depth labels sort numerically ({depth="2"} before {depth="10"}), which
+	// a lexicographic label-set sort cannot reproduce — custom collector.
+	reg.Func("rsgend_broker_fallback_depth_total", "counter", func() []obs.Sample {
+		m.mu.Lock()
+		depths := make([]int, 0, len(m.fallbackHist))
+		for d := range m.fallbackHist {
+			depths = append(depths, d)
+		}
+		hist := make(map[int]uint64, len(m.fallbackHist))
+		for d, v := range m.fallbackHist {
+			hist[d] = v
+		}
+		m.mu.Unlock()
+		sort.Ints(depths)
+		out := make([]obs.Sample, len(depths))
+		for i, d := range depths {
+			out[i] = obs.Sample{
+				Labels: `{depth="` + strconv.Itoa(d) + `"}`,
+				Value:  strconv.FormatUint(hist[d], 10),
+			}
+		}
+		return out
+	})
+	m.selections = reg.Counter("rsgend_broker_selections_total")
+	m.unsatisfied = reg.Counter("rsgend_broker_unsatisfied_total")
+	m.bindFailures = reg.Counter("rsgend_broker_bind_failures_total")
+	m.releases = reg.Counter("rsgend_broker_releases_total")
+	m.inflight = reg.Gauge("rsgend_broker_inflight_selections")
+	reg.IntGaugeFunc("rsgend_broker_active_leases", func() int64 { return int64(leases().ActiveLeases) })
+	reg.IntGaugeFunc("rsgend_broker_leased_hosts", func() int64 { return int64(leases().LeasedHosts) })
+	reg.CounterFunc("rsgend_broker_leases_expired_total", func() uint64 { return leases().ExpiredTotal })
+	return m
 }
 
 func (m *Metrics) rungAttempt(backend, stage string) {
-	m.mu.Lock()
-	m.rungAttempts[rungKey{backend, stage}]++
-	m.mu.Unlock()
+	m.rungAttempts.With(backend, stage).Inc()
 }
 
 func (m *Metrics) fallbackDepth(depth int) {
 	m.mu.Lock()
 	m.fallbackHist[depth]++
 	m.mu.Unlock()
-}
-
-// Write emits the broker series in Prometheus text exposition format.
-// Series are sorted so repeated scrapes with the same counters are
-// byte-identical, matching the service metrics contract.
-func (m *Metrics) Write(w io.Writer, leases LeaseStats) {
-	m.mu.Lock()
-	rungKeys := make([]rungKey, 0, len(m.rungAttempts))
-	for k := range m.rungAttempts {
-		rungKeys = append(rungKeys, k)
-	}
-	attempts := make(map[rungKey]uint64, len(m.rungAttempts))
-	for k, v := range m.rungAttempts {
-		attempts[k] = v
-	}
-	depths := make([]int, 0, len(m.fallbackHist))
-	for d := range m.fallbackHist {
-		depths = append(depths, d)
-	}
-	hist := make(map[int]uint64, len(m.fallbackHist))
-	for d, v := range m.fallbackHist {
-		hist[d] = v
-	}
-	m.mu.Unlock()
-
-	sort.Slice(rungKeys, func(i, j int) bool {
-		if rungKeys[i].backend != rungKeys[j].backend {
-			return rungKeys[i].backend < rungKeys[j].backend
-		}
-		return rungKeys[i].stage < rungKeys[j].stage
-	})
-	sort.Ints(depths)
-
-	fmt.Fprintln(w, "# TYPE rsgend_broker_rung_attempts_total counter")
-	for _, k := range rungKeys {
-		fmt.Fprintf(w, "rsgend_broker_rung_attempts_total{backend=%q,stage=%q} %d\n", k.backend, k.stage, attempts[k])
-	}
-	fmt.Fprintln(w, "# TYPE rsgend_broker_fallback_depth_total counter")
-	for _, d := range depths {
-		fmt.Fprintf(w, "rsgend_broker_fallback_depth_total{depth=\"%d\"} %d\n", d, hist[d])
-	}
-	fmt.Fprintln(w, "# TYPE rsgend_broker_selections_total counter")
-	fmt.Fprintf(w, "rsgend_broker_selections_total %d\n", m.selections.Load())
-	fmt.Fprintln(w, "# TYPE rsgend_broker_unsatisfied_total counter")
-	fmt.Fprintf(w, "rsgend_broker_unsatisfied_total %d\n", m.unsatisfied.Load())
-	fmt.Fprintln(w, "# TYPE rsgend_broker_bind_failures_total counter")
-	fmt.Fprintf(w, "rsgend_broker_bind_failures_total %d\n", m.bindFailures.Load())
-	fmt.Fprintln(w, "# TYPE rsgend_broker_releases_total counter")
-	fmt.Fprintf(w, "rsgend_broker_releases_total %d\n", m.releases.Load())
-	fmt.Fprintln(w, "# TYPE rsgend_broker_inflight_selections gauge")
-	fmt.Fprintf(w, "rsgend_broker_inflight_selections %d\n", m.inflight.Load())
-	fmt.Fprintln(w, "# TYPE rsgend_broker_active_leases gauge")
-	fmt.Fprintf(w, "rsgend_broker_active_leases %d\n", leases.ActiveLeases)
-	fmt.Fprintln(w, "# TYPE rsgend_broker_leased_hosts gauge")
-	fmt.Fprintf(w, "rsgend_broker_leased_hosts %d\n", leases.LeasedHosts)
-	fmt.Fprintln(w, "# TYPE rsgend_broker_leases_expired_total counter")
-	fmt.Fprintf(w, "rsgend_broker_leases_expired_total %d\n", leases.ExpiredTotal)
 }

@@ -67,15 +67,41 @@ func (pl *Pool) evalOne(ctx context.Context, p Point) (Result, error) {
 	if pl.Cache != nil {
 		key, cacheable = keyOf(p)
 	}
-	if cacheable {
-		if r, hit := pl.Cache.Get(key); hit {
-			recordHit()
-			return r, nil
-		}
-		recordMiss()
+	if !cacheable {
+		return Evaluate(ctx, p)
 	}
+	if r, hit := pl.Cache.Get(key); hit {
+		recordHit()
+		return r, nil
+	}
+	// In-flight dedup: one leader evaluates, concurrent identical points
+	// wait for its result. Determinism is free — a shared Result is exactly
+	// what the follower would have computed (the Workers=1-vs-8 identity
+	// contract), so dedup only changes wall-clock time, like the cache.
+	f, leader := pl.Cache.join(key)
+	if leader {
+		recordMiss()
+		r, err := Evaluate(ctx, p)
+		if err == nil {
+			pl.Cache.Put(key, r)
+		}
+		pl.Cache.finish(key, f, r, err == nil)
+		return r, err
+	}
+	recordDedup()
+	select {
+	case <-f.done:
+		if f.ok {
+			return f.r, nil
+		}
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+	// The leader failed; evaluate independently so this caller reports its
+	// own error (the leader's context may have differed).
+	recordMiss()
 	r, err := Evaluate(ctx, p)
-	if err == nil && cacheable {
+	if err == nil {
 		pl.Cache.Put(key, r)
 	}
 	return r, err

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a slog.Logger writing to w. level is one of debug, info,
+// warn, error; format is text or json (the -log-level / -log-format flag
+// vocabulary).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (debug | info | warn | error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (text | json)", format)
+}
+
+// Nop is a logger that discards everything — the default wherever a logger
+// was not configured, so call sites never nil-check.
+var Nop = slog.New(nopHandler{})
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// WithLogger attaches a request-scoped logger (typically carrying a
+// trace_id attr) to ctx.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerCtxKey, l)
+}
+
+// LoggerFrom returns ctx's logger, or Nop — deeper pipeline layers log
+// through this so their records carry the request's trace ID without the
+// layers knowing about HTTP.
+func LoggerFrom(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerCtxKey).(*slog.Logger); ok {
+		return l
+	}
+	return Nop
+}

@@ -1,0 +1,459 @@
+// Package obs is the unified telemetry layer behind rsgend: a single
+// Prometheus-text metrics registry (replacing the hand-rolled expositions
+// that used to live in internal/service and internal/broker), a cheap
+// span-based in-process tracer with W3C traceparent propagation, a
+// lock-striped ring buffer of finished traces served at /debug/traces, and
+// log/slog plumbing that carries a per-request logger through context.
+//
+// The package is dependency-free (stdlib only) and imported by
+// internal/service, internal/broker and cmd/rsgend. internal/sched and
+// internal/eval stay out of it: spans wrap calls *into* those packages so
+// the scheduler's allocation-free inner loop never sees telemetry.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sample is one exposition line of a metric family: the family name plus
+// Suffix and Labels, then the pre-formatted Value. Pre-formatted strings are
+// what keep the unified registry byte-compatible with the hand-rolled
+// expositions it replaced (%d for integral counters, %g for seconds).
+type Sample struct {
+	// Suffix is appended to the family name ("_sum", "_count", "_bucket");
+	// empty for plain series.
+	Suffix string
+	// Labels is the rendered label set including braces, e.g.
+	// `{path="/v1/spec"}`; empty for unlabeled series.
+	Labels string
+	// Value is the rendered sample value.
+	Value string
+}
+
+// family is one registered metric family: a name, a TYPE, and a collector
+// producing its current samples.
+type family struct {
+	name    string
+	typ     string
+	collect func() []Sample
+}
+
+// Registry is an ordered collection of metric families with Prometheus text
+// exposition. Families are exposed in registration order — not sorted — so
+// a registry assembled in the order of the expositions it replaces emits
+// the existing series byte-compatibly. Sub-registries (Mount) interleave at
+// their registration position, which is how the service and broker series
+// merge into one scrape without either package owning the other's metrics.
+//
+// Registration happens at construction time; Expose may run concurrently
+// with metric updates (all metric types are internally synchronized).
+type Registry struct {
+	mu    sync.Mutex
+	items []regItem
+	names map[string]bool
+}
+
+type regItem struct {
+	fam *family
+	sub *Registry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// register appends a family, panicking on duplicate names (programmer
+// error: two subsystems claiming one series would corrupt the exposition).
+func (r *Registry) register(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[f.name] {
+		panic("obs: duplicate metric family " + f.name)
+	}
+	r.names[f.name] = true
+	r.items = append(r.items, regItem{fam: f})
+}
+
+// Mount appends a sub-registry at the current position; its families are
+// exposed in place, after everything registered before the mount.
+func (r *Registry) Mount(sub *Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items = append(r.items, regItem{sub: sub})
+}
+
+// Expose writes the Prometheus text exposition: every family in
+// registration order, a # TYPE line each (matching the style of the
+// expositions this registry replaced — no HELP lines), samples sorted
+// deterministically within the family.
+func (r *Registry) Expose(w io.Writer) {
+	r.mu.Lock()
+	items := make([]regItem, len(r.items))
+	copy(items, r.items)
+	r.mu.Unlock()
+	for _, it := range items {
+		if it.sub != nil {
+			it.sub.Expose(w)
+			continue
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", it.fam.name, it.fam.typ)
+		for _, s := range it.fam.collect() {
+			fmt.Fprintf(w, "%s%s%s %s\n", it.fam.name, s.Suffix, s.Labels, s.Value)
+		}
+	}
+}
+
+// FormatFloat renders v exactly like fmt's %g (shortest unique form), the
+// float format the exposition standardizes on.
+func FormatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the Prometheus text format:
+// backslash, double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// renderLabels renders `{k1="v1",k2="v2"}` preserving the declared key
+// order (sorting happens across whole rendered label sets, which matches
+// the per-key sorts of the replaced expositions for these label vocabularies).
+func renderLabels(keys, values []string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotone uint64 counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load reads the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Counter registers and returns a counter family with a single series.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.register(&family{name, "counter", func() []Sample {
+		return []Sample{{Value: strconv.FormatUint(c.v.Load(), 10)}}
+	}})
+	return c
+}
+
+// Gauge is an int64 gauge.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load reads the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Gauge registers and returns a gauge family with a single series.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name, "gauge", func() []Sample {
+		return []Sample{{Value: strconv.FormatInt(g.v.Load(), 10)}}
+	}})
+	return g
+}
+
+// CounterFunc registers a counter family whose value is read at scrape
+// time (external monotone counters, e.g. internal/eval's).
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	r.register(&family{name, "counter", func() []Sample {
+		return []Sample{{Value: strconv.FormatUint(fn(), 10)}}
+	}})
+}
+
+// FloatCounterFunc registers a counter family with a float value read at
+// scrape time (cumulative seconds).
+func (r *Registry) FloatCounterFunc(name string, fn func() float64) {
+	r.register(&family{name, "counter", func() []Sample {
+		return []Sample{{Value: FormatFloat(fn())}}
+	}})
+}
+
+// IntGaugeFunc registers a gauge family whose integral value is read at
+// scrape time (lease occupancy, cache sizes, goroutine counts).
+func (r *Registry) IntGaugeFunc(name string, fn func() int64) {
+	r.register(&family{name, "gauge", func() []Sample {
+		return []Sample{{Value: strconv.FormatInt(fn(), 10)}}
+	}})
+}
+
+// Func registers a family with a fully custom collector — the escape hatch
+// for families whose label rendering or ordering the generic vectors cannot
+// reproduce (e.g. numerically sorted depth labels).
+func (r *Registry) Func(name, typ string, collect func() []Sample) {
+	r.register(&family{name, typ, collect})
+}
+
+// CounterVec is a counter family keyed by a fixed label set.
+type CounterVec struct {
+	keys []string
+	mu   sync.Mutex
+	m    map[string]*Counter
+}
+
+// CounterVec registers and returns a labeled counter family. Series appear
+// once observed, sorted by their rendered label set.
+func (r *Registry) CounterVec(name string, keys ...string) *CounterVec {
+	v := &CounterVec{keys: keys, m: make(map[string]*Counter)}
+	r.register(&family{name, "counter", func() []Sample {
+		v.mu.Lock()
+		rendered := make([]string, 0, len(v.m))
+		for k := range v.m {
+			rendered = append(rendered, k)
+		}
+		counters := make(map[string]uint64, len(v.m))
+		for k, c := range v.m {
+			counters[k] = c.Load()
+		}
+		v.mu.Unlock()
+		sort.Strings(rendered)
+		out := make([]Sample, len(rendered))
+		for i, k := range rendered {
+			out[i] = Sample{Labels: k, Value: strconv.FormatUint(counters[k], 10)}
+		}
+		return out
+	}})
+	return v
+}
+
+// With returns the counter for the given label values (creating it on
+// first use). len(values) must match the declared keys.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.keys) {
+		panic("obs: label value count mismatch")
+	}
+	k := renderLabels(v.keys, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.m[k]
+	if !ok {
+		c = &Counter{}
+		v.m[k] = c
+	}
+	return c
+}
+
+// summarySeries accumulates one label set's duration sum and count.
+type summarySeries struct {
+	sumNS atomic.Int64
+	count atomic.Uint64
+}
+
+// SummaryVec is a labeled summary exposing _sum (seconds) and _count pairs,
+// matching the request-latency series of the replaced exposition.
+type SummaryVec struct {
+	keys []string
+	mu   sync.Mutex
+	m    map[string]*summarySeries
+}
+
+// SummaryVec registers and returns a labeled summary family.
+func (r *Registry) SummaryVec(name string, keys ...string) *SummaryVec {
+	v := &SummaryVec{keys: keys, m: make(map[string]*summarySeries)}
+	r.register(&family{name, "summary", func() []Sample {
+		v.mu.Lock()
+		rendered := make([]string, 0, len(v.m))
+		for k := range v.m {
+			rendered = append(rendered, k)
+		}
+		series := make(map[string]*summarySeries, len(v.m))
+		for k, s := range v.m {
+			series[k] = s
+		}
+		v.mu.Unlock()
+		sort.Strings(rendered)
+		out := make([]Sample, 0, 2*len(rendered))
+		for _, k := range rendered {
+			s := series[k]
+			out = append(out,
+				Sample{Suffix: "_sum", Labels: k, Value: FormatFloat(time.Duration(s.sumNS.Load()).Seconds())},
+				Sample{Suffix: "_count", Labels: k, Value: strconv.FormatUint(s.count.Load(), 10)},
+			)
+		}
+		return out
+	}})
+	return v
+}
+
+// Observe records one duration under the given label values.
+func (v *SummaryVec) Observe(d time.Duration, values ...string) {
+	if len(values) != len(v.keys) {
+		panic("obs: label value count mismatch")
+	}
+	k := renderLabels(v.keys, values)
+	v.mu.Lock()
+	s, ok := v.m[k]
+	if !ok {
+		s = &summarySeries{}
+		v.m[k] = s
+	}
+	v.mu.Unlock()
+	s.sumNS.Add(int64(d))
+	s.count.Add(1)
+}
+
+// DefBuckets are the default latency histogram bounds (seconds): 100µs up
+// to 10s, sized for the decode-to-bind stage spectrum.
+var DefBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10}
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf overflow
+	sumNS  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// samples renders the cumulative bucket lines plus _sum and _count.
+// labelPrefix is the rendered non-le labels without braces ("" for none).
+func (h *Histogram) samples(labelPrefix string) []Sample {
+	out := make([]Sample, 0, len(h.counts)+2)
+	cum := uint64(0)
+	join := ""
+	if labelPrefix != "" {
+		join = labelPrefix + ","
+	}
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = FormatFloat(h.bounds[i])
+		}
+		out = append(out, Sample{
+			Suffix: "_bucket",
+			Labels: "{" + join + `le="` + le + `"}`,
+			Value:  strconv.FormatUint(cum, 10),
+		})
+	}
+	wrap := ""
+	if labelPrefix != "" {
+		wrap = "{" + labelPrefix + "}"
+	}
+	out = append(out,
+		Sample{Suffix: "_sum", Labels: wrap, Value: FormatFloat(time.Duration(h.sumNS.Load()).Seconds())},
+		Sample{Suffix: "_count", Labels: wrap, Value: strconv.FormatUint(cum, 10)},
+	)
+	return out
+}
+
+// Histogram registers and returns an unlabeled histogram family.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(&family{name, "histogram", func() []Sample { return h.samples("") }})
+	return h
+}
+
+// HistogramVec is a histogram family keyed by a fixed label set.
+type HistogramVec struct {
+	keys   []string
+	bounds []float64
+	mu     sync.Mutex
+	m      map[string]*Histogram
+}
+
+// HistogramVec registers and returns a labeled histogram family. Series
+// appear once observed, sorted by their rendered label prefix; within one
+// series buckets are emitted in increasing le order ending at +Inf.
+func (r *Registry) HistogramVec(name string, buckets []float64, keys ...string) *HistogramVec {
+	v := &HistogramVec{keys: keys, bounds: buckets, m: make(map[string]*Histogram)}
+	r.register(&family{name, "histogram", func() []Sample {
+		v.mu.Lock()
+		prefixes := make([]string, 0, len(v.m))
+		for k := range v.m {
+			prefixes = append(prefixes, k)
+		}
+		hists := make(map[string]*Histogram, len(v.m))
+		for k, h := range v.m {
+			hists[k] = h
+		}
+		v.mu.Unlock()
+		sort.Strings(prefixes)
+		var out []Sample
+		for _, p := range prefixes {
+			out = append(out, hists[p].samples(p)...)
+		}
+		return out
+	}})
+	return v
+}
+
+// With returns the histogram for the given label values (creating it on
+// first use).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.keys) {
+		panic("obs: label value count mismatch")
+	}
+	// The stored key is the rendered pairs without braces so samples() can
+	// splice the le label in.
+	full := renderLabels(v.keys, values)
+	k := full[1 : len(full)-1]
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.m[k]
+	if !ok {
+		h = newHistogram(v.bounds)
+		v.m[k] = h
+	}
+	return h
+}

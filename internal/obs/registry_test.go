@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func expose(r *Registry) string {
+	var b strings.Builder
+	r.Expose(&b)
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total")
+	g := r.Gauge("test_gauge")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	want := "# TYPE test_total counter\ntest_total 5\n# TYPE test_gauge gauge\ntest_gauge 5\n"
+	if got := expose(r); got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRegistrationOrderPreserved(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total")
+	r.Counter("a_total")
+	got := expose(r)
+	if !strings.HasPrefix(got, "# TYPE z_total counter") {
+		t.Errorf("families reordered (want registration order, z first):\n%s", got)
+	}
+}
+
+func TestDuplicateFamilyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a duplicate family did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("dup_total")
+	r.Counter("dup_total")
+}
+
+func TestMountInterleavesInOrder(t *testing.T) {
+	sub := NewRegistry()
+	sub.Counter("middle_total")
+	r := NewRegistry()
+	r.Counter("first_total")
+	r.Mount(sub)
+	r.Counter("last_total")
+	got := expose(r)
+	i, j, k := strings.Index(got, "first_total"), strings.Index(got, "middle_total"), strings.Index(got, "last_total")
+	if i < 0 || j < 0 || k < 0 || !(i < j && j < k) {
+		t.Errorf("mounted registry not exposed in place:\n%s", got)
+	}
+}
+
+func TestCounterVecSortsRenderedLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "path", "code")
+	v.With("/b", "200").Inc()
+	v.With("/a", "404").Add(2)
+	v.With("/a", "200").Inc()
+	want := "# TYPE req_total counter\n" +
+		"req_total{path=\"/a\",code=\"200\"} 1\n" +
+		"req_total{path=\"/a\",code=\"404\"} 2\n" +
+		"req_total{path=\"/b\",code=\"200\"} 1\n"
+	if got := expose(r); got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "p")
+	v.With("a\"b\\c\nd").Inc()
+	want := `esc_total{p="a\"b\\c\nd"} 1` + "\n"
+	got := expose(r)
+	if !strings.Contains(got, want) {
+		t.Errorf("exposition %q missing escaped series %q", got, want)
+	}
+}
+
+func TestSummaryVecSumCountPairs(t *testing.T) {
+	r := NewRegistry()
+	v := r.SummaryVec("lat_seconds", "path")
+	v.Observe(1500*time.Millisecond, "/a")
+	v.Observe(500*time.Millisecond, "/a")
+	want := "# TYPE lat_seconds summary\n" +
+		"lat_seconds_sum{path=\"/a\"} 2\n" +
+		"lat_seconds_count{path=\"/a\"} 2\n"
+	if got := expose(r); got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(5 * time.Millisecond)   // bucket 0.01
+	h.Observe(50 * time.Millisecond)  // bucket 0.1
+	h.Observe(2 * time.Second)        // +Inf
+	h.Observe(100 * time.Millisecond) // 0.1 (boundary is inclusive)
+	want := "# TYPE h_seconds histogram\n" +
+		"h_seconds_bucket{le=\"0.01\"} 1\n" +
+		"h_seconds_bucket{le=\"0.1\"} 3\n" +
+		"h_seconds_bucket{le=\"1\"} 3\n" +
+		"h_seconds_bucket{le=\"+Inf\"} 4\n" +
+		"h_seconds_sum 2.155\n" +
+		"h_seconds_count 4\n"
+	if got := expose(r); got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramVecSplicesLeLabel(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("stage_seconds", []float64{0.5}, "stage")
+	v.With("bind").Observe(100 * time.Millisecond)
+	got := expose(r)
+	for _, line := range []string{
+		`stage_seconds_bucket{stage="bind",le="0.5"} 1`,
+		`stage_seconds_bucket{stage="bind",le="+Inf"} 1`,
+		`stage_seconds_sum{stage="bind"} 0.1`,
+		`stage_seconds_count{stage="bind"} 1`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, got)
+		}
+	}
+}
+
+func TestFuncFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("ext_total", func() uint64 { return 42 })
+	r.FloatCounterFunc("ext_seconds", func() float64 { return 0.25 })
+	r.IntGaugeFunc("ext_gauge", func() int64 { return -3 })
+	got := expose(r)
+	for _, line := range []string{"ext_total 42", "ext_seconds 0.25", "ext_gauge -3"} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, got)
+		}
+	}
+}
+
+func TestFormatFloatMatchesPercentG(t *testing.T) {
+	// The legacy expositions rendered seconds with %g; byte-compat rests on
+	// FormatFloat agreeing exactly.
+	for _, v := range []float64{0, 1, 0.25, 1e-9, 123456789.123, 2.155} {
+		if got, want := FormatFloat(v), fmt.Sprintf("%g", v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceRecord is one finished request trace, immutable once recorded.
+type TraceRecord struct {
+	ID     string    `json:"id"`
+	Name   string    `json:"name"`
+	Status int       `json:"status"`
+	Start  time.Time `json:"start"`
+	DurNS  int64     `json:"duration_ns"`
+	Spans  []Span    `json:"spans,omitempty"`
+}
+
+// Ring is a lock-striped fixed-size ring buffer of finished traces: writers
+// round-robin across stripes (one mutex each, padded apart) so concurrent
+// request completions do not serialize on a single lock, and each stripe
+// overwrites its oldest entry when full. Readers snapshot all stripes.
+type Ring struct {
+	stripes []ringStripe
+	ctr     atomic.Uint64
+	dropped atomic.Uint64
+}
+
+type ringStripe struct {
+	mu   sync.Mutex
+	buf  []*TraceRecord
+	next int
+	full bool
+	_    [40]byte // soften false sharing between adjacent stripes
+}
+
+// ringStripes is the write-side fan-out; 8 covers the handler concurrency
+// the service defaults to without measurable reader cost.
+const ringStripes = 8
+
+// NewRing returns a ring holding up to entries traces (entries <= 0
+// defaults to 256). Small rings collapse to one stripe so the capacity
+// bound stays exact.
+func NewRing(entries int) *Ring {
+	if entries <= 0 {
+		entries = 256
+	}
+	n := ringStripes
+	if entries < 2*n {
+		n = 1
+	}
+	r := &Ring{stripes: make([]ringStripe, n)}
+	for i := range r.stripes {
+		per := entries / n
+		if i < entries%n {
+			per++
+		}
+		r.stripes[i].buf = make([]*TraceRecord, per)
+	}
+	return r
+}
+
+// Cap returns the total capacity in traces.
+func (r *Ring) Cap() int {
+	n := 0
+	for i := range r.stripes {
+		n += len(r.stripes[i].buf)
+	}
+	return n
+}
+
+// Record stores a finished trace, overwriting the oldest entry of its
+// stripe when full.
+func (r *Ring) Record(rec *TraceRecord) {
+	s := &r.stripes[r.ctr.Add(1)%uint64(len(r.stripes))]
+	s.mu.Lock()
+	if s.buf[s.next] != nil {
+		r.dropped.Add(1)
+	}
+	s.buf[s.next] = rec
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+}
+
+// Snapshot returns every held trace, unordered.
+func (r *Ring) Snapshot() []*TraceRecord {
+	var out []*TraceRecord
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		for _, rec := range s.buf {
+			if rec != nil {
+				out = append(out, rec)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Recent returns up to n traces, newest first.
+func (r *Ring) Recent(n int) []*TraceRecord {
+	recs := r.Snapshot()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Start.After(recs[j].Start) })
+	if len(recs) > n {
+		recs = recs[:n]
+	}
+	return recs
+}
+
+// Slowest returns up to n traces, slowest first.
+func (r *Ring) Slowest(n int) []*TraceRecord {
+	recs := r.Snapshot()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].DurNS > recs[j].DurNS })
+	if len(recs) > n {
+		recs = recs[:n]
+	}
+	return recs
+}
+
+// ServeHTTP serves GET /debug/traces: a JSON document with the most recent
+// and the slowest held traces (?n= bounds each view, default 20, max the
+// ring capacity).
+func (r *Ring) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	n := 20
+	if q := req.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, `{"error": "n must be a positive integer"}`, http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	if c := r.Cap(); n > c {
+		n = c
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{
+		"capacity": r.Cap(),
+		"held":     len(r.Snapshot()),
+		"dropped":  r.dropped.Load(),
+		"recent":   r.Recent(n),
+		"slowest":  r.Slowest(n),
+	})
+}

@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one finished pipeline stage inside a trace. Times are stored as
+// offsets from the trace start so a record is compact and trivially
+// serializable.
+type Span struct {
+	// ID numbers the span within its trace (1-based; 0 is the implicit
+	// request root).
+	ID int `json:"id"`
+	// Parent is the enclosing span's ID (0 for top-level stages).
+	Parent int `json:"parent,omitempty"`
+	// Name is the stage: decode, cache, generate, alternatives, select,
+	// lease, bind, await…
+	Name string `json:"name"`
+	// Detail is optional human-oriented context ("rung=1 backend=vgdl").
+	Detail string `json:"detail,omitempty"`
+	// Err is the failure reason when the stage failed.
+	Err string `json:"error,omitempty"`
+	// StartNS is the offset from the trace start.
+	StartNS int64 `json:"start_ns"`
+	// DurNS is the span's wall-clock duration.
+	DurNS int64 `json:"duration_ns"`
+}
+
+// Trace is one in-flight request's trace: an ID (inbound W3C traceparent's
+// trace-id when present, random otherwise) and the spans recorded so far.
+// It is safe for concurrent span recording.
+type Trace struct {
+	// ID is the 32-hex-digit trace ID.
+	ID string
+	// SpanID is this process's 16-hex-digit root span ID, echoed in the
+	// outbound traceparent.
+	SpanID string
+	// Name labels the trace ("POST /v1/select").
+	Name string
+	// Start anchors every span offset.
+	Start time.Time
+
+	mu     sync.Mutex
+	nextID int
+	spans  []Span
+}
+
+// Traceparent renders the outbound W3C traceparent header for this trace.
+func (t *Trace) Traceparent() string {
+	return "00-" + t.ID + "-" + t.SpanID + "-01"
+}
+
+// Spans returns a copy of the spans recorded so far.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// ParseTraceparent extracts the trace-id from a W3C traceparent header
+// (version-format "00-<32 hex>-<16 hex>-<2 hex>"). ok is false for
+// malformed headers and the all-zero trace ID.
+func ParseTraceparent(h string) (traceID string, ok bool) {
+	parts := strings.Split(h, "-")
+	if len(parts) != 4 {
+		return "", false
+	}
+	if len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return "", false
+	}
+	if !isHex(parts[0]) || !isHex(parts[1]) || !isHex(parts[2]) || !isHex(parts[3]) {
+		return "", false
+	}
+	if parts[0] == "ff" || parts[1] == strings.Repeat("0", 32) {
+		return "", false
+	}
+	return strings.ToLower(parts[1]), true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+func randomHex(bytes int) string {
+	b := make([]byte, bytes)
+	_, _ = rand.Read(b)
+	return hex.EncodeToString(b)
+}
+
+// NewTraceID returns a random 32-hex-digit trace ID.
+func NewTraceID() string { return randomHex(16) }
+
+type ctxKey int
+
+const (
+	traceCtxKey ctxKey = iota
+	parentCtxKey
+	loggerCtxKey
+)
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceCtxKey).(*Trace)
+	return tr
+}
+
+// WithTrace attaches a trace to ctx.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceCtxKey, tr)
+}
+
+// AdoptTrace copies src's trace (and current span parent) onto dst — used
+// when work moves to a different context lineage, e.g. a deduplicated
+// computation that runs under the server's base context but should report
+// into the leader request's trace.
+func AdoptTrace(dst, src context.Context) context.Context {
+	tr := TraceFrom(src)
+	if tr == nil {
+		return dst
+	}
+	dst = context.WithValue(dst, traceCtxKey, tr)
+	if p, ok := src.Value(parentCtxKey).(int); ok {
+		dst = context.WithValue(dst, parentCtxKey, p)
+	}
+	return dst
+}
+
+// SpanHandle is an open span. The zero of *SpanHandle (nil) is a valid
+// no-op handle — StartSpan returns nil when ctx carries no trace, so
+// un-traced callers (direct broker use, tests) pay only a context lookup.
+type SpanHandle struct {
+	tr     *Trace
+	id     int
+	parent int
+	name   string
+	start  time.Time
+	detail string
+	err    string
+}
+
+// StartSpan opens a span named name under ctx's trace and returns a child
+// context for nested spans. With no trace in ctx it returns (ctx, nil).
+func StartSpan(ctx context.Context, name string) (context.Context, *SpanHandle) {
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(parentCtxKey).(int)
+	tr.mu.Lock()
+	tr.nextID++
+	id := tr.nextID
+	tr.mu.Unlock()
+	h := &SpanHandle{tr: tr, id: id, parent: parent, name: name, start: time.Now()}
+	return context.WithValue(ctx, parentCtxKey, id), h
+}
+
+// SetDetail attaches formatted context to the span.
+func (h *SpanHandle) SetDetail(format string, args ...any) {
+	if h == nil {
+		return
+	}
+	h.detail = fmt.Sprintf(format, args...)
+}
+
+// SetErr records the span's failure reason.
+func (h *SpanHandle) SetErr(err error) {
+	if h == nil || err == nil {
+		return
+	}
+	h.err = err.Error()
+}
+
+// End closes the span and appends it to the trace.
+func (h *SpanHandle) End() {
+	if h == nil {
+		return
+	}
+	sp := Span{
+		ID:      h.id,
+		Parent:  h.parent,
+		Name:    h.name,
+		Detail:  h.detail,
+		Err:     h.err,
+		StartNS: h.start.Sub(h.tr.Start).Nanoseconds(),
+		DurNS:   time.Since(h.start).Nanoseconds(),
+	}
+	h.tr.mu.Lock()
+	h.tr.spans = append(h.tr.spans, sp)
+	h.tr.mu.Unlock()
+}
+
+// EndErr records err (when non-nil) and closes the span.
+func (h *SpanHandle) EndErr(err error) {
+	h.SetErr(err)
+	h.End()
+}
+
+// Tracer starts and finishes request traces, fanning finished data out to
+// the ring buffer, the per-stage histogram observer, and the slow-request
+// log. All fields are optional.
+type Tracer struct {
+	// Ring receives every finished trace.
+	Ring *Ring
+	// OnSpan observes each finished span's (name, duration) — the hook the
+	// service uses to feed rsgend_stage_duration_seconds.
+	OnSpan func(name string, d time.Duration)
+	// Logger receives slow-request warnings.
+	Logger *slog.Logger
+	// SlowThreshold triggers a warning log with the span breakdown for
+	// requests at least this slow; <= 0 disables.
+	SlowThreshold time.Duration
+}
+
+// Start opens a trace named name, honoring an inbound traceparent header
+// (empty or malformed headers get a fresh random trace ID), and returns a
+// context carrying it.
+func (t *Tracer) Start(ctx context.Context, name, traceparent string) (context.Context, *Trace) {
+	id, ok := ParseTraceparent(traceparent)
+	if !ok {
+		id = NewTraceID()
+	}
+	tr := &Trace{ID: id, SpanID: randomHex(8), Name: name, Start: time.Now()}
+	return WithTrace(ctx, tr), tr
+}
+
+// Finish closes the trace with the response status, records it into the
+// ring, feeds the span observer, and emits the slow-request log when the
+// total crosses the threshold. It returns the immutable record.
+func (t *Tracer) Finish(tr *Trace, status int) *TraceRecord {
+	total := time.Since(tr.Start)
+	rec := &TraceRecord{
+		ID:     tr.ID,
+		Name:   tr.Name,
+		Status: status,
+		Start:  tr.Start,
+		DurNS:  total.Nanoseconds(),
+		Spans:  tr.Spans(),
+	}
+	if t == nil {
+		return rec
+	}
+	if t.OnSpan != nil {
+		for _, s := range rec.Spans {
+			t.OnSpan(s.Name, time.Duration(s.DurNS))
+		}
+	}
+	if t.Ring != nil {
+		t.Ring.Record(rec)
+	}
+	if t.Logger != nil && t.SlowThreshold > 0 && total >= t.SlowThreshold {
+		t.Logger.Warn("slow request",
+			"trace_id", tr.ID,
+			"name", tr.Name,
+			"status", status,
+			"duration_ms", float64(total.Microseconds())/1000,
+			"breakdown", breakdown(rec.Spans),
+		)
+	}
+	return rec
+}
+
+// breakdown renders "decode=0.1ms generate=42.0ms select=3.2ms" for the
+// slow-request log.
+func breakdown(spans []Span) string {
+	if len(spans) == 0 {
+		return "(no spans)"
+	}
+	var b strings.Builder
+	for i, s := range spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.1fms", s.Name, float64(s.DurNS)/1e6)
+	}
+	return b.String()
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		name, in string
+		wantID   string
+		wantOK   bool
+	}{
+		{"valid", valid, "4bf92f3577b34da6a3ce929d0e0e4736", true},
+		{"uppercase folds", strings.ToUpper(valid), "4bf92f3577b34da6a3ce929d0e0e4736", true},
+		{"empty", "", "", false},
+		{"too few parts", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", "", false},
+		{"short trace id", "00-4bf92f35-00f067aa0ba902b7-01", "", false},
+		{"non-hex", "00-" + strings.Repeat("zz", 16) + "-00f067aa0ba902b7-01", "", false},
+		{"all-zero trace id", "00-" + strings.Repeat("0", 32) + "-00f067aa0ba902b7-01", "", false},
+		{"version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", "", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			id, ok := ParseTraceparent(tc.in)
+			if ok != tc.wantOK || id != tc.wantID {
+				t.Errorf("ParseTraceparent(%q) = (%q, %t), want (%q, %t)", tc.in, id, ok, tc.wantID, tc.wantOK)
+			}
+		})
+	}
+}
+
+func TestTracerStartHonorsInboundID(t *testing.T) {
+	tr8 := &Tracer{}
+	_, tr := tr8.Start(context.Background(), "POST /x", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if tr.ID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace ID = %q, want the inbound traceparent's", tr.ID)
+	}
+	if !strings.HasPrefix(tr.Traceparent(), "00-"+tr.ID+"-") {
+		t.Errorf("outbound traceparent %q does not echo the trace ID", tr.Traceparent())
+	}
+	_, tr2 := tr8.Start(context.Background(), "POST /x", "garbage")
+	if len(tr2.ID) != 32 || tr2.ID == tr.ID {
+		t.Errorf("malformed traceparent: got trace ID %q, want a fresh random one", tr2.ID)
+	}
+}
+
+func TestSpanNestingAndParents(t *testing.T) {
+	var tracer Tracer
+	ctx, tr := tracer.Start(context.Background(), "test", "")
+	outerCtx, outer := StartSpan(ctx, "outer")
+	_, inner := StartSpan(outerCtx, "inner")
+	inner.SetDetail("rung=%d", 3)
+	inner.End()
+	outer.End()
+	_, sibling := StartSpan(ctx, "sibling")
+	sibling.EndErr(errors.New("boom"))
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["outer"].Parent != 0 {
+		t.Errorf("outer.Parent = %d, want 0 (top level)", byName["outer"].Parent)
+	}
+	if byName["inner"].Parent != byName["outer"].ID {
+		t.Errorf("inner.Parent = %d, want outer's ID %d", byName["inner"].Parent, byName["outer"].ID)
+	}
+	if byName["sibling"].Parent != 0 {
+		t.Errorf("sibling.Parent = %d, want 0", byName["sibling"].Parent)
+	}
+	if byName["inner"].Detail != "rung=3" {
+		t.Errorf("inner.Detail = %q", byName["inner"].Detail)
+	}
+	if byName["sibling"].Err != "boom" {
+		t.Errorf("sibling.Err = %q", byName["sibling"].Err)
+	}
+}
+
+func TestStartSpanWithoutTraceIsNoop(t *testing.T) {
+	ctx, h := StartSpan(context.Background(), "orphan")
+	if h != nil {
+		t.Fatal("StartSpan without a trace returned a non-nil handle")
+	}
+	// Every method must be nil-safe.
+	h.SetDetail("x=%d", 1)
+	h.SetErr(errors.New("x"))
+	h.EndErr(nil)
+	h.End()
+	if TraceFrom(ctx) != nil {
+		t.Fatal("no-op StartSpan attached a trace")
+	}
+}
+
+func TestAdoptTrace(t *testing.T) {
+	var tracer Tracer
+	reqCtx, tr := tracer.Start(context.Background(), "req", "")
+	spanCtx, h := StartSpan(reqCtx, "stage")
+	defer h.End()
+	base := context.Background()
+	adopted := AdoptTrace(base, spanCtx)
+	if TraceFrom(adopted) != tr {
+		t.Fatal("AdoptTrace did not carry the trace")
+	}
+	_, child := StartSpan(adopted, "compute")
+	child.End()
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "compute" || spans[0].Parent == 0 {
+		t.Errorf("adopted child span = %+v, want compute nested under the stage span", spans)
+	}
+	if got := AdoptTrace(base, context.Background()); got != base {
+		t.Error("AdoptTrace from a traceless context should return dst unchanged")
+	}
+}
+
+func TestTracerFinishFansOut(t *testing.T) {
+	ring := NewRing(8)
+	var stages []string
+	var logBuf bytes.Buffer
+	tracer := &Tracer{
+		Ring:          ring,
+		OnSpan:        func(name string, d time.Duration) { stages = append(stages, name) },
+		Logger:        slog.New(slog.NewTextHandler(&logBuf, nil)),
+		SlowThreshold: time.Nanosecond, // everything is slow
+	}
+	ctx, tr := tracer.Start(context.Background(), "POST /v1/spec", "")
+	_, h := StartSpan(ctx, "decode")
+	h.End()
+	rec := tracer.Finish(tr, 200)
+	if rec.Status != 200 || rec.ID != tr.ID || len(rec.Spans) != 1 {
+		t.Errorf("record = %+v", rec)
+	}
+	if len(stages) != 1 || stages[0] != "decode" {
+		t.Errorf("OnSpan saw %v, want [decode]", stages)
+	}
+	if got := ring.Snapshot(); len(got) != 1 || got[0] != rec {
+		t.Errorf("ring holds %v, want the finished record", got)
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, "slow request") || !strings.Contains(logged, tr.ID) || !strings.Contains(logged, "decode=") {
+		t.Errorf("slow-request log missing pieces: %q", logged)
+	}
+}
+
+func TestRingWrapsAndOrders(t *testing.T) {
+	ring := NewRing(4) // < 2*stripes, so a single exact-capacity stripe
+	if ring.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", ring.Cap())
+	}
+	base := time.Unix(1000, 0)
+	for i := 0; i < 7; i++ {
+		ring.Record(&TraceRecord{
+			ID:    fmt.Sprintf("trace-%d", i),
+			Start: base.Add(time.Duration(i) * time.Second),
+			DurNS: int64((7 - i)) * 1e6,
+		})
+	}
+	if held := len(ring.Snapshot()); held != 4 {
+		t.Errorf("held %d records, want 4 (overwrite oldest)", held)
+	}
+	recent := ring.Recent(2)
+	if len(recent) != 2 || recent[0].ID != "trace-6" || recent[1].ID != "trace-5" {
+		t.Errorf("Recent(2) = %v, want trace-6 then trace-5", recent)
+	}
+	slowest := ring.Slowest(1)
+	// trace-3 is the slowest surviving record (0..2 were overwritten).
+	if len(slowest) != 1 || slowest[0].ID != "trace-3" {
+		t.Errorf("Slowest(1) = %v, want trace-3", slowest)
+	}
+}
+
+func TestRingServeHTTP(t *testing.T) {
+	ring := NewRing(16)
+	ring.Record(&TraceRecord{ID: "abc", Name: "POST /v1/spec", Status: 200, Start: time.Unix(5, 0), DurNS: 42,
+		Spans: []Span{{ID: 1, Name: "decode", DurNS: 10}}})
+	w := httptest.NewRecorder()
+	ring.ServeHTTP(w, httptest.NewRequest("GET", "/debug/traces", nil))
+	if w.Code != 200 {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var doc struct {
+		Capacity int           `json:"capacity"`
+		Held     int           `json:"held"`
+		Recent   []TraceRecord `json:"recent"`
+		Slowest  []TraceRecord `json:"slowest"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("response not JSON: %v\n%s", err, w.Body.String())
+	}
+	if doc.Capacity != 16 || doc.Held != 1 || len(doc.Recent) != 1 || len(doc.Slowest) != 1 {
+		t.Errorf("doc = %+v", doc)
+	}
+	if doc.Recent[0].ID != "abc" || len(doc.Recent[0].Spans) != 1 || doc.Recent[0].Spans[0].Name != "decode" {
+		t.Errorf("recent[0] = %+v", doc.Recent[0])
+	}
+	// Bad n: 400.
+	w = httptest.NewRecorder()
+	ring.ServeHTTP(w, httptest.NewRequest("GET", "/debug/traces?n=bogus", nil))
+	if w.Code != 400 {
+		t.Errorf("n=bogus status = %d, want 400", w.Code)
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log line invalid: %v: %q", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Errorf("log record = %v", rec)
+	}
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	// info level must suppress debug records.
+	buf.Reset()
+	lg, _ = NewLogger(&buf, "info", "text")
+	lg.Debug("invisible")
+	if buf.Len() != 0 {
+		t.Errorf("info-level logger emitted debug: %q", buf.String())
+	}
+}
+
+func TestLoggerFromFallsBackToNop(t *testing.T) {
+	if LoggerFrom(context.Background()) != Nop {
+		t.Error("LoggerFrom without a logger should return Nop")
+	}
+	lg := slog.New(slog.NewTextHandler(&bytes.Buffer{}, nil))
+	ctx := WithLogger(context.Background(), lg)
+	if LoggerFrom(ctx) != lg {
+		t.Error("LoggerFrom did not return the attached logger")
+	}
+}

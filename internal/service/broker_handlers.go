@@ -24,6 +24,7 @@ import (
 	"rsgen/internal/bind"
 	"rsgen/internal/broker"
 	"rsgen/internal/dag"
+	"rsgen/internal/obs"
 	"rsgen/internal/platform"
 	"rsgen/internal/spec"
 	"rsgen/internal/xrand"
@@ -103,25 +104,31 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "read request: %v", err)
 		return
 	}
+	_, decSpan := obs.StartSpan(r.Context(), "decode")
 	req, d, err := decodeSelectRequest(body)
 	if err != nil {
+		decSpan.EndErr(err)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if err := s.validateOptions(req.Options); err != nil {
+		decSpan.EndErr(err)
 		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
 		return
 	}
 	for _, b := range req.Backends {
 		if !slices.Contains(broker.BackendNames, b) {
+			decSpan.EndErr(fmt.Errorf("unknown backend %q", b))
 			writeError(w, http.StatusBadRequest, "unknown backend %q (have %v)", b, broker.BackendNames)
 			return
 		}
 	}
 	if req.TTLSeconds < 0 || req.MaxBindWaitSeconds < 0 {
+		decSpan.EndErr(errors.New("negative ttl or bind wait"))
 		writeError(w, http.StatusBadRequest, "ttl_seconds and max_bind_wait_seconds must be >= 0")
 		return
 	}
+	decSpan.End()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
@@ -152,10 +159,16 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, broker.ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.As(err, &unsat):
-			writeJSON(w, http.StatusConflict, map[string]any{
+			// trace_id lets the operator jump from the 409 body straight to
+			// the span tree in /debug/traces.
+			body := map[string]any{
 				"error": "no rung of the specification ladder could be satisfied",
 				"trace": unsat.Trace,
-			})
+			}
+			if tr := obs.TraceFrom(r.Context()); tr != nil {
+				body["trace_id"] = tr.ID
+			}
+			writeJSON(w, http.StatusConflict, body)
 		case errors.Is(err, context.DeadlineExceeded):
 			writeError(w, http.StatusGatewayTimeout, "select: %v", err)
 		case errors.Is(err, context.Canceled):

@@ -3,27 +3,39 @@ package service
 import (
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
-// DebugMux returns the operator-only diagnostic mux: the full net/http/pprof
-// suite plus the server's metrics and health endpoints (so one scrape target
-// suffices when the public listener is firewalled). srv may be nil, in which
-// case only the pprof handlers are mounted.
+// DebugMux returns the operator-only diagnostic handler: the full
+// net/http/pprof suite, GET /debug/traces (the trace ring buffer's recent
+// and slowest views), and the server's metrics and health endpoints (so one
+// scrape target suffices when the public listener is firewalled). srv may
+// be nil, in which case only the pprof handlers are mounted.
 //
 // Debug endpoints are intentionally separated from the public Server: the
-// pprof handlers expose heap contents and symbol tables, so they must never
-// be reachable through the listener that serves untrusted clients. Bind the
-// returned mux only to an operator-chosen (typically loopback) address.
-func DebugMux(srv *Server) *http.ServeMux {
+// pprof handlers expose heap contents and symbol tables, and the trace ring
+// carries request paths and failure reasons, so they must never be
+// reachable through the listener that serves untrusted clients. Bind the
+// returned handler only to an operator-chosen (typically loopback) address.
+func DebugMux(srv *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	if srv != nil {
-		mux.HandleFunc("/healthz", srv.handleHealthz)
-		mux.HandleFunc("/metrics", srv.handleMetrics)
+	if srv == nil {
+		return mux
 	}
-	return mux
+	mux.Handle("GET /debug/traces", srv.ring)
+	mux.HandleFunc("/healthz", srv.handleHealthz)
+	mux.HandleFunc("/metrics", srv.handleMetrics)
+	// Operator traffic counts in rsgend_requests_total like everything
+	// else; metricPath folds the pprof sub-paths into one label.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		mux.ServeHTTP(rec, r)
+		srv.metrics.observe(metricPath(r.URL.Path), rec.code, time.Since(start))
+	})
 }

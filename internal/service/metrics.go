@@ -1,121 +1,85 @@
 package service
 
 import (
-	"fmt"
-	"io"
-	"sort"
-	"sync"
-	"sync/atomic"
+	"runtime"
+	"strconv"
 	"time"
 
 	"rsgen/internal/eval"
+	"rsgen/internal/obs"
 )
 
-// metrics aggregates the service's request counters for the /metrics text
-// exposition. All counters are monotone; the exposition adds the process's
-// eval.Stats counters so one scrape covers both the HTTP front and the
-// evaluation engine behind it.
+// metrics holds the service's request instruments, registered on the
+// server's obs.Registry. Registration order reproduces the hand-rolled
+// exposition this replaced byte-compatibly; the eval families read the
+// process-wide eval.Stats counters at scrape time so one scrape covers both
+// the HTTP front and the evaluation engine behind it.
 type metrics struct {
-	mu       sync.Mutex
-	requests map[statusKey]uint64
-	latSum   map[string]time.Duration
-	latCount map[string]uint64
+	requests *obs.CounterVec
+	latency  *obs.SummaryVec
+	// stage is the per-pipeline-stage latency histogram fed from finished
+	// trace spans (rsgend_stage_duration_seconds); registered by New after
+	// the broker mount so the legacy series stay a contiguous prefix.
+	stage *obs.HistogramVec
 
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
-	dedupShared atomic.Uint64
-	rejected    atomic.Uint64 // 503s from the concurrency limiter
-	inflight    atomic.Int64
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	dedupShared *obs.Counter
+	rejected    *obs.Counter // 503s from the concurrency limiter
+	inflight    *obs.Gauge
 }
 
-type statusKey struct {
-	path string
-	code int
-}
+func newMetrics(reg *obs.Registry, cacheLen func() int) *metrics {
+	m := &metrics{}
+	m.requests = reg.CounterVec("rsgend_requests_total", "path", "code")
+	m.latency = reg.SummaryVec("rsgend_request_seconds", "path")
+	m.cacheHits = reg.Counter("rsgend_spec_cache_hits_total")
+	m.cacheMisses = reg.Counter("rsgend_spec_cache_misses_total")
+	reg.IntGaugeFunc("rsgend_spec_cache_entries", func() int64 { return int64(cacheLen()) })
+	m.dedupShared = reg.Counter("rsgend_dedup_shared_total")
+	m.rejected = reg.Counter("rsgend_rejected_total")
+	m.inflight = reg.Gauge("rsgend_inflight_requests")
 
-func newMetrics() *metrics {
-	return &metrics{
-		requests: make(map[statusKey]uint64),
-		latSum:   make(map[string]time.Duration),
-		latCount: make(map[string]uint64),
-	}
+	// The evaluation engine's process-wide counters (internal/eval).
+	reg.CounterFunc("rsgend_eval_points_total", func() uint64 { return eval.Snapshot().Points })
+	reg.CounterFunc("rsgend_eval_cache_hits_total", func() uint64 { return eval.Snapshot().CacheHits })
+	reg.CounterFunc("rsgend_eval_cache_misses_total", func() uint64 { return eval.Snapshot().CacheMisses })
+	reg.CounterFunc("rsgend_eval_dedup_waits_total", func() uint64 { return eval.Snapshot().DedupWaits })
+	reg.Func("rsgend_eval_stage_seconds", "counter", func() []obs.Sample {
+		s := eval.Snapshot()
+		return []obs.Sample{
+			{Labels: `{stage="rc_build"}`, Value: obs.FormatFloat(s.RCBuild.Seconds())},
+			{Labels: `{stage="schedule"}`, Value: obs.FormatFloat(s.Schedule.Seconds())},
+			{Labels: `{stage="simulate"}`, Value: obs.FormatFloat(s.Simulate.Seconds())},
+		}
+	})
+	return m
 }
 
 // observe records one finished request.
 func (m *metrics) observe(path string, code int, d time.Duration) {
-	m.mu.Lock()
-	m.requests[statusKey{path, code}]++
-	m.latSum[path] += d
-	m.latCount[path]++
-	m.mu.Unlock()
+	m.requests.With(path, strconv.Itoa(code)).Inc()
+	m.latency.Observe(d, path)
 }
 
-// expose writes the Prometheus text exposition. Series are sorted so
-// repeated scrapes with the same counters are byte-identical.
-func (m *metrics) expose(w io.Writer, cacheLen int) {
-	m.mu.Lock()
-	reqKeys := make([]statusKey, 0, len(m.requests))
-	for k := range m.requests {
-		reqKeys = append(reqKeys, k)
-	}
-	paths := make([]string, 0, len(m.latCount))
-	for p := range m.latCount {
-		paths = append(paths, p)
-	}
-	requests := make(map[statusKey]uint64, len(m.requests))
-	for k, v := range m.requests {
-		requests[k] = v
-	}
-	latSum := make(map[string]time.Duration, len(m.latSum))
-	for k, v := range m.latSum {
-		latSum[k] = v
-	}
-	latCount := make(map[string]uint64, len(m.latCount))
-	for k, v := range m.latCount {
-		latCount[k] = v
-	}
-	m.mu.Unlock()
-
-	sort.Slice(reqKeys, func(i, j int) bool {
-		if reqKeys[i].path != reqKeys[j].path {
-			return reqKeys[i].path < reqKeys[j].path
-		}
-		return reqKeys[i].code < reqKeys[j].code
+// registerRuntime adds the Go runtime families: goroutine count, heap
+// occupancy, and cumulative GC pause time. ReadMemStats stops the world for
+// microseconds, which a scrape-rate caller never notices.
+func registerRuntime(reg *obs.Registry) {
+	reg.IntGaugeFunc("rsgend_go_goroutines", func() int64 { return int64(runtime.NumGoroutine()) })
+	reg.IntGaugeFunc("rsgend_go_heap_alloc_bytes", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
 	})
-	sort.Strings(paths)
-
-	fmt.Fprintln(w, "# TYPE rsgend_requests_total counter")
-	for _, k := range reqKeys {
-		fmt.Fprintf(w, "rsgend_requests_total{path=%q,code=\"%d\"} %d\n", k.path, k.code, requests[k])
-	}
-	fmt.Fprintln(w, "# TYPE rsgend_request_seconds summary")
-	for _, p := range paths {
-		fmt.Fprintf(w, "rsgend_request_seconds_sum{path=%q} %g\n", p, latSum[p].Seconds())
-		fmt.Fprintf(w, "rsgend_request_seconds_count{path=%q} %d\n", p, latCount[p])
-	}
-	fmt.Fprintln(w, "# TYPE rsgend_spec_cache_hits_total counter")
-	fmt.Fprintf(w, "rsgend_spec_cache_hits_total %d\n", m.cacheHits.Load())
-	fmt.Fprintln(w, "# TYPE rsgend_spec_cache_misses_total counter")
-	fmt.Fprintf(w, "rsgend_spec_cache_misses_total %d\n", m.cacheMisses.Load())
-	fmt.Fprintln(w, "# TYPE rsgend_spec_cache_entries gauge")
-	fmt.Fprintf(w, "rsgend_spec_cache_entries %d\n", cacheLen)
-	fmt.Fprintln(w, "# TYPE rsgend_dedup_shared_total counter")
-	fmt.Fprintf(w, "rsgend_dedup_shared_total %d\n", m.dedupShared.Load())
-	fmt.Fprintln(w, "# TYPE rsgend_rejected_total counter")
-	fmt.Fprintf(w, "rsgend_rejected_total %d\n", m.rejected.Load())
-	fmt.Fprintln(w, "# TYPE rsgend_inflight_requests gauge")
-	fmt.Fprintf(w, "rsgend_inflight_requests %d\n", m.inflight.Load())
-
-	// The evaluation engine's process-wide counters (internal/eval).
-	s := eval.Snapshot()
-	fmt.Fprintln(w, "# TYPE rsgend_eval_points_total counter")
-	fmt.Fprintf(w, "rsgend_eval_points_total %d\n", s.Points)
-	fmt.Fprintln(w, "# TYPE rsgend_eval_cache_hits_total counter")
-	fmt.Fprintf(w, "rsgend_eval_cache_hits_total %d\n", s.CacheHits)
-	fmt.Fprintln(w, "# TYPE rsgend_eval_cache_misses_total counter")
-	fmt.Fprintf(w, "rsgend_eval_cache_misses_total %d\n", s.CacheMisses)
-	fmt.Fprintln(w, "# TYPE rsgend_eval_stage_seconds counter")
-	fmt.Fprintf(w, "rsgend_eval_stage_seconds{stage=\"rc_build\"} %g\n", s.RCBuild.Seconds())
-	fmt.Fprintf(w, "rsgend_eval_stage_seconds{stage=\"schedule\"} %g\n", s.Schedule.Seconds())
-	fmt.Fprintf(w, "rsgend_eval_stage_seconds{stage=\"simulate\"} %g\n", s.Simulate.Seconds())
+	reg.FloatCounterFunc("rsgend_go_gc_pause_seconds_total", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return time.Duration(ms.PauseTotalNs).Seconds()
+	})
+	reg.CounterFunc("rsgend_go_gcs_total", func() uint64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return uint64(ms.NumGC)
+	})
 }

@@ -19,6 +19,15 @@
 // The handler set is POST /v1/spec, GET /healthz and GET /metrics
 // (Prometheus text exposition, including the internal/eval counters).
 // Everything is stdlib net/http + encoding/json.
+//
+// Observability (internal/obs): every request runs under a trace — the
+// inbound W3C traceparent header's trace ID when present, random otherwise —
+// echoed back in X-Trace-Id and traceparent response headers; pipeline
+// stages (decode, generate, select, lease, bind…) record spans into a ring
+// buffer served at GET /debug/traces on the operator mux; all metric
+// families live in one obs.Registry (service + eval + mounted broker
+// series); and a request-scoped slog.Logger carrying the trace ID rides the
+// context into the broker.
 package service
 
 import (
@@ -27,12 +36,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"rsgen/internal/broker"
 	"rsgen/internal/dag"
 	"rsgen/internal/knee"
+	"rsgen/internal/obs"
 	"rsgen/internal/sched"
 	"rsgen/internal/spec"
 )
@@ -66,6 +79,15 @@ type Config struct {
 	// builds one with default lease/bind settings over the same Generator
 	// and Workers.
 	Broker *broker.Broker
+	// Logger receives the service's structured logs (request logs at debug,
+	// slow-request warnings); nil discards them.
+	Logger *slog.Logger
+	// TraceEntries bounds the /debug/traces ring buffer; 0 defaults to 256.
+	TraceEntries int
+	// SlowRequest is the total duration at or above which a finished
+	// request logs a warning with its span breakdown; 0 defaults to 1s,
+	// negative disables.
+	SlowRequest time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -84,20 +106,30 @@ func (c Config) withDefaults() Config {
 	if c.BaseCtx == nil {
 		c.BaseCtx = context.Background()
 	}
+	if c.Logger == nil {
+		c.Logger = obs.Nop
+	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = time.Second
+	}
 	return c
 }
 
 // Server is the HTTP serving layer over a trained generator. It is safe for
 // concurrent use; construct with New and mount it as an http.Handler.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	cache   *responseCache
-	flight  *flightGroup
-	metrics *metrics
-	brk     *broker.Broker
-	sem     chan struct{}
-	started time.Time
+	cfg      Config
+	mux      *http.ServeMux
+	cache    *responseCache
+	flight   *flightGroup
+	metrics  *metrics
+	reg      *obs.Registry
+	ring     *obs.Ring
+	tracer   *obs.Tracer
+	brk      *broker.Broker
+	sem      chan struct{}
+	started  time.Time
+	draining atomic.Bool
 
 	// computeHook, when set (tests), runs at the start of every leader
 	// computation — before the deadline check — so tests can stall or
@@ -119,15 +151,37 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	cache := newResponseCache(cfg.CacheEntries)
+	reg := obs.NewRegistry()
+	m := newMetrics(reg, cache.Len)
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
-		cache:   newResponseCache(cfg.CacheEntries),
+		cache:   cache,
 		flight:  newFlightGroup(),
-		metrics: newMetrics(),
+		metrics: m,
+		reg:     reg,
+		ring:    obs.NewRing(cfg.TraceEntries),
 		brk:     brk,
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		started: time.Now(),
+	}
+	// The broker's families mount after the service+eval prefix, preserving
+	// the pre-registry scrape layout; the genuinely new families go last.
+	reg.Mount(brk.Registry())
+	m.stage = reg.HistogramVec("rsgend_stage_duration_seconds", obs.DefBuckets, "stage")
+	reg.IntGaugeFunc("rsgend_draining", func() int64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	registerRuntime(reg)
+	s.tracer = &obs.Tracer{
+		Ring:          s.ring,
+		OnSpan:        func(name string, d time.Duration) { m.stage.With(name).Observe(d) },
+		Logger:        cfg.Logger,
+		SlowThreshold: cfg.SlowRequest,
 	}
 	s.mux.HandleFunc("POST /v1/spec", s.handleSpec)
 	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
@@ -143,22 +197,39 @@ func New(cfg Config) (*Server, error) {
 // binary can start its lease sweeper and drain it on shutdown.
 func (s *Server) Broker() *broker.Broker { return s.brk }
 
-// ServeHTTP dispatches to the mux with request accounting.
+// ServeHTTP dispatches to the mux with request accounting: a trace is
+// opened (honoring an inbound traceparent) and echoed back in X-Trace-Id
+// and traceparent headers before the handler runs, and on completion the
+// trace is finished into the ring with the response status.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	ctx, tr := s.tracer.Start(r.Context(), r.Method+" "+r.URL.Path, r.Header.Get("traceparent"))
+	lg := s.cfg.Logger.With("trace_id", tr.ID)
+	r = r.WithContext(obs.WithLogger(ctx, lg))
+	w.Header().Set("X-Trace-Id", tr.ID)
+	w.Header().Set("traceparent", tr.Traceparent())
 	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 	s.metrics.inflight.Add(1)
 	s.mux.ServeHTTP(rec, r)
 	s.metrics.inflight.Add(-1)
-	s.metrics.observe(metricPath(r.URL.Path), rec.code, time.Since(start))
+	d := time.Since(start)
+	s.metrics.observe(metricPath(r.URL.Path), rec.code, d)
+	s.tracer.Finish(tr, rec.code)
+	lg.Debug("request",
+		"method", r.Method, "path", r.URL.Path, "status", rec.code,
+		"duration_ms", float64(d.Microseconds())/1000)
 }
 
 // metricPath folds unknown paths into one label so arbitrary 404 traffic
-// cannot grow the metrics maps without bound.
+// cannot grow the metrics maps without bound. The operator-mux paths are
+// whitelisted too: DebugMux routes its traffic through the same accounting.
 func metricPath(p string) string {
 	switch p {
-	case "/v1/spec", "/v1/select", "/v1/release", "/v1/platform", "/healthz", "/metrics":
+	case "/v1/spec", "/v1/select", "/v1/release", "/v1/platform", "/healthz", "/metrics", "/debug/traces":
 		return p
+	}
+	if strings.HasPrefix(p, "/debug/pprof") {
+		return "/debug/pprof"
 	}
 	return "other"
 }
@@ -260,8 +331,10 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	}
 
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	_, decSpan := obs.StartSpan(r.Context(), "decode")
 	var req SpecRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		decSpan.EndErr(err)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
@@ -271,44 +344,56 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Dag) == 0 {
+		decSpan.EndErr(errors.New("request has no dag"))
 		writeError(w, http.StatusBadRequest, "request has no dag")
 		return
 	}
 	d, err := dag.Decode(bytes.NewReader(req.Dag))
 	if err != nil {
+		decSpan.EndErr(err)
 		writeError(w, http.StatusBadRequest, "invalid dag: %v", err)
 		return
 	}
 	if err := s.validateOptions(req.Options); err != nil {
+		decSpan.EndErr(err)
 		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
 		return
 	}
+	decSpan.SetDetail("tasks=%d", len(d.Tasks()))
+	decSpan.End()
 
 	key := cacheKey(d, req.Options)
-	if body, ok := s.cache.Get(key); ok {
-		s.metrics.cacheHits.Add(1)
+	_, cacheSpan := obs.StartSpan(r.Context(), "cache")
+	body, ok := s.cache.Get(key)
+	cacheSpan.SetDetail("hit=%t", ok)
+	cacheSpan.End()
+	if ok {
+		s.metrics.cacheHits.Inc()
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "hit")
 		_, _ = w.Write(body)
 		return
 	}
-	s.metrics.cacheMisses.Add(1)
+	s.metrics.cacheMisses.Inc()
 
 	// Deduplicate concurrent identical requests: the leader computes
 	// under the server's context (so one client disconnecting cannot
 	// fail the rest), followers wait for the shared bytes.
 	call, leader := s.flight.join(key)
 	if leader {
-		body, err := s.computeResponse(d, req.Options)
+		body, err := s.computeResponse(r.Context(), d, req.Options)
 		if err == nil {
 			s.cache.Put(key, body)
 		}
 		s.flight.finish(key, call, body, err)
 	} else {
-		s.metrics.dedupShared.Add(1)
+		s.metrics.dedupShared.Inc()
+		_, awaitSpan := obs.StartSpan(r.Context(), "await")
 		select {
 		case <-call.done:
+			awaitSpan.End()
 		case <-r.Context().Done():
+			awaitSpan.EndErr(r.Context().Err())
 			writeError(w, http.StatusServiceUnavailable, "request abandoned: %v", r.Context().Err())
 			return
 		}
@@ -376,12 +461,14 @@ func cacheKey(d *dag.DAG, o SpecOptions) string {
 }
 
 // computeResponse runs the generator and renders the response bytes. It
-// runs under the server's base context bounded by the configured timeout;
-// generation is deterministic, so recomputing after cache eviction yields
-// the same bytes.
-func (s *Server) computeResponse(d *dag.DAG, o SpecOptions) ([]byte, error) {
+// runs under the server's base context bounded by the configured timeout
+// (rctx only contributes its trace, so one client disconnecting cannot fail
+// the shared computation); generation is deterministic, so recomputing
+// after cache eviction yields the same bytes.
+func (s *Server) computeResponse(rctx context.Context, d *dag.DAG, o SpecOptions) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(s.cfg.BaseCtx, s.cfg.Timeout)
 	defer cancel()
+	ctx = obs.AdoptTrace(ctx, rctx)
 	if s.computeHook != nil {
 		s.computeHook()
 	}
@@ -389,6 +476,7 @@ func (s *Server) computeResponse(d *dag.DAG, o SpecOptions) ([]byte, error) {
 		return nil, err
 	}
 
+	_, genSpan := obs.StartSpan(ctx, "generate")
 	g := s.cfg.Generator
 	sp, err := g.Generate(d, spec.Options{
 		Threshold:              o.Threshold,
@@ -400,6 +488,7 @@ func (s *Server) computeResponse(d *dag.DAG, o SpecOptions) ([]byte, error) {
 		MixedParallel:          o.MixedParallel,
 		Heuristic:              o.Heuristic,
 	})
+	genSpan.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
@@ -420,8 +509,11 @@ func (s *Server) computeResponse(d *dag.DAG, o SpecOptions) ([]byte, error) {
 		if tol == 0 {
 			tol = 0.02
 		}
+		_, altSpan := obs.StartSpan(ctx, "alternatives")
+		altSpan.SetDetail("clocks=%d", len(o.AlternativeClocks))
 		sweep := knee.SweepConfig{Ctx: ctx, Workers: s.cfg.Workers}
 		alts, err := g.Alternatives(d, sp, o.AlternativeClocks, sweep, tol)
+		altSpan.EndErr(err)
 		if err != nil {
 			return nil, err
 		}
@@ -446,8 +538,26 @@ func (s *Server) computeResponse(d *dag.DAG, o SpecOptions) ([]byte, error) {
 	return append(body, '\n'), nil
 }
 
+// BeginDrain marks the server draining: /healthz turns 503 so load
+// balancers stop routing new traffic, the rsgend_draining gauge flips to 1,
+// and the broker fails new selections fast with ErrDraining. In-flight
+// requests finish normally.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.brk.BeginDrain()
+}
+
 // handleHealthz is GET /healthz: cheap liveness plus model provenance.
+// During drain it answers 503 with the in-flight count so orchestrators
+// stop routing while the drain empties.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":   "draining",
+			"inflight": s.metrics.inflight.Load(),
+		})
+		return
+	}
 	g := s.cfg.Generator
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":          "ok",
@@ -457,10 +567,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics is GET /metrics: Prometheus text exposition, service
-// counters followed by the broker's selection/lease series.
+// handleMetrics is GET /metrics: the unified registry's Prometheus text
+// exposition — service counters, eval engine counters, the mounted broker
+// series, then the observability additions (stage histograms, drain and
+// runtime gauges).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.expose(w, s.cache.Len())
-	s.brk.Metrics().Write(w, s.brk.LeaseStats())
+	s.reg.Expose(w)
 }

@@ -7,8 +7,11 @@
 # loop: registers a generated 2003-era inventory, /v1/select's the same DAG
 # with a 2.8 GHz optimal rung that no 2003 cluster can satisfy, asserts the
 # broker fell back to the 2.0 GHz alternative (X-Fallback-Depth: 1, full
-# rung trace, a held lease), and releases the lease. Finally sends SIGTERM
-# and asserts the server drains and exits 0.
+# rung trace, a held lease), and releases the lease. Along the way it checks
+# the telemetry layer: an inbound W3C traceparent must round-trip as the
+# X-Trace-Id response header, and the operator listener's /debug/traces must
+# hold the traced request with its span breakdown. Finally sends SIGTERM and
+# asserts the server drains and exits 0.
 #
 # Run from the repository root (make serve-smoke does this for you).
 set -euo pipefail
@@ -33,7 +36,8 @@ echo "serve-smoke: training smoke-scale models"
 "$WORK/rsgend" -train -models "$WORK/models.json" -scale smoke -seed 1
 
 echo "serve-smoke: starting rsgend on an ephemeral port"
-"$WORK/rsgend" -models "$WORK/models.json" -addr 127.0.0.1:0 2>"$WORK/serve.log" &
+"$WORK/rsgend" -models "$WORK/models.json" -addr 127.0.0.1:0 \
+    -debug-addr 127.0.0.1:0 2>"$WORK/serve.log" &
 SRV_PID=$!
 
 # The server prints "rsgend: listening on http://HOST:PORT" once the
@@ -56,8 +60,28 @@ if [[ -z "$ADDR" ]]; then
 fi
 echo "serve-smoke: server up at $ADDR"
 
+# The operator listener announces itself the same way; it is bound before
+# the public listener's line is printed, so no extra polling is needed.
+DEBUG_ADDR="$(sed -n 's#.*debug endpoints (pprof) on http://##p' "$WORK/serve.log" \
+    | head -n1 | sed 's#/debug/pprof/##')"
+if [[ -z "$DEBUG_ADDR" ]]; then
+    echo "serve-smoke: FAIL — server never reported its debug address" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+echo "serve-smoke: debug endpoints at $DEBUG_ADDR"
+
+TRACE_ID="cafe0000cafe0000cafe0000cafe0000"
 curl -sS -X POST --data-binary "@$TESTDATA/fig_iii2_request.json" \
-    "http://$ADDR/v1/spec" -o "$WORK/resp.json"
+    -H "traceparent: 00-$TRACE_ID-00f067aa0ba902b7-01" \
+    -D "$WORK/spec.hdr" "http://$ADDR/v1/spec" -o "$WORK/resp.json"
+
+if ! grep -qi "^x-trace-id: $TRACE_ID" "$WORK/spec.hdr"; then
+    echo "serve-smoke: FAIL — inbound traceparent did not round-trip as X-Trace-Id" >&2
+    cat "$WORK/spec.hdr" >&2
+    exit 1
+fi
+echo "serve-smoke: inbound traceparent round-tripped as X-Trace-Id"
 
 if ! diff -u "$TESTDATA/fig_iii2_spec.golden.json" "$WORK/resp.json"; then
     cp "$WORK/resp.json" /tmp/rsgend_serve_smoke_got.json
@@ -132,6 +156,22 @@ jq -e '.leases.active_leases == 0 and .leases.leased_hosts == 0' "$WORK/occupanc
     exit 1
 }
 echo "serve-smoke: lease released, occupancy back to zero"
+
+echo "serve-smoke: checking /debug/traces on the operator listener"
+curl -sS "http://$DEBUG_ADDR/debug/traces" -o "$WORK/traces.json"
+jq -e --arg id "$TRACE_ID" '
+    .held >= 1 and
+    ([.recent[].id] | index($id) != null) and
+    ([.recent[] | select(.id == $id) | .spans[].name] | index("decode") != null) and
+    ([.recent[] | select(.name == "POST /v1/select") | .spans[].name]
+        | (index("generate") != null and index("select") != null and
+           index("lease") != null and index("bind") != null))
+' "$WORK/traces.json" >/dev/null || {
+    echo "serve-smoke: FAIL — /debug/traces missing the traced requests or their spans:" >&2
+    cat "$WORK/traces.json" >&2
+    exit 1
+}
+echo "serve-smoke: /debug/traces holds the traced requests with span breakdowns"
 
 kill -TERM "$SRV_PID"
 set +e
