@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race bench bench-smoke bench-json fuzz-smoke serve-smoke
+.PHONY: check vet build test race bench bench-smoke bench-json fuzz-smoke serve-smoke crash-smoke
 
 check: vet build race bench-smoke fuzz-smoke
 
@@ -42,9 +42,16 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz 'FuzzParseExpr$$' -fuzztime $(FUZZTIME) ./internal/classad
 	$(GO) test -run xxx -fuzz 'FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/sword
 	$(GO) test -run xxx -fuzz 'FuzzSelectRequest$$' -fuzztime $(FUZZTIME) ./internal/service
+	$(GO) test -run xxx -fuzz 'FuzzWALRecord$$' -fuzztime $(FUZZTIME) ./internal/broker/durable
 
 # End-to-end service smoke: train a smoke-scale artifact, serve it on an
 # ephemeral port, request a spec for the Figure III-2 example DAG, and
 # diff the response against the committed golden.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# End-to-end crash recovery: serve with -state-dir, register an inventory,
+# acquire a lease, SIGKILL the server, restart on the same directory, and
+# assert the lease and inventory survived (and release still works).
+crash-smoke:
+	bash scripts/crash_smoke.sh

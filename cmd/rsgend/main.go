@@ -22,6 +22,14 @@
 // 503 while draining, and 504 on deadline; successes carry an
 // X-Fallback-Depth header (0 = the optimal specification was fulfilled).
 //
+// With -state-dir the broker's state (registered inventory, inventory
+// generation, host leases) persists across restarts in a write-ahead log
+// plus snapshots under that directory: after a crash the server recovers
+// pre-crash leases before binding its listener, so their hosts are never
+// double-bound, and a graceful drain folds the log into one final
+// snapshot. Without the flag everything lives in memory, exactly as
+// before the flag existed.
+//
 // With -debug-addr a second, operator-only listener additionally serves
 // net/http/pprof and GET /debug/traces — the span-level breakdown of recent
 // and slowest requests — plus /healthz and /metrics on a separate mux;
@@ -49,6 +57,7 @@ import (
 
 	"rsgen"
 	"rsgen/internal/broker"
+	"rsgen/internal/broker/durable"
 	"rsgen/internal/obs"
 	"rsgen/internal/service"
 )
@@ -72,6 +81,7 @@ func run(args []string) int {
 		cacheSize   = fs.Int("cache", 1024, "response cache entries")
 		workers     = fs.Int("j", 0, "evaluation workers for alternative specs (0 = all cores)")
 		leaseTTL    = fs.Duration("lease-ttl", 5*time.Minute, "default host-lease lifetime for /v1/select")
+		stateDir    = fs.String("state-dir", "", "directory for durable broker state (WAL + snapshots); empty serves from memory only")
 		leaseSweep  = fs.Duration("lease-sweep", 30*time.Second, "background lease-expiry sweep interval")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		debugAddr   = fs.String("debug-addr", "", "operator-only listen address for net/http/pprof, /debug/traces, /healthz and /metrics (e.g. 127.0.0.1:6060); never exposed on -addr")
@@ -117,14 +127,40 @@ func run(args []string) int {
 
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
+	// Crash recovery runs before the listener binds: a client that can
+	// reach the server never races the replay.
+	var store broker.Store
+	if *stateDir != "" {
+		st, err := durable.Open(*stateDir, durable.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsgend:", err)
+			return 1
+		}
+		store = st
+		rec := st.Recovery()
+		fmt.Fprintf(os.Stderr,
+			"rsgend: recovered state from %s (snapshot=%v, wal records=%d, torn bytes=%d, leases=%d live/%d expired, inventory=%v)\n",
+			*stateDir, rec.SnapshotLoaded, rec.RecordsReplayed, rec.TornTailBytes,
+			rec.LeasesRecovered-rec.LeasesExpired, rec.LeasesExpired, rec.InventoryRecovered)
+		logger.Info("state recovered", "dir", *stateDir,
+			"snapshot", rec.SnapshotLoaded, "wal_records", rec.RecordsReplayed,
+			"torn_tail_bytes", rec.TornTailBytes, "leases_recovered", rec.LeasesRecovered,
+			"leases_expired", rec.LeasesExpired, "inventory", rec.InventoryRecovered)
+	}
 	brk, err := broker.New(broker.Config{
 		Generator: gen,
 		Workers:   *workers,
 		LeaseTTL:  *leaseTTL,
+		Store:     store,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rsgend:", err)
 		return 1
+	}
+	if store != nil {
+		// Runs after the drain paths below: a graceful exit folds the WAL
+		// into one final snapshot, so the next start replays nothing.
+		defer store.Close()
 	}
 	stopSweeper := brk.StartSweeper(*leaseSweep)
 	defer stopSweeper()

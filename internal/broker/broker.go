@@ -54,6 +54,12 @@ type Config struct {
 	Workers int
 	// Now is the clock (tests); nil defaults to time.Now.
 	Now func() time.Time
+	// Store owns the broker's mutable state (inventory record, generation,
+	// lease table); nil defaults to a fresh in-memory MemStore. Pass a
+	// durable store (internal/broker/durable) opened on a state directory
+	// to make the state survive restarts; Broker.New adopts whatever
+	// inventory and leases the store recovered.
+	Store Store
 }
 
 func (c Config) withDefaults() Config {
@@ -117,34 +123,75 @@ type inventory struct {
 // concurrent use.
 type Broker struct {
 	cfg     Config
-	leases  *leaseTable
+	store   Store
 	metrics *Metrics
 
 	invMu sync.RWMutex
 	inv   *inventory
+
+	sweepMu   sync.Mutex
+	sweepStop func()
 
 	drainMu  sync.Mutex
 	draining bool
 	inflight sync.WaitGroup
 }
 
-// New validates the config and assembles an inventory-less broker;
-// selections fail with ErrNoInventory until RegisterInventory.
+// New validates the config and assembles a broker over the configured
+// store. With an in-memory store (the default) the broker starts
+// inventory-less and selections fail with ErrNoInventory until
+// RegisterInventory; a durable store that recovered a registered inventory
+// has its platform, managers, and leases adopted here, so leases acquired
+// before a crash stay honored (their hosts masked) after the restart.
 func New(cfg Config) (*Broker, error) {
 	if cfg.Generator == nil || cfg.Generator.Size == nil || len(cfg.Generator.Size.Models) == 0 {
 		return nil, errors.New("broker: config needs a generator with a trained size model")
 	}
-	b := &Broker{
-		cfg:    cfg.withDefaults(),
-		leases: newLeaseTable(),
+	b := &Broker{cfg: cfg.withDefaults()}
+	b.store = b.cfg.Store
+	if b.store == nil {
+		b.store = NewMemStore()
+	}
+	if rec := b.store.RecoveredInventory(); rec != nil {
+		inv, err := materialize(rec, b.cfg.SwordSeed)
+		if err != nil {
+			return nil, fmt.Errorf("broker: recovered inventory: %w", err)
+		}
+		b.inv = inv
 	}
 	b.metrics = newBrokerMetrics(b.LeaseStats)
+	// A store that exposes its own metric families (the durable WAL /
+	// snapshot series) mounts after the broker families, so the in-memory
+	// path's exposition stays byte-identical.
+	if p, ok := b.store.(interface{ MetricsRegistry() *obs.Registry }); ok {
+		if reg := p.MetricsRegistry(); reg != nil {
+			b.metrics.reg.Mount(reg)
+		}
+	}
 	return b, nil
 }
 
+// materialize validates an inventory record and builds the derived
+// in-memory state (binding grid, selection backends) the store never
+// persists.
+func materialize(rec *InventoryRecord, swordSeed uint64) (*inventory, error) {
+	p := rec.Platform
+	if p == nil {
+		return nil, errors.New("broker: inventory record has no platform")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(rec.Managers) != len(p.Clusters) {
+		return nil, fmt.Errorf("broker: record has %d managers, platform has %d clusters", len(rec.Managers), len(p.Clusters))
+	}
+	return &inventory{p: p, grid: rec.Grid(), selectors: newSelectors(p, swordSeed)}, nil
+}
+
 // RegisterInventory installs (or replaces) the resource pool the broker
-// selects from. Replacing the inventory drops every outstanding lease: the
-// hosts they referenced no longer exist.
+// selects from, bumping the store's inventory generation. Replacing the
+// inventory drops every outstanding lease: the hosts they referenced no
+// longer exist.
 func (b *Broker) RegisterInventory(p *platform.Platform, grid *bind.Grid) error {
 	if p == nil || grid == nil {
 		return errors.New("broker: inventory needs a platform and a binding grid")
@@ -156,12 +203,25 @@ func (b *Broker) RegisterInventory(p *platform.Platform, grid *bind.Grid) error 
 		return fmt.Errorf("broker: grid manages %d clusters, platform has %d", grid.NumClusters(), len(p.Clusters))
 	}
 	inv := &inventory{p: p, grid: grid, selectors: newSelectors(p, b.cfg.SwordSeed)}
+	// Persist first: if the store cannot make the registration durable the
+	// broker keeps serving the previous inventory.
+	if _, err := b.store.RegisterInventory(NewInventoryRecord(p, grid), b.cfg.Now()); err != nil {
+		return err
+	}
 	b.invMu.Lock()
 	b.inv = inv
 	b.invMu.Unlock()
-	b.leases.Clear()
 	return nil
 }
+
+// Generation returns the store's inventory epoch: 0 before any
+// registration, bumped by each RegisterInventory, restored across restarts
+// by durable stores. Clients compare it to detect universe swaps.
+func (b *Broker) Generation() uint64 { return b.store.Generation() }
+
+// Recovery reports what the store's crash recovery found at open time
+// (zero-valued for the in-memory store).
+func (b *Broker) Recovery() RecoveryInfo { return b.store.Recovery() }
 
 // Inventory returns the registered platform and grid (nil, nil before
 // registration).
@@ -182,11 +242,11 @@ func (b *Broker) Metrics() *Metrics { return b.metrics }
 func (b *Broker) Registry() *obs.Registry { return b.metrics.reg }
 
 // LeaseStats sweeps expired leases and reports occupancy.
-func (b *Broker) LeaseStats() LeaseStats { return b.leases.Stats(b.cfg.Now()) }
+func (b *Broker) LeaseStats() LeaseStats { return b.store.Stats(b.cfg.Now()) }
 
 // Release frees a lease; ok is false for unknown or expired IDs.
 func (b *Broker) Release(id string) bool {
-	ok := b.leases.Release(id, b.cfg.Now())
+	ok := b.store.Release(id, b.cfg.Now())
 	if ok {
 		b.metrics.releases.Add(1)
 	}
@@ -196,8 +256,15 @@ func (b *Broker) Release(id string) bool {
 // StartSweeper reclaims expired leases every interval until the returned
 // stop function is called. Sweeping also happens inline on every lease
 // operation; the background pass only keeps occupancy gauges fresh while
-// the broker is idle.
+// the broker is idle. StartSweeper is idempotent: while a sweeper is
+// already running, further calls spawn nothing and return the running
+// sweeper's stop function. After a stop, the next call starts a fresh one.
 func (b *Broker) StartSweeper(interval time.Duration) (stop func()) {
+	b.sweepMu.Lock()
+	defer b.sweepMu.Unlock()
+	if b.sweepStop != nil {
+		return b.sweepStop
+	}
 	done := make(chan struct{})
 	go func() {
 		t := time.NewTicker(interval)
@@ -207,12 +274,21 @@ func (b *Broker) StartSweeper(interval time.Duration) (stop func()) {
 			case <-done:
 				return
 			case <-t.C:
-				b.leases.Sweep(b.cfg.Now())
+				b.store.Sweep(b.cfg.Now())
 			}
 		}
 	}()
 	var once sync.Once
-	return func() { once.Do(func() { close(done) }) }
+	stop = func() {
+		once.Do(func() {
+			close(done)
+			b.sweepMu.Lock()
+			b.sweepStop = nil
+			b.sweepMu.Unlock()
+		})
+	}
+	b.sweepStop = stop
+	return stop
 }
 
 // BeginDrain makes every subsequent Select fail fast with ErrDraining;
@@ -437,7 +513,7 @@ func (b *Broker) tryRung(ctx context.Context, inv *inventory, rung int, sp *spec
 	leaseMisses := 0
 	for {
 		att := RungAttempt{Rung: rung, ClockGHz: sp.MaxClockGHz, RCSize: sp.RCSize, Backend: sel.Name()}
-		excluded := b.leases.Leased(b.cfg.Now())
+		excluded := b.store.Leased(b.cfg.Now())
 		for h := range stalled {
 			excluded[h] = true
 		}
@@ -452,7 +528,7 @@ func (b *Broker) tryRung(ctx context.Context, inv *inventory, rung int, sp *spec
 		}
 		_, leaseSpan := obs.StartSpan(ctx, "lease")
 		leaseSpan.SetDetail("rung=%d hosts=%d", rung, len(rc.Hosts))
-		lease, err := b.leases.Acquire(rc.Hosts, ttl, b.cfg.Now(), rung, sel.Name())
+		lease, err := b.store.Acquire(rc.Hosts, ttl, b.cfg.Now(), rung, sel.Name())
 		leaseSpan.EndErr(err)
 		if err != nil {
 			att.Stage, att.Err = StageLease, err.Error()
@@ -469,7 +545,7 @@ func (b *Broker) tryRung(ctx context.Context, inv *inventory, rung int, sp *spec
 		binding, err := b.bindWithRetry(bindCtx, inv.grid, rc, maxWait)
 		bindSpan.EndErr(err)
 		if err != nil {
-			b.leases.Release(lease.ID, b.cfg.Now())
+			b.store.Release(lease.ID, b.cfg.Now())
 			grew := b.markStalled(inv, rc, maxWait, stalled)
 			att.Stage, att.Err = StageBind, err.Error()
 			b.metrics.rungAttempt(sel.Name(), StageBind)

@@ -3,6 +3,7 @@ package broker
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -314,11 +315,12 @@ func TestSweeperReclaimsInBackground(t *testing.T) {
 	defer stop()
 	// Observe the table directly (every public accessor sweeps inline, which
 	// would mask whether the background goroutine did the work).
+	mem := b.store.(*MemStore)
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		b.leases.mu.Lock()
-		n := len(b.leases.byID)
-		b.leases.mu.Unlock()
+		mem.mu.Lock()
+		n := len(mem.byID)
+		mem.mu.Unlock()
 		if n == 0 {
 			stop()
 			stop() // idempotent
@@ -339,5 +341,79 @@ func TestDrainRejectsNewSelections(t *testing.T) {
 	defer cancel()
 	if err := b.Drain(ctx); err != nil {
 		t.Errorf("Drain with no in-flight work: %v", err)
+	}
+}
+
+// TestStartSweeperIdempotent asserts a second StartSweeper while one is
+// running spawns nothing and hands back the running sweeper's stop func,
+// and that stopping makes room for a fresh sweeper.
+func TestStartSweeperIdempotent(t *testing.T) {
+	b, _, _ := newTestBroker(t, nil)
+	before := runtime.NumGoroutine()
+	stop1 := b.StartSweeper(time.Hour)
+	stop2 := b.StartSweeper(time.Hour)
+	stop3 := b.StartSweeper(time.Hour)
+
+	// Exactly one sweeper goroutine may exist, no matter how many calls.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+1 {
+		t.Errorf("%d goroutines after three StartSweeper calls, started with %d: leaked sweepers", n, before)
+	}
+	stop2() // any of the returned funcs stops the one sweeper
+	stop1()
+	stop3()
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("%d goroutines after stop, started with %d: sweeper leaked", n, before)
+	}
+	// After a stop the broker can start a fresh sweeper.
+	stop4 := b.StartSweeper(time.Hour)
+	defer stop4()
+	if &stop4 == &stop1 {
+		t.Error("fresh sweeper returned the dead sweeper's stop func")
+	}
+}
+
+// TestGenerationBumpsPerRegistration asserts the inventory epoch starts at
+// zero, bumps on every registration, and drops in-flight leases with it.
+func TestGenerationBumpsPerRegistration(t *testing.T) {
+	gen, err := testGenerator()
+	if err != nil {
+		t.Fatalf("training test generator: %v", err)
+	}
+	b, err := New(Config{Generator: gen})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if g := b.Generation(); g != 0 {
+		t.Errorf("generation %d before any registration, want 0", g)
+	}
+	p := platform.MustGenerate(platform.GenSpec{Clusters: 8, Year: 2006}, xrand.New(3))
+	if err := b.RegisterInventory(p, bind.DedicatedGrid(p)); err != nil {
+		t.Fatalf("RegisterInventory: %v", err)
+	}
+	if g := b.Generation(); g != 1 {
+		t.Errorf("generation %d after first registration, want 1", g)
+	}
+	out, err := b.Select(context.Background(), Request{
+		Dag:     testDAG(t),
+		Options: spec.Options{ClockGHz: 2.0},
+	})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if err := b.RegisterInventory(p, bind.DedicatedGrid(p)); err != nil {
+		t.Fatalf("re-RegisterInventory: %v", err)
+	}
+	if g := b.Generation(); g != 2 {
+		t.Errorf("generation %d after second registration, want 2", g)
+	}
+	if b.Release(out.Lease.ID) {
+		t.Error("lease survived re-registration; registration must clear the table")
 	}
 }

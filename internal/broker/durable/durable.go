@@ -1,0 +1,479 @@
+// Package durable is the write-ahead-log + snapshot implementation of
+// broker.Store: the same lease-table state machine as broker.MemStore,
+// journaled to a state directory so rsgend restarts rebind-safe — leases
+// acquired before a crash are honored (their hosts stay masked) after the
+// process comes back, and the registered inventory plus its generation
+// survive with them.
+//
+// Layout of the state directory:
+//
+//	wal.log      append-only mutation log (length-prefixed, CRC-checked
+//	             records; see wal.go for the frame format)
+//	snapshot.db  one framed record holding the full state at the last
+//	             compaction, written atomically (tmp + rename)
+//
+// Every mutation is applied to the in-memory state first and then appended
+// to the WAL; an append that cannot be made durable rolls the mutation
+// back (Acquire) or leaves the state conservatively held (Release — an
+// unpersisted release merely resurrects the lease after a crash until its
+// TTL passes, which can never double-bind a host). After CompactEvery
+// appends the store folds the WAL into a fresh snapshot and truncates the
+// log; Close flushes a final snapshot so a graceful drain restarts with an
+// empty WAL.
+//
+// Recovery (Open) is: load the snapshot if present, replay the WAL over
+// it, truncate any torn or corrupt tail, then expire every lease whose TTL
+// passed while the process was down (wall-clock comparison — the lease
+// deadlines are absolute timestamps).
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rsgen/internal/broker"
+	"rsgen/internal/platform"
+)
+
+const (
+	walName  = "wal.log"
+	snapName = "snapshot.db"
+
+	// snapshotVersion is bumped when the snapshot or WAL wire form changes
+	// incompatibly; Open rejects snapshots from a newer version instead of
+	// misreading them.
+	snapshotVersion = 1
+)
+
+// WAL record operations.
+const (
+	opInventory = "inventory"
+	opAcquire   = "acquire"
+	opRelease   = "release"
+)
+
+// walRecord is the JSON payload of one WAL record.
+type walRecord struct {
+	Op string `json:"op"`
+	// Generation and Inventory accompany opInventory.
+	Generation uint64                  `json:"generation,omitempty"`
+	Inventory  *broker.InventoryRecord `json:"inventory,omitempty"`
+	// Lease accompanies opAcquire.
+	Lease *broker.Lease `json:"lease,omitempty"`
+	// LeaseID accompanies opRelease.
+	LeaseID string `json:"lease_id,omitempty"`
+}
+
+// snapshotFile is the JSON payload of the single snapshot record.
+type snapshotFile struct {
+	Version      int                     `json:"version"`
+	Generation   uint64                  `json:"generation"`
+	NextID       uint64                  `json:"next_id"`
+	ExpiredTotal uint64                  `json:"expired_total"`
+	Inventory    *broker.InventoryRecord `json:"inventory,omitempty"`
+	Leases       []*broker.Lease         `json:"leases,omitempty"`
+}
+
+// Options parameterize a durable store; the zero value is production-safe.
+type Options struct {
+	// CompactEvery folds the WAL into a snapshot after this many appended
+	// records; 0 defaults to 1024. The count survives restarts as the
+	// number of records replayed.
+	CompactEvery int
+	// NoSync skips fsync after appends and snapshots (tests only: a crash
+	// of the machine, not just the process, may then lose acknowledged
+	// records).
+	NoSync bool
+	// Now is the clock used for recovery-time TTL expiry and compaction
+	// sweeps (tests); nil defaults to time.Now.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 1024
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Store is the durable broker.Store. All mutations go through the embedded
+// in-memory state machine first and are then journaled; see the package
+// comment for the write and recovery protocols.
+type Store struct {
+	mem  *broker.MemStore
+	dir  string
+	opts Options
+	met  *metrics
+
+	// mu serializes WAL appends, compaction, and Close, so a compaction
+	// can never lose a record appended concurrently: an append is entirely
+	// before the compaction (then its effect is inside the state snapshot,
+	// because state is mutated before the record is appended) or entirely
+	// after the truncation (then it survives in the fresh WAL).
+	mu         sync.Mutex
+	wal        *os.File
+	walRecords int
+	closed     bool
+
+	recovery broker.RecoveryInfo
+	recInv   *broker.InventoryRecord
+}
+
+// Open loads (or initializes) a state directory and runs crash recovery:
+// snapshot, WAL replay, torn-tail truncation, wall-clock TTL expiry. The
+// returned store is ready to back a broker.New.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("durable: empty state directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	s := &Store{
+		mem:  broker.NewMemStore(),
+		dir:  dir,
+		opts: opts.withDefaults(),
+		met:  newMetrics(),
+	}
+	s.recovery.Durable = true
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	// Expire whatever leases' TTLs ran out while the process was down.
+	live := s.mem.Stats(time.Time{})
+	s.recovery.LeasesRecovered = live.ActiveLeases
+	after := s.mem.Stats(s.opts.Now())
+	s.recovery.LeasesExpired = live.ActiveLeases - after.ActiveLeases
+	s.recInv = s.mem.InventoryRecord()
+	s.recovery.InventoryRecovered = s.recInv != nil
+	s.met.setRecovery(s.recovery)
+	return s, nil
+}
+
+// loadSnapshot restores the last compaction snapshot, if any.
+func (s *Store) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, snapName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	payloads, _, scanErr := scanRecords(bytes.NewReader(data))
+	if len(payloads) == 0 {
+		// A snapshot is written atomically (tmp + rename), so a torn one
+		// means tampering or disk corruption, not a crash; refuse to guess.
+		return fmt.Errorf("durable: snapshot %s unreadable: %v", snapName, scanErr)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(payloads[0], &snap); err != nil {
+		return fmt.Errorf("durable: snapshot %s: %w", snapName, err)
+	}
+	if snap.Version > snapshotVersion {
+		return fmt.Errorf("durable: snapshot version %d newer than supported %d", snap.Version, snapshotVersion)
+	}
+	s.mem.RestoreSnapshot(&broker.SnapshotState{
+		Generation:   snap.Generation,
+		NextID:       snap.NextID,
+		ExpiredTotal: snap.ExpiredTotal,
+		Inventory:    snap.Inventory,
+		Leases:       snap.Leases,
+	})
+	s.recovery.SnapshotLoaded = true
+	return nil
+}
+
+// replayWAL applies every intact record and truncates the torn tail.
+func (s *Store) replayWAL() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, walName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	payloads, good, scanErr := scanRecords(f)
+	replayed := 0
+	for _, p := range payloads {
+		var rec walRecord
+		if err := json.Unmarshal(p, &rec); err != nil {
+			// The frame's CRC passed but the payload is not one of ours:
+			// treat it like a corrupt tail and stop replaying here.
+			scanErr = errCorruptRecord
+			break
+		}
+		s.apply(&rec)
+		replayed++
+	}
+	if replayed < len(payloads) {
+		// Recompute the clean prefix up to the last applied record.
+		good = 0
+		for _, p := range payloads[:replayed] {
+			good += int64(recordHeaderBytes) + int64(len(p))
+		}
+	}
+	s.recovery.RecordsReplayed = replayed
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("durable: %w", err)
+	}
+	if good < fi.Size() {
+		s.recovery.TornTailBytes = fi.Size() - good
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return fmt.Errorf("durable: truncating torn wal tail: %w", err)
+		}
+		if !s.opts.NoSync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return fmt.Errorf("durable: %w", err)
+			}
+		}
+	} else if scanErr != nil && !errors.Is(scanErr, errCorruptRecord) {
+		f.Close()
+		return fmt.Errorf("durable: scanning wal: %w", scanErr)
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: %w", err)
+	}
+	s.wal = f
+	s.walRecords = replayed
+	return nil
+}
+
+// apply replays one WAL record into the in-memory state.
+func (s *Store) apply(rec *walRecord) {
+	switch rec.Op {
+	case opInventory:
+		s.mem.RestoreInventory(rec.Inventory, rec.Generation)
+	case opAcquire:
+		if rec.Lease == nil {
+			return
+		}
+		s.mem.RestoreLease(rec.Lease)
+		s.mem.BumpNextID(leaseSeq(rec.Lease.ID))
+	case opRelease:
+		s.mem.RestoreRelease(rec.LeaseID)
+	}
+	// Unknown ops are skipped: an older binary replaying a newer log keeps
+	// the records it understands.
+}
+
+// leaseSeq extracts the allocation counter from a "lease-%08d" ID; 0 when
+// the ID has another shape (the allocator then just never reuses it).
+func leaseSeq(id string) uint64 {
+	n, err := strconv.ParseUint(strings.TrimPrefix(id, "lease-"), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// append journals one record (and fsyncs, per Options) under s.mu,
+// compacting when the record count crosses the threshold.
+func (s *Store) append(rec *walRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("durable: store is closed")
+	}
+	start := time.Now()
+	n, err := appendRecord(s.wal, payload)
+	if err == nil && !s.opts.NoSync {
+		err = s.wal.Sync()
+	}
+	s.met.appendSeconds.Observe(time.Since(start))
+	if err != nil {
+		s.met.appendErrors.Inc()
+		return fmt.Errorf("durable: wal append: %w", err)
+	}
+	s.met.walRecords.Inc()
+	s.met.walBytes.Add(uint64(n))
+	s.walRecords++
+	if s.walRecords >= s.opts.CompactEvery {
+		// Compaction failure must not fail the already-durable mutation:
+		// the WAL keeps growing and the next append retries.
+		if err := s.compactLocked(); err != nil {
+			s.met.snapshotErrors.Inc()
+		}
+	}
+	return nil
+}
+
+// Compact folds the WAL into a fresh snapshot immediately (operational
+// escape hatch; the store normally compacts itself every CompactEvery
+// appends and on Close).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("durable: store is closed")
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	start := time.Now()
+	st := s.mem.Snapshot(s.opts.Now())
+	payload, err := json.Marshal(snapshotFile{
+		Version:      snapshotVersion,
+		Generation:   st.Generation,
+		NextID:       st.NextID,
+		ExpiredTotal: st.ExpiredTotal,
+		Inventory:    st.Inventory,
+		Leases:       st.Leases,
+	})
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	var buf bytes.Buffer
+	if _, err := appendRecord(&buf, payload); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	// Atomic replace: tmp + fsync + rename, so a crash mid-compaction
+	// leaves either the old snapshot or the new one, never a torn file.
+	tmp := filepath.Join(s.dir, snapName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	_, err = f.Write(buf.Bytes())
+	if err == nil && !s.opts.NoSync {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: %w", err)
+	}
+	if !s.opts.NoSync {
+		if d, err := os.Open(s.dir); err == nil {
+			_ = d.Sync()
+			d.Close()
+		}
+	}
+	// The snapshot covers everything the WAL holds: truncate it.
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("durable: truncating wal after snapshot: %w", err)
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("durable: %w", err)
+		}
+	}
+	s.walRecords = 0
+	s.met.snapshots.Inc()
+	s.met.snapshotBytes.Set(int64(buf.Len()))
+	s.met.snapshotSeconds.Observe(time.Since(start))
+	return nil
+}
+
+// Close flushes a final snapshot (so the next open replays nothing) and
+// releases the WAL handle. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.compactLocked()
+	s.closed = true
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// --- broker.Store ---
+
+// RegisterInventory persists the inventory record and the bumped
+// generation; the lease table is cleared (the old hosts no longer exist).
+func (s *Store) RegisterInventory(rec *broker.InventoryRecord, now time.Time) (uint64, error) {
+	gen, err := s.mem.RegisterInventory(rec, now)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.append(&walRecord{Op: opInventory, Generation: gen, Inventory: rec}); err != nil {
+		return 0, err
+	}
+	return gen, nil
+}
+
+// Generation returns the inventory epoch.
+func (s *Store) Generation() uint64 { return s.mem.Generation() }
+
+// Acquire leases the hosts in memory, then journals the lease. A journal
+// failure rolls the lease back and fails the acquisition: a lease the
+// store cannot promise to remember across a crash is never handed out
+// (handing it out and forgetting it would double-bind the hosts after a
+// restart).
+func (s *Store) Acquire(hosts []platform.Host, ttl time.Duration, now time.Time, rung int, backend string) (*broker.Lease, error) {
+	l, err := s.mem.Acquire(hosts, ttl, now, rung, backend)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.append(&walRecord{Op: opAcquire, Lease: l}); err != nil {
+		s.mem.RestoreRelease(l.ID)
+		return nil, err
+	}
+	return l, nil
+}
+
+// Release frees the lease in memory and journals the release best-effort:
+// an unpersisted release resurrects the lease after a crash until its TTL
+// passes — conservative (the hosts stay masked longer), never unsafe.
+func (s *Store) Release(id string, now time.Time) bool {
+	ok := s.mem.Release(id, now)
+	if ok {
+		if err := s.append(&walRecord{Op: opRelease, LeaseID: id}); err != nil {
+			s.met.appendErrors.Inc()
+		}
+	}
+	return ok
+}
+
+// Sweep reclaims expired leases. Expiry is never journaled: lease
+// deadlines are absolute, so recovery re-derives every expiry against the
+// wall clock.
+func (s *Store) Sweep(now time.Time) uint64 { return s.mem.Sweep(now) }
+
+// Leased returns the currently leased host set.
+func (s *Store) Leased(now time.Time) map[platform.HostID]bool { return s.mem.Leased(now) }
+
+// Stats sweeps and reports occupancy.
+func (s *Store) Stats(now time.Time) broker.LeaseStats { return s.mem.Stats(now) }
+
+// RecoveredInventory returns the inventory crash recovery restored (nil
+// when the directory held none).
+func (s *Store) RecoveredInventory() *broker.InventoryRecord { return s.recInv }
+
+// Recovery reports what crash recovery found at Open.
+func (s *Store) Recovery() broker.RecoveryInfo { return s.recovery }

@@ -1,0 +1,293 @@
+package durable
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rsgen/internal/bind"
+	"rsgen/internal/broker"
+	"rsgen/internal/platform"
+	"rsgen/internal/xrand"
+)
+
+var _ broker.Store = (*Store)(nil)
+
+// testInventory builds a small platform + dedicated grid in persistable form.
+func testInventory() (*broker.InventoryRecord, *platform.Platform) {
+	p := platform.MustGenerate(platform.GenSpec{Clusters: 4, Year: 2006}, xrand.New(3))
+	return broker.NewInventoryRecord(p, bind.DedicatedGrid(p)), p
+}
+
+// open opens dir with NoSync (tests hammer the filesystem) and the given
+// clock, failing the test on error.
+func open(t *testing.T, dir string, now func() time.Time) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{NoSync: true, Now: now})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// crash abandons the store without Close: the WAL keeps whatever was
+// appended, no final snapshot is written — exactly a SIGKILL.
+func crash(s *Store) {
+	s.mu.Lock()
+	s.closed = true
+	s.wal.Close()
+	s.mu.Unlock()
+}
+
+func TestWALReplayRestoresState(t *testing.T) {
+	dir := t.TempDir()
+	rec, p := testInventory()
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	s := open(t, dir, func() time.Time { return t0 })
+	if gen, err := s.RegisterInventory(rec, t0); err != nil || gen != 1 {
+		t.Fatalf("RegisterInventory = %d, %v", gen, err)
+	}
+	l1, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	l2, err := s.Acquire(p.Hosts[2:5], time.Hour, t0, 1, "tophosts")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if !s.Release(l2.ID, t0) {
+		t.Fatal("Release failed")
+	}
+	crash(s)
+
+	s2 := open(t, dir, func() time.Time { return t0.Add(time.Minute) })
+	defer s2.Close()
+	r := s2.Recovery()
+	if !r.Durable || r.SnapshotLoaded || !r.InventoryRecovered {
+		t.Errorf("recovery %+v: want durable, no snapshot, inventory recovered", r)
+	}
+	if r.RecordsReplayed != 4 {
+		t.Errorf("replayed %d records, want 4 (inventory+2 acquires+release)", r.RecordsReplayed)
+	}
+	if r.LeasesRecovered != 1 || r.LeasesExpired != 0 {
+		t.Errorf("leases recovered/expired = %d/%d, want 1/0", r.LeasesRecovered, r.LeasesExpired)
+	}
+	if s2.Generation() != 1 {
+		t.Errorf("generation %d after replay, want 1", s2.Generation())
+	}
+	inv := s2.RecoveredInventory()
+	if inv == nil || inv.Platform.NumHosts() != p.NumHosts() {
+		t.Fatalf("recovered inventory %+v does not match", inv)
+	}
+	// The surviving lease masks its hosts: re-acquiring them must fail
+	// (rebind safety), and fresh IDs must not collide with pre-crash ones.
+	if _, err := s2.Acquire(p.Hosts[0:1], time.Hour, t0, 0, "vgdl"); err == nil {
+		t.Error("re-acquiring a recovered lease's host succeeded")
+	}
+	l3, err := s2.Acquire(p.Hosts[5:6], time.Hour, t0, 0, "vgdl")
+	if err != nil {
+		t.Fatalf("Acquire after recovery: %v", err)
+	}
+	if l3.ID == l1.ID || l3.ID == l2.ID {
+		t.Errorf("recovered allocator reissued lease ID %s", l3.ID)
+	}
+	if !s2.Release(l1.ID, t0) {
+		t.Error("releasing the recovered lease failed")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	rec, p := testInventory()
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	s := open(t, dir, func() time.Time { return t0 })
+	if _, err := s.RegisterInventory(rec, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl"); err != nil {
+		t.Fatal(err)
+	}
+	crash(s)
+
+	// Simulate a torn append: garbage after the last intact record.
+	walPath := filepath.Join(dir, walName)
+	clean, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, clean...), 0x21, 0x43, 0x65, 0x87, 0xde, 0xad)
+	if err := os.WriteFile(walPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, func() time.Time { return t0 })
+	defer s2.Close()
+	r := s2.Recovery()
+	if r.TornTailBytes != int64(len(torn)-len(clean)) {
+		t.Errorf("torn tail %d bytes, want %d", r.TornTailBytes, len(torn)-len(clean))
+	}
+	if r.RecordsReplayed != 2 || r.LeasesRecovered != 1 {
+		t.Errorf("recovery %+v: want 2 records, 1 lease", r)
+	}
+	// The tail must be gone from disk, not just skipped.
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != int64(len(clean)) {
+		t.Errorf("wal is %d bytes after recovery, want truncated to %d", fi.Size(), len(clean))
+	}
+}
+
+// TestSnapshotWALEquivalence replays the same operation sequence with and
+// without an intervening compaction; recovered state must be identical.
+func TestSnapshotWALEquivalence(t *testing.T) {
+	rec, p := testInventory()
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return t0 }
+
+	run := func(dir string, compact bool) *broker.SnapshotState {
+		s := open(t, dir, clock)
+		if _, err := s.RegisterInventory(rec, t0); err != nil {
+			t.Fatal(err)
+		}
+		l1, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if compact {
+			if err := s.Compact(); err != nil {
+				t.Fatalf("Compact: %v", err)
+			}
+		}
+		if _, err := s.Acquire(p.Hosts[3:5], 2*time.Hour, t0, 1, "tophosts"); err != nil {
+			t.Fatal(err)
+		}
+		s.Release(l1.ID, t0)
+		crash(s)
+
+		s2 := open(t, dir, clock)
+		defer s2.Close()
+		if compact != s2.Recovery().SnapshotLoaded {
+			t.Errorf("SnapshotLoaded = %v, want %v", s2.Recovery().SnapshotLoaded, compact)
+		}
+		return s2.mem.Snapshot(time.Time{})
+	}
+
+	pure := run(t.TempDir(), false)
+	mixed := run(t.TempDir(), true)
+	a, _ := json.Marshal(pure)
+	b, _ := json.Marshal(mixed)
+	if string(a) != string(b) {
+		t.Errorf("snapshot+WAL recovery diverges from pure WAL:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestTTLExpiryAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	rec, p := testInventory()
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	s := open(t, dir, func() time.Time { return t0 })
+	if _, err := s.RegisterInventory(rec, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Acquire(p.Hosts[0:2], time.Minute, t0, 0, "vgdl"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Acquire(p.Hosts[2:4], time.Hour, t0, 0, "vgdl"); err != nil {
+		t.Fatal(err)
+	}
+	crash(s)
+
+	// Restart 10 minutes later: the 1-minute lease is dead wall-clock.
+	s2 := open(t, dir, func() time.Time { return t0.Add(10 * time.Minute) })
+	defer s2.Close()
+	r := s2.Recovery()
+	if r.LeasesRecovered != 2 || r.LeasesExpired != 1 {
+		t.Errorf("leases recovered/expired = %d/%d, want 2/1", r.LeasesRecovered, r.LeasesExpired)
+	}
+	st := s2.Stats(t0.Add(10 * time.Minute))
+	if st.ActiveLeases != 1 || st.LeasedHosts != 2 {
+		t.Errorf("stats %+v after expiry, want 1 lease over 2 hosts", st)
+	}
+	// The expired lease's hosts are free again.
+	if _, err := s2.Acquire(p.Hosts[0:2], time.Hour, t0.Add(10*time.Minute), 0, "vgdl"); err != nil {
+		t.Errorf("re-acquiring expired hosts: %v", err)
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	rec, p := testInventory()
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	s, err := Open(dir, Options{NoSync: true, Now: func() time.Time { return t0 }, CompactEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterInventory(rec, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Acquire(p.Hosts[0:1], time.Hour, t0, 0, "vgdl"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Acquire(p.Hosts[1:2], time.Hour, t0, 0, "vgdl"); err != nil {
+		t.Fatal(err)
+	}
+	// Third append crossed CompactEvery: the WAL must be empty again and
+	// the snapshot present.
+	fi, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Errorf("wal is %d bytes after auto-compaction, want 0", fi.Size())
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapName)); err != nil {
+		t.Errorf("snapshot missing after auto-compaction: %v", err)
+	}
+	// One more record lands in the fresh WAL; recovery sees snapshot + 1.
+	if _, err := s.Acquire(p.Hosts[2:3], time.Hour, t0, 0, "vgdl"); err != nil {
+		t.Fatal(err)
+	}
+	crash(s)
+
+	s2 := open(t, dir, func() time.Time { return t0 })
+	defer s2.Close()
+	r := s2.Recovery()
+	if !r.SnapshotLoaded || r.RecordsReplayed != 1 || r.LeasesRecovered != 3 {
+		t.Errorf("recovery %+v: want snapshot + 1 replayed record, 3 leases", r)
+	}
+}
+
+func TestCloseWritesFinalSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	rec, p := testInventory()
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	s := open(t, dir, func() time.Time { return t0 })
+	if _, err := s.RegisterInventory(rec, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := open(t, dir, func() time.Time { return t0 })
+	defer s2.Close()
+	r := s2.Recovery()
+	if !r.SnapshotLoaded || r.RecordsReplayed != 0 {
+		t.Errorf("recovery after graceful close %+v: want snapshot only, zero replay", r)
+	}
+	if st := s2.Stats(t0); st.ActiveLeases != 1 || st.LeasedHosts != 2 {
+		t.Errorf("stats %+v after graceful restart", st)
+	}
+}

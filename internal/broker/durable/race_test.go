@@ -1,0 +1,77 @@
+package durable
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentAcquireDuringCompaction hammers Acquire/Release from many
+// goroutines while snapshots are taken concurrently, then recovers the
+// directory and asserts no host ended up inside two leases — the
+// double-lease a compaction/append race would produce. Run under -race.
+func TestConcurrentAcquireDuringCompaction(t *testing.T) {
+	dir := t.TempDir()
+	rec, p := testInventory()
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	s, err := Open(dir, Options{NoSync: true, Now: func() time.Time { return t0 }, CompactEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterInventory(rec, t0); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const iters = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker churns its own host pair so acquisitions always
+			// succeed; contention is on the WAL and the compactor.
+			hosts := p.Hosts[2*w : 2*w+2]
+			for i := 0; i < iters; i++ {
+				l, err := s.Acquire(hosts, time.Hour, t0, 0, "vgdl")
+				if err != nil {
+					t.Errorf("worker %d: Acquire: %v", w, err)
+					return
+				}
+				if i%2 == 0 {
+					s.Release(l.ID, t0)
+				} else if !s.Release(l.ID, t0) {
+					t.Errorf("worker %d: Release failed", w)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := s.Compact(); err != nil {
+				t.Errorf("Compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	crash(s)
+
+	s2 := open(t, dir, func() time.Time { return t0 })
+	defer s2.Close()
+	st := s2.mem.Snapshot(time.Time{})
+	seen := make(map[int64]string)
+	for _, l := range st.Leases {
+		for _, h := range l.Hosts {
+			if other, ok := seen[int64(h)]; ok {
+				t.Fatalf("host %d leased by both %s and %s after recovery", h, other, l.ID)
+			}
+			seen[int64(h)] = l.ID
+		}
+	}
+}

@@ -1,9 +1,6 @@
 package broker
 
 import (
-	"fmt"
-	"sort"
-	"sync"
 	"time"
 
 	"rsgen/internal/platform"
@@ -11,123 +8,19 @@ import (
 
 // Lease is one successful host acquisition: the binding's hosts are
 // reserved for the holder until it releases them or the TTL runs out.
+//
+// The JSON tags are the durable store's wire form; Expires serializes as
+// RFC 3339 with nanoseconds, which round-trips time.Time exactly.
 type Lease struct {
 	// ID is the opaque handle returned to the client ("lease-00000001").
-	ID string
+	ID string `json:"id"`
 	// Hosts are the leased host IDs, ascending.
-	Hosts []platform.HostID
+	Hosts []platform.HostID `json:"hosts"`
 	// Expires is the lease deadline; the sweeper reclaims the hosts then.
-	Expires time.Time
+	Expires time.Time `json:"expires"`
 	// Rung and Backend record which ladder rung and selection backend won.
-	Rung    int
-	Backend string
-}
-
-// leaseTable is the broker's concurrent host-lease state. Every mutation
-// first sweeps expired leases, so expiry needs no dedicated goroutine to be
-// correct — the background sweeper only bounds how long reclaimed hosts
-// stay invisible to metrics between requests.
-type leaseTable struct {
-	mu      sync.Mutex
-	byHost  map[platform.HostID]string // host → holding lease ID
-	byID    map[string]*Lease
-	nextID  uint64
-	expired uint64 // total leases reclaimed by TTL expiry
-}
-
-func newLeaseTable() *leaseTable {
-	return &leaseTable{
-		byHost: make(map[platform.HostID]string),
-		byID:   make(map[string]*Lease),
-	}
-}
-
-// sweepLocked reclaims every lease that expired at or before now.
-func (t *leaseTable) sweepLocked(now time.Time) {
-	for id, l := range t.byID {
-		if !l.Expires.After(now) {
-			for _, h := range l.Hosts {
-				delete(t.byHost, h)
-			}
-			delete(t.byID, id)
-			t.expired++
-		}
-	}
-}
-
-// Sweep reclaims expired leases and reports how many are gone in total.
-func (t *leaseTable) Sweep(now time.Time) uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.sweepLocked(now)
-	return t.expired
-}
-
-// Leased returns the currently leased host set: the exclusion mask for the
-// next selection attempt.
-func (t *leaseTable) Leased(now time.Time) map[platform.HostID]bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.sweepLocked(now)
-	out := make(map[platform.HostID]bool, len(t.byHost))
-	for h := range t.byHost {
-		out[h] = true
-	}
-	return out
-}
-
-// Acquire atomically leases every host or none: if any host is already held
-// (a concurrent session won the race between selection and acquisition) the
-// whole acquisition fails and the caller re-selects with a fresh mask.
-func (t *leaseTable) Acquire(hosts []platform.Host, ttl time.Duration, now time.Time, rung int, backend string) (*Lease, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.sweepLocked(now)
-	for _, h := range hosts {
-		if holder, ok := t.byHost[h.ID]; ok {
-			return nil, fmt.Errorf("broker: host %d already leased by %s", h.ID, holder)
-		}
-	}
-	t.nextID++
-	l := &Lease{
-		ID:      fmt.Sprintf("lease-%08d", t.nextID),
-		Hosts:   make([]platform.HostID, len(hosts)),
-		Expires: now.Add(ttl),
-		Rung:    rung,
-		Backend: backend,
-	}
-	for i, h := range hosts {
-		l.Hosts[i] = h.ID
-		t.byHost[h.ID] = l.ID
-	}
-	sort.Slice(l.Hosts, func(i, j int) bool { return l.Hosts[i] < l.Hosts[j] })
-	t.byID[l.ID] = l
-	return l, nil
-}
-
-// Release frees a lease's hosts; ok is false for unknown (or already
-// expired) lease IDs.
-func (t *leaseTable) Release(id string, now time.Time) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.sweepLocked(now)
-	l, ok := t.byID[id]
-	if !ok {
-		return false
-	}
-	for _, h := range l.Hosts {
-		delete(t.byHost, h)
-	}
-	delete(t.byID, id)
-	return true
-}
-
-// Clear drops every lease (inventory re-registration).
-func (t *leaseTable) Clear() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.byHost = make(map[platform.HostID]string)
-	t.byID = make(map[string]*Lease)
+	Rung    int    `json:"rung"`
+	Backend string `json:"backend"`
 }
 
 // LeaseStats is a point-in-time occupancy snapshot.
@@ -137,16 +30,4 @@ type LeaseStats struct {
 	LeasedHosts  int
 	// ExpiredTotal counts leases ever reclaimed by TTL expiry.
 	ExpiredTotal uint64
-}
-
-// Stats sweeps and reports occupancy.
-func (t *leaseTable) Stats(now time.Time) LeaseStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.sweepLocked(now)
-	return LeaseStats{
-		ActiveLeases: len(t.byID),
-		LeasedHosts:  len(t.byHost),
-		ExpiredTotal: t.expired,
-	}
 }

@@ -358,6 +358,7 @@ func (s *Server) handlePlatformGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"clusters":    len(p.Clusters),
 		"hosts":       p.NumHosts(),
+		"generation":  s.brk.Generation(),
 		"disciplines": disciplines,
 		"leases": map[string]any{
 			"active_leases":  stats.ActiveLeases,

@@ -80,9 +80,11 @@ func TestSelectLifecycle(t *testing.T) {
 		t.Errorf("expires_in_seconds = %v, want (0, 300]", resp.ExpiresInSeconds)
 	}
 
-	// Occupancy is visible through GET /v1/platform…
+	// Occupancy and the inventory generation are visible through
+	// GET /v1/platform…
 	var info struct {
-		Leases struct {
+		Generation uint64 `json:"generation"`
+		Leases     struct {
 			ActiveLeases int `json:"active_leases"`
 			LeasedHosts  int `json:"leased_hosts"`
 		} `json:"leases"`
@@ -96,6 +98,9 @@ func TestSelectLifecycle(t *testing.T) {
 	}
 	if info.Leases.ActiveLeases != 1 || info.Leases.LeasedHosts != resp.RCSize {
 		t.Errorf("occupancy %+v after one selection", info.Leases)
+	}
+	if info.Generation != 1 {
+		t.Errorf("generation %d after first registration, want 1", info.Generation)
 	}
 
 	// …and through /metrics.
@@ -127,6 +132,17 @@ func TestSelectLifecycle(t *testing.T) {
 	}
 	if info.Leases.ActiveLeases != 0 || info.Leases.LeasedHosts != 0 {
 		t.Errorf("occupancy %+v after release", info.Leases)
+	}
+
+	// Re-registering bumps the inventory epoch — the bump is how clients
+	// detect that any leases they held died with the old inventory.
+	registerPlatform(t, s, `{"generate": {"clusters": 16, "year": 2006, "seed": 3}}`)
+	w = do(s, http.MethodGet, "/v1/platform", "")
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 2 {
+		t.Errorf("generation %d after re-registration, want 2", info.Generation)
 	}
 }
 

@@ -564,6 +564,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"size_thresholds": len(g.Size.Models),
 		"heuristic_model": g.Heur != nil,
 		"uptime_seconds":  int64(time.Since(s.started).Seconds()),
+		// What the broker's store recovered at startup: all zero-valued
+		// (durable=false) when running on the in-memory store.
+		"store": s.brk.Recovery(),
 	})
 }
 

@@ -225,6 +225,14 @@ func TestHealthz(t *testing.T) {
 	if n, ok := h["size_thresholds"].(float64); !ok || n < 1 {
 		t.Errorf("size_thresholds = %v", h["size_thresholds"])
 	}
+	// The in-memory store reports no persistence and nothing recovered.
+	store, ok := h["store"].(map[string]any)
+	if !ok {
+		t.Fatalf("store = %v, want recovery object", h["store"])
+	}
+	if store["durable"] != false {
+		t.Errorf("store.durable = %v on the in-memory store, want false", store["durable"])
+	}
 }
 
 // TestGracefulShutdownDrains starts a real http.Server, parks a request
