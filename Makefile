@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race bench bench-smoke bench-json fuzz-smoke serve-smoke crash-smoke
+.PHONY: check vet build test race bench bench-smoke bench-json fuzz-smoke serve-smoke crash-smoke churn-smoke
 
 check: vet build race bench-smoke fuzz-smoke
 
@@ -55,3 +55,10 @@ serve-smoke:
 # assert the lease and inventory survived (and release still works).
 crash-smoke:
 	bash scripts/crash_smoke.sh
+
+# End-to-end churn: serve with the reconciler enabled, bind a lease, kill
+# its hosts via /v1/platform/events, and assert the transparent re-selection
+# down the spec ladder — including SIGKILL + restart on the same state
+# directory recovering the post-rebind lease.
+churn-smoke:
+	bash scripts/churn_smoke.sh

@@ -12,7 +12,9 @@
 //	PUT  /v1/platform {"generate": {...}} → register a synthetic inventory
 //	GET  /v1/platform inventory summary + lease occupancy (404 before PUT)
 //	POST /v1/select   closed-loop selection: spec ladder → select → lease → bind
-//	POST /v1/release  {"lease_id": "..."} → free a lease's hosts
+//	GET  /v1/select/{id}      session status: current lease, health, rebind history
+//	POST /v1/platform/events  {"events": [...]} → host churn / load / clock drift
+//	POST /v1/release  {"lease_id": "..."} → free a lease's hosts (reports rebinds)
 //	GET  /healthz     liveness + model provenance
 //	GET  /metrics     Prometheus text exposition (requests, latencies, caches,
 //	                  broker rung attempts, fallback depth, lease occupancy)
@@ -21,6 +23,14 @@
 // per-rung trace) when no rung of the specification ladder can be satisfied,
 // 503 while draining, and 504 on deadline; successes carry an
 // X-Fallback-Depth header (0 = the optimal specification was fulfilled).
+//
+// The continuous reconciler (on by default; tune with -reconcile-interval,
+// disable with 0) owns every lease handed out by /v1/select: it folds the
+// platform event stream into per-lease health monitors, probes clusters
+// whose queue waits exceed -probe-timeout, and when a lease's resources
+// stall it transparently re-selects down the specification ladder — the
+// client's lease ID keeps resolving via GET /v1/select/{id} while the hosts
+// underneath are swapped atomically.
 //
 // With -state-dir the broker's state (registered inventory, inventory
 // generation, host leases) persists across restarts in a write-ahead log
@@ -59,6 +69,7 @@ import (
 	"rsgen/internal/broker"
 	"rsgen/internal/broker/durable"
 	"rsgen/internal/obs"
+	"rsgen/internal/reconcile"
 	"rsgen/internal/service"
 )
 
@@ -83,6 +94,8 @@ func run(args []string) int {
 		leaseTTL    = fs.Duration("lease-ttl", 5*time.Minute, "default host-lease lifetime for /v1/select")
 		stateDir    = fs.String("state-dir", "", "directory for durable broker state (WAL + snapshots); empty serves from memory only")
 		leaseSweep  = fs.Duration("lease-sweep", 30*time.Second, "background lease-expiry sweep interval")
+		recEvery    = fs.Duration("reconcile-interval", 5*time.Second, "continuous-reconciler cycle period (0 disables the closed loop)")
+		probeWindow = fs.Duration("probe-timeout", time.Hour, "expected-progress window: clusters whose probed queue wait exceeds this are declared stalled and rebound around")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		debugAddr   = fs.String("debug-addr", "", "operator-only listen address for net/http/pprof, /debug/traces, /healthz and /metrics (e.g. 127.0.0.1:6060); never exposed on -addr")
 		logLevel    = fs.String("log-level", "info", "log verbosity: debug | info | warn | error")
@@ -131,7 +144,7 @@ func run(args []string) int {
 	// reach the server never races the replay.
 	var store broker.Store
 	if *stateDir != "" {
-		st, err := durable.Open(*stateDir, durable.Options{})
+		st, err := durable.Open(*stateDir, durable.Options{Logger: logger})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rsgend:", err)
 			return 1
@@ -164,6 +177,19 @@ func run(args []string) int {
 	}
 	stopSweeper := brk.StartSweeper(*leaseSweep)
 	defer stopSweeper()
+	var rec *reconcile.Reconciler
+	if *recEvery > 0 {
+		rec, err = reconcile.New(reconcile.Config{
+			Broker:      brk,
+			Interval:    *recEvery,
+			ProbeWindow: *probeWindow,
+			Logger:      logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsgend:", err)
+			return 1
+		}
+	}
 	srv, err := service.New(service.Config{
 		Generator:    gen,
 		MaxBodyBytes: *maxBody,
@@ -173,6 +199,7 @@ func run(args []string) int {
 		Workers:      *workers,
 		BaseCtx:      baseCtx,
 		Broker:       brk,
+		Reconciler:   rec,
 		Logger:       logger,
 		TraceEntries: *traceSize,
 		SlowRequest:  slowThreshold,
@@ -189,6 +216,14 @@ func run(args []string) int {
 	}
 	// Print the resolved address so scripts using :0 can find the port.
 	fmt.Fprintf(os.Stderr, "rsgend: listening on http://%s\n", ln.Addr())
+
+	var stopReconciler func()
+	if rec != nil {
+		// Start after service.New so cycles trace into the service tracer.
+		stopReconciler = rec.Start()
+		defer stopReconciler()
+		fmt.Fprintf(os.Stderr, "rsgend: reconciler running (interval %v, probe window %v)\n", *recEvery, *probeWindow)
+	}
 
 	if *debugAddr != "" {
 		// The pprof handlers live on their own mux and listener: they leak
@@ -218,10 +253,15 @@ func run(args []string) int {
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "rsgend: %v: draining (budget %v)\n", sig, *drain)
 		logger.Info("draining", "signal", sig.String(), "budget", drain.String())
-		// Stop admitting new selections first (also flips /healthz to 503
-		// and the rsgend_draining gauge to 1), then drain the HTTP layer
-		// (which waits for in-flight handlers, selections included), then
-		// wait out any selection still running off-handler.
+		// Shutdown order: stop the reconciler first so no cycle starts a
+		// rebind against a draining broker, then stop admitting new
+		// selections (also flips /healthz to 503 and the rsgend_draining
+		// gauge to 1), then drain the HTTP layer (which waits for in-flight
+		// handlers, selections included), then wait out any selection still
+		// running off-handler.
+		if stopReconciler != nil {
+			stopReconciler()
+		}
 		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()

@@ -93,6 +93,9 @@ var (
 	ErrNoInventory = errors.New("broker: no inventory registered")
 	// ErrDraining means the broker is shutting down and rejects new work.
 	ErrDraining = errors.New("broker: draining, not accepting selections")
+	// ErrLeaseGone means a rebind targeted a lease that is no longer held
+	// (released or expired): the swap is abandoned, never applied late.
+	ErrLeaseGone = errors.New("broker: lease no longer held")
 )
 
 // UnsatisfiableError reports that every rung of the ladder failed; Trace
@@ -135,6 +138,9 @@ type Broker struct {
 	drainMu  sync.Mutex
 	draining bool
 	inflight sync.WaitGroup
+
+	exclMu       sync.RWMutex
+	exclProvider func() map[platform.HostID]bool
 }
 
 // New validates the config and assembles a broker over the configured
@@ -251,6 +257,31 @@ func (b *Broker) Release(id string) bool {
 		b.metrics.releases.Add(1)
 	}
 	return ok
+}
+
+// Lease returns a copy of a live lease by ID; ok is false for unknown or
+// expired IDs.
+func (b *Broker) Lease(id string) (Lease, bool) { return b.store.Lookup(id, b.cfg.Now()) }
+
+// SetExclusionProvider registers a callback supplying externally diagnosed
+// stalled hosts (the reconciler's active exclusions). Every Select and
+// Rebind seeds its stalled mask from it, so new selections route around
+// clusters the closed loop has already declared dead instead of
+// rediscovering them one bind failure at a time.
+func (b *Broker) SetExclusionProvider(f func() map[platform.HostID]bool) {
+	b.exclMu.Lock()
+	b.exclProvider = f
+	b.exclMu.Unlock()
+}
+
+func (b *Broker) externalStalled() map[platform.HostID]bool {
+	b.exclMu.RLock()
+	f := b.exclProvider
+	b.exclMu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	return f()
 }
 
 // StartSweeper reclaims expired leases every interval until the returned
@@ -437,8 +468,12 @@ func (b *Broker) Select(ctx context.Context, req Request) (*Outcome, error) {
 	// stalled accumulates, per request, the hosts of clusters whose
 	// managers refused or stalled past the wait bound: the Chapter VII
 	// rebind loop routes every later attempt around them instead of
-	// re-selecting the same dead clusters.
+	// re-selecting the same dead clusters. It is seeded with the hosts the
+	// reconciler's exclusion provider already knows to be dead.
 	stalled := make(map[platform.HostID]bool)
+	for h := range b.externalStalled() {
+		stalled[h] = true
+	}
 	var trace []RungAttempt
 	for rung, sp := range ladder {
 		for _, sel := range sels {
@@ -570,6 +605,161 @@ func (b *Broker) tryRung(ctx context.Context, inv *inventory, rung int, sp *spec
 			Clusters:           countClusters(rc),
 			AvailableAtSeconds: binding.AvailableAt,
 		}, append(atts, att)
+	}
+}
+
+// Rebind transparently re-selects a live lease down its request's spec
+// ladder — the reconciler's path when a bound cluster is declared stalled.
+// It walks the same rung × backend lattice as Select, but instead of
+// acquiring a fresh lease it atomically swaps the old one (preserving its
+// expiry) once a replacement collection binds; the old lease stays intact
+// until that swap, so a failed rebind changes nothing. stalled is the
+// caller's exclusion set (typically the dead clusters' hosts) and is grown
+// in place as bind failures discover more stalled clusters. The error is
+// ErrLeaseGone when the lease was released or expired mid-rebind (the swap
+// is then abandoned, never applied late), ErrDraining, ErrNoInventory, the
+// context's error, or an *UnsatisfiableError carrying the full trace.
+func (b *Broker) Rebind(ctx context.Context, leaseID string, req Request, stalled map[platform.HostID]bool) (*Outcome, error) {
+	if !b.enter() {
+		return nil, ErrDraining
+	}
+	defer b.inflight.Done()
+
+	b.invMu.RLock()
+	inv := b.inv
+	b.invMu.RUnlock()
+	if inv == nil {
+		return nil, ErrNoInventory
+	}
+	if req.Dag == nil {
+		return nil, errors.New("broker: request has no dag")
+	}
+	sels, err := inv.selectorsFor(req.Backends)
+	if err != nil {
+		return nil, err
+	}
+	if _, held := b.store.Lookup(leaseID, b.cfg.Now()); !held {
+		return nil, fmt.Errorf("%w: %s", ErrLeaseGone, leaseID)
+	}
+
+	genCtx, genSpan := obs.StartSpan(ctx, "generate")
+	ladder, err := b.ladder(genCtx, req)
+	genSpan.SetDetail("rungs=%d", len(ladder))
+	genSpan.EndErr(err)
+	if err != nil {
+		return nil, err
+	}
+	maxWait := req.MaxBindWaitSeconds
+	if maxWait <= 0 {
+		maxWait = b.cfg.MaxBindWaitSeconds
+	}
+	if stalled == nil {
+		stalled = make(map[platform.HostID]bool)
+	}
+	for h := range b.externalStalled() {
+		stalled[h] = true
+	}
+
+	var trace []RungAttempt
+	for rung, sp := range ladder {
+		for _, sel := range sels {
+			out, atts, err := b.tryRebindRung(ctx, inv, rung, sp, sel, leaseID, maxWait, stalled)
+			trace = append(trace, atts...)
+			if err != nil {
+				return nil, err
+			}
+			if out != nil {
+				out.Trace = trace
+				return out, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nil, &UnsatisfiableError{Trace: trace}
+}
+
+// tryRebindRung is tryRung for a rebind: the lease's own hosts are removed
+// from the exclusion mask (they are candidates for the replacement), the
+// collection binds *before* the swap — binding is a stateless feasibility
+// check against the managers, so discarding it when the swap fails is free,
+// while swapping first would tear down the old lease for a collection the
+// managers then refuse — and the acquisition is an atomic Swap preserving
+// the old expiry. A non-nil error is terminal for the whole rebind
+// (ErrLeaseGone: the lease vanished mid-flight).
+func (b *Broker) tryRebindRung(ctx context.Context, inv *inventory, rung int, sp *spec.Specification, sel Selector, leaseID string, maxWait float64, stalled map[platform.HostID]bool) (*Outcome, []RungAttempt, error) {
+	var atts []RungAttempt
+	swapMisses := 0
+	for {
+		att := RungAttempt{Rung: rung, ClockGHz: sp.MaxClockGHz, RCSize: sp.RCSize, Backend: sel.Name()}
+		now := b.cfg.Now()
+		own, held := b.store.Lookup(leaseID, now)
+		if !held {
+			return nil, atts, fmt.Errorf("%w: %s", ErrLeaseGone, leaseID)
+		}
+		excluded := b.store.Leased(now)
+		for _, h := range own.Hosts {
+			delete(excluded, h)
+		}
+		for h := range stalled {
+			excluded[h] = true
+		}
+		_, selSpan := obs.StartSpan(ctx, "select")
+		selSpan.SetDetail("rung=%d backend=%s rebind=%s", rung, sel.Name(), leaseID)
+		rc, err := sel.Select(sp, excluded)
+		selSpan.EndErr(err)
+		if err != nil {
+			att.Stage, att.Err = StageSelect, err.Error()
+			b.metrics.rungAttempt(sel.Name(), StageSelect)
+			return nil, append(atts, att), nil
+		}
+		bindCtx, bindSpan := obs.StartSpan(ctx, "bind")
+		bindSpan.SetDetail("rung=%d backend=%s", rung, sel.Name())
+		binding, err := b.bindWithRetry(bindCtx, inv.grid, rc, maxWait)
+		bindSpan.EndErr(err)
+		if err != nil {
+			grew := b.markStalled(inv, rc, maxWait, stalled)
+			att.Stage, att.Err = StageBind, err.Error()
+			b.metrics.rungAttempt(sel.Name(), StageBind)
+			b.metrics.bindFailures.Add(1)
+			obs.LoggerFrom(ctx).Debug("rebind bind failed",
+				"lease_id", leaseID, "rung", rung, "backend", sel.Name(), "stalled_hosts", grew, "error", err)
+			atts = append(atts, att)
+			if grew > 0 && ctx.Err() == nil {
+				continue
+			}
+			return nil, atts, nil
+		}
+		_, swapSpan := obs.StartSpan(ctx, "swap")
+		swapSpan.SetDetail("old=%s rung=%d hosts=%d", leaseID, rung, len(rc.Hosts))
+		lease, err := b.store.Swap(leaseID, rc.Hosts, now, rung, sel.Name())
+		swapSpan.EndErr(err)
+		if err != nil {
+			att.Stage, att.Err = StageLease, err.Error()
+			b.metrics.rungAttempt(sel.Name(), StageLease)
+			atts = append(atts, att)
+			if errors.Is(err, ErrLeaseGone) {
+				return nil, atts, err
+			}
+			swapMisses++
+			if swapMisses >= b.cfg.LeaseAttempts {
+				return nil, atts, nil
+			}
+			continue // a concurrent session grabbed a candidate host: re-select
+		}
+		att.Stage = StageBound
+		att.BindWaitSeconds = binding.AvailableAt
+		b.metrics.rungAttempt(sel.Name(), StageBound)
+		return &Outcome{
+			Lease:              lease,
+			Rung:               rung,
+			Backend:            sel.Name(),
+			Spec:               sp,
+			RC:                 rc,
+			Clusters:           countClusters(rc),
+			AvailableAtSeconds: binding.AvailableAt,
+		}, append(atts, att), nil
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -40,6 +41,7 @@ import (
 	"time"
 
 	"rsgen/internal/broker"
+	"rsgen/internal/obs"
 	"rsgen/internal/platform"
 )
 
@@ -58,6 +60,7 @@ const (
 	opInventory = "inventory"
 	opAcquire   = "acquire"
 	opRelease   = "release"
+	opSwap      = "swap"
 )
 
 // walRecord is the JSON payload of one WAL record.
@@ -66,9 +69,9 @@ type walRecord struct {
 	// Generation and Inventory accompany opInventory.
 	Generation uint64                  `json:"generation,omitempty"`
 	Inventory  *broker.InventoryRecord `json:"inventory,omitempty"`
-	// Lease accompanies opAcquire.
+	// Lease accompanies opAcquire; for opSwap it is the replacement lease.
 	Lease *broker.Lease `json:"lease,omitempty"`
-	// LeaseID accompanies opRelease.
+	// LeaseID accompanies opRelease; for opSwap it is the replaced lease.
 	LeaseID string `json:"lease_id,omitempty"`
 }
 
@@ -95,6 +98,9 @@ type Options struct {
 	// Now is the clock used for recovery-time TTL expiry and compaction
 	// sweeps (tests); nil defaults to time.Now.
 	Now func() time.Time
+	// Logger receives durability warnings the store otherwise swallows
+	// (e.g. a release whose WAL append failed); nil discards them.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +109,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Now == nil {
 		o.Now = time.Now
+	}
+	if o.Logger == nil {
+		o.Logger = obs.Nop
 	}
 	return o
 }
@@ -267,6 +276,13 @@ func (s *Store) apply(rec *walRecord) {
 		s.mem.BumpNextID(leaseSeq(rec.Lease.ID))
 	case opRelease:
 		s.mem.RestoreRelease(rec.LeaseID)
+	case opSwap:
+		if rec.Lease == nil {
+			return
+		}
+		s.mem.RestoreRelease(rec.LeaseID)
+		s.mem.RestoreLease(rec.Lease)
+		s.mem.BumpNextID(leaseSeq(rec.Lease.ID))
 	}
 	// Unknown ops are skipped: an older binary replaying a newer log keeps
 	// the records it understands.
@@ -449,16 +465,45 @@ func (s *Store) Acquire(hosts []platform.Host, ttl time.Duration, now time.Time,
 
 // Release frees the lease in memory and journals the release best-effort:
 // an unpersisted release resurrects the lease after a crash until its TTL
-// passes — conservative (the hosts stay masked longer), never unsafe.
+// passes — conservative (the hosts stay masked longer), never unsafe. A
+// swallowed failure is still a durability signal, so it counts in its own
+// series and warns with the lease ID (append already counted the raw error).
 func (s *Store) Release(id string, now time.Time) bool {
 	ok := s.mem.Release(id, now)
 	if ok {
 		if err := s.append(&walRecord{Op: opRelease, LeaseID: id}); err != nil {
-			s.met.appendErrors.Inc()
+			s.met.walSwallowed.Inc()
+			s.opts.Logger.Warn("wal append failed on release; the lease will resurrect after a crash until its TTL passes",
+				"lease_id", id, "error", err)
 		}
 	}
 	return ok
 }
+
+// Swap replaces a lease in memory, then journals old and new as one opSwap
+// record: recovery replays either the whole swap or none of it, so the
+// durable state never holds both leases or neither. A journal failure rolls
+// the swap back — the caller keeps the old lease, exactly as if the rebind
+// never happened.
+func (s *Store) Swap(oldID string, hosts []platform.Host, now time.Time, rung int, backend string) (*broker.Lease, error) {
+	old, held := s.mem.Lookup(oldID, now)
+	if !held {
+		return nil, fmt.Errorf("%w: %s", broker.ErrLeaseGone, oldID)
+	}
+	l, err := s.mem.Swap(oldID, hosts, now, rung, backend)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.append(&walRecord{Op: opSwap, LeaseID: oldID, Lease: l}); err != nil {
+		s.mem.RestoreRelease(l.ID)
+		s.mem.RestoreLease(&old)
+		return nil, err
+	}
+	return l, nil
+}
+
+// Lookup returns a copy of a live lease.
+func (s *Store) Lookup(id string, now time.Time) (broker.Lease, bool) { return s.mem.Lookup(id, now) }
 
 // Sweep reclaims expired leases. Expiry is never journaled: lease
 // deadlines are absolute, so recovery re-derives every expiry against the

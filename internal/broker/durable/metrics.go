@@ -16,6 +16,7 @@ type metrics struct {
 	walRecords    *obs.Counter
 	walBytes      *obs.Counter
 	appendErrors  *obs.Counter
+	walSwallowed  *obs.Counter
 
 	snapshotSeconds *obs.Histogram
 	snapshotBytes   *obs.Gauge
@@ -37,6 +38,10 @@ func newMetrics() *metrics {
 		walRecords:    reg.Counter("rsgend_store_wal_records_total"),
 		walBytes:      reg.Counter("rsgend_store_wal_bytes_total"),
 		appendErrors:  reg.Counter("rsgend_store_wal_append_errors_total"),
+		// Append failures the mutation path deliberately survives (a release
+		// kept only in memory): zero on a healthy disk, and the signal that
+		// leases will resurrect after the next crash when it moves.
+		walSwallowed: reg.Counter("rsgend_store_wal_swallowed_errors_total"),
 
 		snapshotSeconds: reg.Histogram("rsgend_store_snapshot_seconds", obs.DefBuckets),
 		snapshotBytes:   reg.Gauge("rsgend_store_snapshot_bytes"),

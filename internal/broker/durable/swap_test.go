@@ -1,0 +1,130 @@
+package durable
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSwapSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	rec, p := testInventory()
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	s := open(t, dir, func() time.Time { return t0 })
+	if _, err := s.RegisterInventory(rec, t0); err != nil {
+		t.Fatalf("RegisterInventory: %v", err)
+	}
+	old, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	nu, err := s.Swap(old.ID, p.Hosts[2:5], t0, 1, "classad")
+	if err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if !nu.Expires.Equal(old.Expires) {
+		t.Fatalf("swap expiry %v, want the original %v", nu.Expires, old.Expires)
+	}
+	crash(s)
+
+	// Recovery must land on the post-swap state only: the replaced lease
+	// gone, the replacement holding exactly its hosts, and the ID allocator
+	// past the replacement so fresh leases don't collide.
+	s2 := open(t, dir, func() time.Time { return t0.Add(time.Minute) })
+	defer s2.Close()
+	if _, held := s2.Lookup(old.ID, t0); held {
+		t.Error("replaced lease resurrected across the crash")
+	}
+	got, held := s2.Lookup(nu.ID, t0)
+	if !held {
+		t.Fatal("replacement lease lost across the crash")
+	}
+	if !got.Expires.Equal(old.Expires) || got.Rung != 1 || got.Backend != "classad" {
+		t.Errorf("recovered lease %+v, want rung 1 via classad expiring %v", got, old.Expires)
+	}
+	if _, err := s2.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl"); err != nil {
+		t.Errorf("hosts freed by the swap are still masked after recovery: %v", err)
+	}
+	if _, err := s2.Acquire(p.Hosts[3:4], time.Hour, t0, 0, "vgdl"); err == nil {
+		t.Error("a replacement-held host was acquirable after recovery")
+	}
+	l3, err := s2.Acquire(p.Hosts[5:6], time.Hour, t0, 0, "vgdl")
+	if err != nil {
+		t.Fatalf("Acquire after recovery: %v", err)
+	}
+	if l3.ID == old.ID || l3.ID == nu.ID {
+		t.Errorf("recovered allocator reissued lease ID %s", l3.ID)
+	}
+}
+
+func TestSwapWALFailureRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	rec, p := testInventory()
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	s := open(t, dir, func() time.Time { return t0 })
+	defer func() { _ = s }()
+	if _, err := s.RegisterInventory(rec, t0); err != nil {
+		t.Fatalf("RegisterInventory: %v", err)
+	}
+	old, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	// Fail the journal out from under the swap: the caller must keep the
+	// old lease exactly as if the rebind never happened.
+	s.wal.Close()
+	if _, err := s.Swap(old.ID, p.Hosts[2:4], t0, 1, "vgdl"); err == nil {
+		t.Fatal("Swap succeeded with a dead WAL")
+	}
+	got, held := s.Lookup(old.ID, t0)
+	if !held || len(got.Hosts) != 2 {
+		t.Fatalf("old lease %+v not restored after failed swap", got)
+	}
+}
+
+func TestSwallowedReleaseWALErrorIsCounted(t *testing.T) {
+	dir := t.TempDir()
+	rec, p := testInventory()
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	var logBuf bytes.Buffer
+	s, err := Open(dir, Options{
+		NoSync: true,
+		Now:    func() time.Time { return t0 },
+		Logger: slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := s.RegisterInventory(rec, t0); err != nil {
+		t.Fatalf("RegisterInventory: %v", err)
+	}
+	l, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	// Kill the WAL file handle: the release still succeeds in memory, but
+	// the swallowed journal failure must be observable — its own counter
+	// plus a warning naming the lease.
+	s.wal.Close()
+	if !s.Release(l.ID, t0) {
+		t.Fatal("Release failed outright; it must swallow the WAL error")
+	}
+	if got := s.met.walSwallowed.Load(); got != 1 {
+		t.Errorf("walSwallowed = %d, want 1", got)
+	}
+	if got := s.met.appendErrors.Load(); got != 1 {
+		t.Errorf("appendErrors = %d, want 1 (no double count)", got)
+	}
+	log := logBuf.String()
+	if !strings.Contains(log, l.ID) || !strings.Contains(log, "resurrect") {
+		t.Errorf("swallowed-error warning %q does not name lease %s", log, l.ID)
+	}
+	var exp bytes.Buffer
+	s.MetricsRegistry().Expose(&exp)
+	if !strings.Contains(exp.String(), "rsgend_store_wal_swallowed_errors_total 1") {
+		t.Errorf("exposition missing swallowed-errors series:\n%s", exp.String())
+	}
+}

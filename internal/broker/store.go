@@ -93,6 +93,18 @@ type Store interface {
 	Acquire(hosts []platform.Host, ttl time.Duration, now time.Time, rung int, backend string) (*Lease, error)
 	// Release frees a lease's hosts; false for unknown or expired IDs.
 	Release(id string, now time.Time) bool
+	// Swap atomically replaces lease oldID with a fresh lease over hosts,
+	// preserving oldID's expiry deadline (a transparent rebind must not
+	// extend the client's TTL). It fails with ErrLeaseGone when oldID is no
+	// longer held (released or expired — a gone lease is never resurrected)
+	// and with a conflict error when a new host is held by another lease;
+	// either way the old lease is untouched on failure. Durable stores
+	// journal the swap as one record so recovery sees the old lease or the
+	// new one, never both and never neither.
+	Swap(oldID string, hosts []platform.Host, now time.Time, rung int, backend string) (*Lease, error)
+	// Lookup returns a copy of a live lease; ok is false for unknown or
+	// expired IDs.
+	Lookup(id string, now time.Time) (Lease, bool)
 	// Sweep reclaims expired leases, returning the total ever expired.
 	Sweep(now time.Time) uint64
 	// Leased returns the currently leased host set (the selection mask).
@@ -232,6 +244,56 @@ func (s *MemStore) Release(id string, now time.Time) bool {
 	defer s.mu.Unlock()
 	s.sweepLocked(now)
 	return s.releaseLocked(id)
+}
+
+// Swap atomically replaces lease oldID with a fresh lease over hosts. The
+// new lease inherits the old deadline; on any failure the old lease remains
+// exactly as it was.
+func (s *MemStore) Swap(oldID string, hosts []platform.Host, now time.Time, rung int, backend string) (*Lease, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked(now)
+	old, ok := s.byID[oldID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrLeaseGone, oldID)
+	}
+	s.releaseLocked(oldID)
+	for _, h := range hosts {
+		if holder, ok := s.byHost[h.ID]; ok {
+			s.restoreLeaseLocked(old)
+			return nil, fmt.Errorf("broker: host %d already leased by %s", h.ID, holder)
+		}
+	}
+	s.nextID++
+	l := &Lease{
+		ID:      fmt.Sprintf("lease-%08d", s.nextID),
+		Hosts:   make([]platform.HostID, len(hosts)),
+		Expires: old.Expires,
+		Rung:    rung,
+		Backend: backend,
+	}
+	for i, h := range hosts {
+		l.Hosts[i] = h.ID
+		s.byHost[h.ID] = l.ID
+	}
+	sort.Slice(l.Hosts, func(i, j int) bool { return l.Hosts[i] < l.Hosts[j] })
+	s.byID[l.ID] = l
+	return l, nil
+}
+
+// Lookup returns a copy of a live lease (the hosts slice is cloned so
+// callers can hold it without racing the table).
+func (s *MemStore) Lookup(id string, now time.Time) (Lease, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked(now)
+	l, ok := s.byID[id]
+	if !ok {
+		return Lease{}, false
+	}
+	cp := *l
+	cp.Hosts = append([]platform.HostID(nil), l.Hosts...)
+	return cp, true
 }
 
 func (s *MemStore) releaseLocked(id string) bool {

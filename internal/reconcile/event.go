@@ -1,0 +1,113 @@
+package reconcile
+
+import (
+	"fmt"
+
+	"rsgen/internal/platform"
+	"rsgen/internal/xrand"
+)
+
+// Event types of the platform event stream (POST /v1/platform/events).
+const (
+	// EventLeave marks one host unreachable; EventJoin brings it back with
+	// nominal load and clock.
+	EventLeave = "leave"
+	EventJoin  = "join"
+	// EventLoad reports external (non-application) load on a host.
+	EventLoad = "load"
+	// EventClock reports the delivered clock of a host (drift, throttling).
+	EventClock = "clock"
+	// EventClusterLeave and EventClusterJoin apply leave/join to every host
+	// of a cluster — the "kill a cluster" form the churn smoke test uses.
+	EventClusterLeave = "cluster_leave"
+	EventClusterJoin  = "cluster_join"
+)
+
+// Event is one platform observation: a host (or whole cluster) joining,
+// leaving, or deviating from its nominal load or clock. It is the wire form
+// of the event endpoint and the unit the reconciler folds into per-lease
+// monitors.
+type Event struct {
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Host identifies the host for leave/join/load/clock events.
+	Host platform.HostID `json:"host,omitempty"`
+	// Cluster identifies the cluster for cluster_leave/cluster_join.
+	Cluster int `json:"cluster,omitempty"`
+	// Load accompanies EventLoad (external load average, ≥ 0).
+	Load float64 `json:"load,omitempty"`
+	// ClockGHz accompanies EventClock (delivered clock, > 0).
+	ClockGHz float64 `json:"clock_ghz,omitempty"`
+}
+
+// Validate checks an event against the registered platform so the handler
+// can 400 malformed reports before they reach the reconciler.
+func (e Event) Validate(p *platform.Platform) error {
+	switch e.Type {
+	case EventLeave, EventJoin:
+		if int(e.Host) < 0 || int(e.Host) >= p.NumHosts() {
+			return fmt.Errorf("host %d outside [0, %d)", e.Host, p.NumHosts())
+		}
+	case EventLoad:
+		if int(e.Host) < 0 || int(e.Host) >= p.NumHosts() {
+			return fmt.Errorf("host %d outside [0, %d)", e.Host, p.NumHosts())
+		}
+		if e.Load < 0 {
+			return fmt.Errorf("load %v < 0", e.Load)
+		}
+	case EventClock:
+		if int(e.Host) < 0 || int(e.Host) >= p.NumHosts() {
+			return fmt.Errorf("host %d outside [0, %d)", e.Host, p.NumHosts())
+		}
+		if e.ClockGHz <= 0 {
+			return fmt.Errorf("clock_ghz %v <= 0", e.ClockGHz)
+		}
+	case EventClusterLeave, EventClusterJoin:
+		if e.Cluster < 0 || e.Cluster >= len(p.Clusters) {
+			return fmt.Errorf("cluster %d outside [0, %d)", e.Cluster, len(p.Clusters))
+		}
+	case "":
+		return fmt.Errorf("event has no type")
+	default:
+		return fmt.Errorf("unknown event type %q", e.Type)
+	}
+	return nil
+}
+
+// Churn is a deterministic synthetic platform event source: hosts leave,
+// rejoin, pick up external load, and drift their clocks at fixed
+// per-draw probabilities — the dynamic-resource workload the reconciler is
+// built for, reproducible from a seed for tests and load generation.
+type Churn struct {
+	p   *platform.Platform
+	rng *xrand.RNG
+}
+
+// NewChurn builds a churn source over the platform; equal seeds yield equal
+// event streams.
+func NewChurn(p *platform.Platform, seed uint64) *Churn {
+	return &Churn{p: p, rng: xrand.New(seed)}
+}
+
+// Tick draws n events. The mix is 25% leave, 25% join (so the down
+// population stays roughly stable), 30% load reports (Exp with mean 0.5 —
+// most below the 0.3 dedicated-access ceiling, a tail above it), and 20%
+// clock drift (uniform between half and full nominal clock).
+func (c *Churn) Tick(n int) []Event {
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		h := platform.HostID(c.rng.Intn(c.p.NumHosts()))
+		switch roll := c.rng.Float64(); {
+		case roll < 0.25:
+			out = append(out, Event{Type: EventLeave, Host: h})
+		case roll < 0.50:
+			out = append(out, Event{Type: EventJoin, Host: h})
+		case roll < 0.80:
+			out = append(out, Event{Type: EventLoad, Host: h, Load: c.rng.Exp(0.5)})
+		default:
+			nominal := c.p.Host(h).ClockGHz
+			out = append(out, Event{Type: EventClock, Host: h, ClockGHz: c.rng.Uniform(nominal/2, nominal)})
+		}
+	}
+	return out
+}

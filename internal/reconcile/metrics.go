@@ -1,0 +1,79 @@
+package reconcile
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"rsgen/internal/obs"
+)
+
+// metrics is the rsgend_reconcile_* family set. Like the durable store's
+// families it lives on its own registry, mounted into the service scrape
+// only when a reconciler is actually configured — a server running without
+// one keeps its exposition unchanged.
+type metrics struct {
+	reg *obs.Registry
+
+	cycles       *obs.Counter
+	cycleSeconds *obs.Histogram
+	events       *obs.CounterVec
+	dropped      *obs.Counter
+	probes       *obs.Counter
+	stalled      *obs.Counter
+	exclusions   *obs.Counter
+	rebinds      *obs.Counter
+	rebindFails  *obs.Counter
+	ended        *obs.CounterVec
+
+	mu          sync.Mutex
+	rebindDepth map[int]uint64
+}
+
+func newMetrics(activeExclusions, trackedSessions func() int64) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg, rebindDepth: make(map[int]uint64)}
+	m.cycles = reg.Counter("rsgend_reconcile_cycles_total")
+	m.cycleSeconds = reg.Histogram("rsgend_reconcile_cycle_seconds", obs.DefBuckets)
+	m.events = reg.CounterVec("rsgend_reconcile_events_total", "type")
+	m.dropped = reg.Counter("rsgend_reconcile_events_dropped_total")
+	m.probes = reg.Counter("rsgend_reconcile_probes_total")
+	m.stalled = reg.Counter("rsgend_reconcile_stalled_clusters_total")
+	m.exclusions = reg.Counter("rsgend_reconcile_exclusions_total")
+	reg.IntGaugeFunc("rsgend_reconcile_active_exclusions", activeExclusions)
+	m.rebinds = reg.Counter("rsgend_reconcile_rebinds_total")
+	m.rebindFails = reg.Counter("rsgend_reconcile_rebind_failures_total")
+	// Ladder depth each transparent rebind landed on: a drifting distribution
+	// is the platform degrading faster than leases are released.
+	reg.Func("rsgend_reconcile_rebind_depth_total", "counter", m.depthSamples)
+	m.ended = reg.CounterVec("rsgend_reconcile_sessions_ended_total", "reason")
+	reg.IntGaugeFunc("rsgend_reconcile_tracked_sessions", trackedSessions)
+	return m
+}
+
+func (m *metrics) observeDepth(rung int) {
+	m.mu.Lock()
+	m.rebindDepth[rung]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) depthSamples() []obs.Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	depths := make([]int, 0, len(m.rebindDepth))
+	for d := range m.rebindDepth {
+		depths = append(depths, d)
+	}
+	sort.Ints(depths)
+	out := make([]obs.Sample, 0, len(depths))
+	for _, d := range depths {
+		out = append(out, obs.Sample{
+			Labels: `{depth="` + strconv.Itoa(d) + `"}`,
+			Value:  obs.FormatFloat(float64(m.rebindDepth[d])),
+		})
+	}
+	return out
+}
+
+// Registry exposes the rsgend_reconcile_* families for the service to mount.
+func (r *Reconciler) Registry() *obs.Registry { return r.met.reg }

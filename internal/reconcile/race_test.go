@@ -1,0 +1,191 @@
+package reconcile_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"rsgen/internal/bind"
+	"rsgen/internal/broker"
+	"rsgen/internal/broker/durable"
+	"rsgen/internal/platform"
+	"rsgen/internal/reconcile"
+	"rsgen/internal/xrand"
+)
+
+// TestSweeperReconcilerNoDoubleRelease drives the sweeper, the reconciler
+// loop, concurrent selectors, a churn generator, and a releaser against one
+// durable store at aggressive intervals. Under -race this shakes out unlocked
+// state; the invariant checks guarantee no lease is double-released (the
+// accounting would go negative or a freed host would stay masked) and no
+// released or expired lease resurrects — including across a durable-store
+// restart, which must recover the post-rebind lease, not its predecessor.
+func TestSweeperReconcilerNoDoubleRelease(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := durable.Open(dir, durable.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("durable.Open: %v", err)
+	}
+	gen, err := testGenerator()
+	if err != nil {
+		t.Fatalf("training test generator: %v", err)
+	}
+	b, err := broker.New(broker.Config{
+		Generator: gen,
+		Store:     ds,
+		LeaseTTL:  60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("broker.New: %v", err)
+	}
+	p := platform.MustGenerate(platform.GenSpec{Clusters: 16, Year: 2006}, xrand.New(3))
+	if err := b.RegisterInventory(p, bind.DedicatedGrid(p)); err != nil {
+		t.Fatalf("RegisterInventory: %v", err)
+	}
+	r, err := reconcile.New(reconcile.Config{
+		Broker:       b,
+		Interval:     2 * time.Millisecond,
+		ExclusionTTL: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("reconcile.New: %v", err)
+	}
+	stopSweep := b.StartSweeper(3 * time.Millisecond)
+	stopRec := r.Start()
+
+	// Build the request once: t.Fatalf must not fire inside worker
+	// goroutines, and the DAG is read-only so sharing it is safe.
+	req := ladderReq(t)
+
+	var (
+		mu      sync.Mutex
+		origins []string
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				// Failures are expected here: churn downs hosts and
+				// short leases race the sweeper. Only successful binds
+				// join the origin set.
+				out, err := b.Select(context.Background(), req)
+				if err == nil {
+					r.Track(out, req)
+					mu.Lock()
+					origins = append(origins, out.Lease.ID)
+					mu.Unlock()
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		churn := reconcile.NewChurn(p, 11)
+		for i := 0; i < 50; i++ {
+			r.Ingest(churn.Tick(10))
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			mu.Lock()
+			var id string
+			if len(origins) > 0 {
+				id = origins[i%len(origins)]
+			}
+			mu.Unlock()
+			if id != "" {
+				// Releasing twice in a row must be as safe as once.
+				r.Release(id)
+				r.Release(id)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	stopRec()
+	stopSweep()
+
+	// Drain: release every origin (idempotent even when the releaser or the
+	// sweeper got there first), then outwait the lease TTL so expired
+	// stragglers sweep out of the stats.
+	mu.Lock()
+	all := append([]string(nil), origins...)
+	mu.Unlock()
+	for _, id := range all {
+		r.Release(id)
+	}
+	time.Sleep(120 * time.Millisecond)
+	if st := b.LeaseStats(); st.ActiveLeases != 0 || st.LeasedHosts != 0 {
+		t.Fatalf("lease stats %+v after full drain, want everything free", st)
+	}
+	for _, id := range all {
+		sess, ok := r.Status(id)
+		if !ok {
+			continue // pruned from the retired ring — nothing to resurrect
+		}
+		if _, held := b.Lease(sess.CurrentLeaseID); held {
+			t.Errorf("session %s (status %s) resurrected lease %s", id, sess.Status, sess.CurrentLeaseID)
+		}
+	}
+
+	// Restart phase: heal the platform, bind one long-lived session, rebind
+	// it off its clusters, then bounce the store. Recovery must land on the
+	// post-rebind lease only.
+	heal := make([]reconcile.Event, len(p.Clusters))
+	for i, c := range p.Clusters {
+		heal[i] = reconcile.Event{Type: reconcile.EventClusterJoin, Cluster: c.ID}
+	}
+	r.Ingest(heal)
+	r.Cycle(context.Background())
+	time.Sleep(60 * time.Millisecond) // let the churn-era exclusions lapse
+	r.Cycle(context.Background())
+
+	longReq := req
+	longReq.TTL = time.Hour
+	out, err := b.Select(context.Background(), longReq)
+	if err != nil {
+		t.Fatalf("post-heal Select: %v", err)
+	}
+	if out.Rung != 0 {
+		t.Fatalf("post-heal selection landed on rung %d, want the optimal", out.Rung)
+	}
+	r.Track(out, longReq)
+	origin := out.Lease.ID
+	var kill []reconcile.Event
+	for _, c := range p.Clusters {
+		if c.ClockGHz >= 3.0 {
+			kill = append(kill, reconcile.Event{Type: reconcile.EventClusterLeave, Cluster: c.ID})
+		}
+	}
+	r.Ingest(kill)
+	r.Cycle(context.Background())
+	sess, ok := r.Status(origin)
+	if !ok || sess.Status != reconcile.StatusRebound {
+		t.Fatalf("session %+v, want a rebound session to carry across the restart", sess)
+	}
+	current := sess.CurrentLeaseID
+
+	if err := ds.Close(); err != nil {
+		t.Fatalf("closing store: %v", err)
+	}
+	ds2, err := durable.Open(dir, durable.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("reopening store: %v", err)
+	}
+	defer ds2.Close()
+	now := time.Now()
+	if _, held := ds2.Lookup(origin, now); held {
+		t.Errorf("pre-rebind lease %s resurrected across the restart", origin)
+	}
+	if _, held := ds2.Lookup(current, now); !held {
+		t.Errorf("post-rebind lease %s lost across the restart", current)
+	}
+}

@@ -133,7 +133,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	o := req.Options
-	out, err := s.brk.Select(ctx, broker.Request{
+	breq := broker.Request{
 		Dag: d,
 		Options: spec.Options{
 			Threshold:              o.Threshold,
@@ -150,7 +150,8 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		Backends:             req.Backends,
 		TTL:                  time.Duration(req.TTLSeconds * float64(time.Second)),
 		MaxBindWaitSeconds:   req.MaxBindWaitSeconds,
-	})
+	}
+	out, err := s.brk.Select(ctx, breq)
 	if err != nil {
 		var unsat *broker.UnsatisfiableError
 		switch {
@@ -179,6 +180,9 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Hand the outcome (with its originating request) to the reconciler so
+	// the closed loop owns this lease's lifetime from here on.
+	s.rec.Track(out, breq)
 	w.Header().Set("X-Fallback-Depth", fmt.Sprintf("%d", out.Rung))
 	writeJSON(w, http.StatusOK, SelectResponse{
 		LeaseID:            out.Lease.ID,
@@ -213,11 +217,29 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "request has no lease_id")
 		return
 	}
+	// Tracked sessions release through the reconciler: the client's handle
+	// may point at a lease that was transparently swapped, so the current
+	// lease is the one to free, and the response says whether that happened.
+	if s.rec != nil {
+		if rr := s.rec.Release(req.LeaseID); rr.Found {
+			if !rr.Released {
+				writeError(w, http.StatusNotFound, "unknown or expired lease %q", req.LeaseID)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{
+				"released": true,
+				"lease_id": req.LeaseID,
+				"rebound":  rr.Rebound,
+				"rebinds":  rr.Rebinds,
+			})
+			return
+		}
+	}
 	if !s.brk.Release(req.LeaseID) {
 		writeError(w, http.StatusNotFound, "unknown or expired lease %q", req.LeaseID)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"released": true, "lease_id": req.LeaseID})
+	writeJSON(w, http.StatusOK, map[string]any{"released": true, "lease_id": req.LeaseID, "rebound": false})
 }
 
 // PlatformRequest is the PUT /v1/platform body: generate a synthetic

@@ -46,6 +46,7 @@ import (
 	"rsgen/internal/dag"
 	"rsgen/internal/knee"
 	"rsgen/internal/obs"
+	"rsgen/internal/reconcile"
 	"rsgen/internal/sched"
 	"rsgen/internal/spec"
 )
@@ -79,6 +80,11 @@ type Config struct {
 	// builds one with default lease/bind settings over the same Generator
 	// and Workers.
 	Broker *broker.Broker
+	// Reconciler, when set, enables the continuous reconciliation loop:
+	// POST /v1/platform/events ingestion, GET /v1/select/{id} session
+	// status, transparent rebinds reported on release, and the
+	// rsgend_reconcile_* metric families. It must wrap the same broker.
+	Reconciler *reconcile.Reconciler
 	// Logger receives the service's structured logs (request logs at debug,
 	// slow-request warnings); nil discards them.
 	Logger *slog.Logger
@@ -127,6 +133,7 @@ type Server struct {
 	ring     *obs.Ring
 	tracer   *obs.Tracer
 	brk      *broker.Broker
+	rec      *reconcile.Reconciler
 	sem      chan struct{}
 	started  time.Time
 	draining atomic.Bool
@@ -163,12 +170,18 @@ func New(cfg Config) (*Server, error) {
 		reg:     reg,
 		ring:    obs.NewRing(cfg.TraceEntries),
 		brk:     brk,
+		rec:     cfg.Reconciler,
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		started: time.Now(),
 	}
 	// The broker's families mount after the service+eval prefix, preserving
 	// the pre-registry scrape layout; the genuinely new families go last.
 	reg.Mount(brk.Registry())
+	if s.rec != nil {
+		// rsgend_reconcile_* appears in the scrape only when the loop is
+		// actually configured, mirroring the durable-store families.
+		reg.Mount(s.rec.Registry())
+	}
 	m.stage = reg.HistogramVec("rsgend_stage_duration_seconds", obs.DefBuckets, "stage")
 	reg.IntGaugeFunc("rsgend_draining", func() int64 {
 		if s.draining.Load() {
@@ -183,11 +196,18 @@ func New(cfg Config) (*Server, error) {
 		Logger:        cfg.Logger,
 		SlowThreshold: cfg.SlowRequest,
 	}
+	if s.rec != nil {
+		// Reconcile cycles trace into the same ring and stage histograms
+		// as requests.
+		s.rec.SetTracer(s.tracer)
+	}
 	s.mux.HandleFunc("POST /v1/spec", s.handleSpec)
 	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
+	s.mux.HandleFunc("GET /v1/select/{id}", s.handleSelectStatus)
 	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
 	s.mux.HandleFunc("PUT /v1/platform", s.handlePlatformPut)
 	s.mux.HandleFunc("GET /v1/platform", s.handlePlatformGet)
+	s.mux.HandleFunc("POST /v1/platform/events", s.handlePlatformEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -225,8 +245,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // whitelisted too: DebugMux routes its traffic through the same accounting.
 func metricPath(p string) string {
 	switch p {
-	case "/v1/spec", "/v1/select", "/v1/release", "/v1/platform", "/healthz", "/metrics", "/debug/traces":
+	case "/v1/spec", "/v1/select", "/v1/release", "/v1/platform",
+		"/v1/platform/events", "/healthz", "/metrics", "/debug/traces":
 		return p
+	}
+	if strings.HasPrefix(p, "/v1/select/") {
+		return "/v1/select/{id}"
 	}
 	if strings.HasPrefix(p, "/debug/pprof") {
 		return "/debug/pprof"
@@ -559,7 +583,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g := s.cfg.Generator
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := s.brk.LeaseStats()
+	body := map[string]any{
 		"status":          "ok",
 		"size_thresholds": len(g.Size.Models),
 		"heuristic_model": g.Heur != nil,
@@ -567,7 +592,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// What the broker's store recovered at startup: all zero-valued
 		// (durable=false) when running on the in-memory store.
 		"store": s.brk.Recovery(),
-	})
+		"leases": map[string]any{
+			"active_leases": stats.ActiveLeases,
+			"leased_hosts":  stats.LeasedHosts,
+		},
+	}
+	if s.rec != nil {
+		body["reconcile"] = map[string]any{
+			"active_exclusions": s.rec.ActiveExclusions(),
+			"tracked_sessions":  s.rec.SessionCount(),
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics is GET /metrics: the unified registry's Prometheus text

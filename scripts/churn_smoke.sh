@@ -1,0 +1,245 @@
+#!/usr/bin/env bash
+# churn_smoke.sh — end-to-end churn smoke test for rsgend's continuous
+# reconciler (-reconcile-interval).
+#
+# Starts rsgend with a state directory and the reconciler enabled, registers
+# a generated inventory, binds a lease via /v1/select, then kills every host
+# under that lease through POST /v1/platform/events. The reconciler must
+# notice within a few cycles and transparently re-select down the spec
+# ladder: GET /v1/select/{id} flips to "rebound" with a new current lease at
+# fallback depth >= 1, /healthz reports the cluster exclusion, /metrics
+# counts the rebind, and /debug/traces holds "reconcile" cycle traces.
+# Finally SIGKILLs the server and restarts it on the same state directory:
+# recovery must come back with the *post*-rebind lease — the original lease
+# ID is gone for good — and releasing the current ID must free the hosts.
+#
+# Run from the repository root (make churn-smoke does this for you).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TESTDATA="$ROOT/cmd/rsgend/testdata"
+WORK="$(mktemp -d)"
+STATE="$WORK/state"
+SRV_PID=""
+
+cleanup() {
+    if [[ -n "$SRV_PID" ]] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill -KILL "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# start LOGFILE — launch rsgend with the reconciler against $STATE and set
+# ADDR/DEBUG_ADDR/SRV_PID.
+start() {
+    local log="$1"
+    "$WORK/rsgend" -models "$WORK/models.json" -addr 127.0.0.1:0 \
+        -state-dir "$STATE" -reconcile-interval 200ms -probe-timeout 5s \
+        -debug-addr 127.0.0.1:0 2>"$log" &
+    SRV_PID=$!
+    ADDR=""
+    DEBUG_ADDR=""
+    for _ in $(seq 1 50); do
+        ADDR="$(sed -n 's#.*listening on http://##p' "$log" | head -n1)"
+        DEBUG_ADDR="$(sed -n 's#.*debug endpoints (pprof) on http://\([^/]*\)/.*#\1#p' "$log" | head -n1)"
+        [[ -n "$ADDR" && -n "$DEBUG_ADDR" ]] && break
+        if ! kill -0 "$SRV_PID" 2>/dev/null; then
+            echo "churn-smoke: FAIL — server exited before binding" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [[ -z "$ADDR" || -z "$DEBUG_ADDR" ]]; then
+        echo "churn-smoke: FAIL — server never reported its addresses" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    grep -q "reconciler running" "$log" || {
+        echo "churn-smoke: FAIL — server did not start the reconciler" >&2
+        cat "$log" >&2
+        exit 1
+    }
+}
+
+echo "churn-smoke: building rsgend"
+go build -o "$WORK/rsgend" "$ROOT/cmd/rsgend"
+
+echo "churn-smoke: training smoke-scale models"
+"$WORK/rsgend" -train -models "$WORK/models.json" -scale smoke -seed 1
+
+echo "churn-smoke: starting rsgend with the reconciler on $STATE"
+start "$WORK/serve1.log"
+echo "churn-smoke: server up at $ADDR (debug $DEBUG_ADDR)"
+
+echo "churn-smoke: registering a 2003-era inventory"
+curl -sS -X PUT -d '{"generate": {"clusters": 24, "year": 2003, "seed": 7}}' \
+    "http://$ADDR/v1/platform" -o "$WORK/platform.json"
+jq -e '.clusters == 24' "$WORK/platform.json" >/dev/null || {
+    echo "churn-smoke: FAIL — unexpected PUT /v1/platform response:" >&2
+    cat "$WORK/platform.json" >&2
+    exit 1
+}
+
+echo "churn-smoke: binding a lease via /v1/select"
+curl -sS -X POST --data-binary "@$TESTDATA/fig_iii2_select_request.json" \
+    "http://$ADDR/v1/select" -o "$WORK/select.json"
+LEASE="$(jq -r '.lease_id' "$WORK/select.json")"
+[[ "$LEASE" == lease-* ]] || {
+    echo "churn-smoke: FAIL — /v1/select returned no lease:" >&2
+    cat "$WORK/select.json" >&2
+    exit 1
+}
+echo "churn-smoke: bound $LEASE over $(jq '.hosts | length' "$WORK/select.json") hosts at depth $(jq '.fallback_depth' "$WORK/select.json")"
+
+echo "churn-smoke: session status must start bound under its own ID"
+curl -sS "http://$ADDR/v1/select/$LEASE" -o "$WORK/status0.json"
+jq -e --arg id "$LEASE" '.status == "bound" and .current_lease_id == $id' \
+    "$WORK/status0.json" >/dev/null || {
+    echo "churn-smoke: FAIL — fresh session status wrong:" >&2
+    cat "$WORK/status0.json" >&2
+    exit 1
+}
+
+echo "churn-smoke: killing every leased host through the event stream"
+jq '{events: [.hosts[] | {type: "leave", host: .}]}' "$WORK/select.json" >"$WORK/events.json"
+curl -sS -X POST --data-binary "@$WORK/events.json" \
+    "http://$ADDR/v1/platform/events" -o "$WORK/ingest.json"
+jq -e '.ingested >= 1' "$WORK/ingest.json" >/dev/null || {
+    echo "churn-smoke: FAIL — event ingestion rejected:" >&2
+    cat "$WORK/ingest.json" >&2
+    exit 1
+}
+
+echo "churn-smoke: waiting for the transparent rebind"
+REBOUND=""
+for _ in $(seq 1 50); do
+    curl -sS "http://$ADDR/v1/select/$LEASE" -o "$WORK/status.json"
+    if jq -e '.status == "rebound"' "$WORK/status.json" >/dev/null; then
+        REBOUND=1
+        break
+    fi
+    sleep 0.2
+done
+[[ -n "$REBOUND" ]] || {
+    echo "churn-smoke: FAIL — session never rebound:" >&2
+    cat "$WORK/status.json" >&2
+    cat "$WORK/serve1.log" >&2
+    exit 1
+}
+CURRENT="$(jq -r '.current_lease_id' "$WORK/status.json")"
+echo "churn-smoke: rebound to $CURRENT at rung $(jq '.rung' "$WORK/status.json")"
+
+jq -e --arg id "$LEASE" '
+    .current_lease_id != $id and
+    .rung >= 1 and
+    (.rebinds | length) >= 1 and
+    .rebinds[-1].from == $id and
+    .rebinds[-1].rung >= 1
+' "$WORK/status.json" >/dev/null || {
+    echo "churn-smoke: FAIL — rebind did not land on a fallback rung:" >&2
+    cat "$WORK/status.json" >&2
+    exit 1
+}
+# The replacement must avoid every host the events took down.
+jq -e --slurpfile sel "$WORK/select.json" \
+    '(.hosts - ($sel[0].hosts)) == .hosts' "$WORK/status.json" >/dev/null || {
+    echo "churn-smoke: FAIL — rebound lease reuses downed hosts:" >&2
+    cat "$WORK/status.json" >&2
+    exit 1
+}
+# Both handles resolve to the same session.
+curl -sS "http://$ADDR/v1/select/$CURRENT" -o "$WORK/status_cur.json"
+jq -e --arg id "$LEASE" '.lease_id == $id and .status == "rebound"' \
+    "$WORK/status_cur.json" >/dev/null || {
+    echo "churn-smoke: FAIL — current lease ID does not resolve to the session:" >&2
+    cat "$WORK/status_cur.json" >&2
+    exit 1
+}
+
+echo "churn-smoke: /healthz must report the exclusion and the tracked session"
+curl -sS "http://$ADDR/healthz" -o "$WORK/healthz.json"
+jq -e '
+    .leases.active_leases == 1 and
+    .reconcile.tracked_sessions == 1 and
+    .reconcile.active_exclusions >= 1
+' "$WORK/healthz.json" >/dev/null || {
+    echo "churn-smoke: FAIL — /healthz reconcile block wrong:" >&2
+    cat "$WORK/healthz.json" >&2
+    exit 1
+}
+
+echo "churn-smoke: /metrics must count the rebind"
+curl -sS "http://$ADDR/metrics" -o "$WORK/metrics.txt"
+grep -Eq '^rsgend_reconcile_rebinds_total [1-9]' "$WORK/metrics.txt" || {
+    echo "churn-smoke: FAIL — rsgend_reconcile_rebinds_total not incremented:" >&2
+    grep 'rsgend_reconcile' "$WORK/metrics.txt" >&2 || true
+    exit 1
+}
+grep -Eq '^rsgend_reconcile_rebind_depth_total\{depth="[1-9]"\} [1-9]' "$WORK/metrics.txt" || {
+    echo "churn-smoke: FAIL — rebind depth series missing:" >&2
+    grep 'rsgend_reconcile' "$WORK/metrics.txt" >&2 || true
+    exit 1
+}
+
+echo "churn-smoke: /debug/traces must hold reconcile cycle traces"
+curl -sS "http://$DEBUG_ADDR/debug/traces" -o "$WORK/traces.json"
+jq -e '[.recent[], .slowest[]] | map(select(.name == "reconcile")) | length >= 1' \
+    "$WORK/traces.json" >/dev/null || {
+    echo "churn-smoke: FAIL — no reconcile traces in the ring:" >&2
+    jq '{recent: [.recent[].name], slowest: [.slowest[].name]}' "$WORK/traces.json" >&2 || true
+    exit 1
+}
+
+echo "churn-smoke: SIGKILLing the server mid-session (no drain)"
+kill -KILL "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+echo "churn-smoke: restarting on the same state directory"
+start "$WORK/serve2.log"
+echo "churn-smoke: server back up at $ADDR"
+grep -q "recovered state from" "$WORK/serve2.log" || {
+    echo "churn-smoke: FAIL — restart did not report recovery" >&2
+    cat "$WORK/serve2.log" >&2
+    exit 1
+}
+
+echo "churn-smoke: recovery must land on the post-rebind lease only"
+# The origin lease was swapped away before the crash; only the replacement
+# may come back. The reconciler's session ladder is not persisted, so the
+# status endpoint serves the broker's recovered view of the current lease.
+CODE="$(curl -sS -o "$WORK/status_old.json" -w '%{http_code}' "http://$ADDR/v1/select/$LEASE")"
+[[ "$CODE" == "404" ]] || {
+    echo "churn-smoke: FAIL — pre-rebind lease resurrected ($CODE):" >&2
+    cat "$WORK/status_old.json" >&2
+    exit 1
+}
+curl -sS "http://$ADDR/v1/select/$CURRENT" -o "$WORK/status_rec.json"
+jq -e --arg id "$CURRENT" '.status == "bound" and .current_lease_id == $id and (.hosts | length) >= 1' \
+    "$WORK/status_rec.json" >/dev/null || {
+    echo "churn-smoke: FAIL — post-rebind lease not recovered:" >&2
+    cat "$WORK/status_rec.json" >&2
+    exit 1
+}
+
+echo "churn-smoke: releasing the recovered lease $CURRENT"
+curl -sS -X POST -d "{\"lease_id\": \"$CURRENT\"}" "http://$ADDR/v1/release" -o "$WORK/release.json"
+jq -e '.released == true' "$WORK/release.json" >/dev/null || {
+    echo "churn-smoke: FAIL — releasing the recovered lease failed:" >&2
+    cat "$WORK/release.json" >&2
+    exit 1
+}
+curl -sS "http://$ADDR/v1/platform" -o "$WORK/occupancy.json"
+jq -e '.leases.active_leases == 0 and .leases.leased_hosts == 0' "$WORK/occupancy.json" >/dev/null || {
+    echo "churn-smoke: FAIL — occupancy nonzero after release:" >&2
+    cat "$WORK/occupancy.json" >&2
+    exit 1
+}
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || true
+SRV_PID=""
+
+echo "churn-smoke: PASS (transparent rebind at depth >= 1; post-rebind lease survived SIGKILL)"
