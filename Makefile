@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race bench bench-smoke bench-json fuzz-smoke serve-smoke crash-smoke churn-smoke
+.PHONY: check vet build test race bench bench-smoke bench-json fuzz-smoke serve-smoke crash-smoke churn-smoke load-smoke loadgen-bench
 
 check: vet build race bench-smoke fuzz-smoke
 
@@ -28,10 +28,18 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Machine-readable benchmark baseline: writes BENCH_3.json mapping each
-# benchmark to ns/op, B/op and allocs/op. BENCH_ARGS narrows the set, e.g.
+# benchmark to ns/op, B/op and allocs/op, then BENCH_8.json with the
+# loadgen serving comparison (throughput, latency quantiles, coalesce hit
+# rates, batch-vs-single ratio). BENCH_ARGS narrows the go-bench set, e.g.
 # BENCH_ARGS='BenchmarkSchedule' make bench-json
 bench-json:
 	bash scripts/bench_json.sh $(BENCH_ARGS)
+	bash scripts/loadgen_bench.sh
+
+# Serving benchmark only: regenerates BENCH_8.json via cmd/loadgen against
+# a freshly trained smoke-scale rsgend.
+loadgen-bench:
+	bash scripts/loadgen_bench.sh
 
 # Short fuzzing pass over every parser the rsgend service exposes to
 # untrusted input. `go test -fuzz` accepts one target per invocation,
@@ -62,3 +70,9 @@ crash-smoke:
 # directory recovering the post-rebind lease.
 churn-smoke:
 	bash scripts/churn_smoke.sh
+
+# End-to-end load: drive a live rsgend with cmd/loadgen (closed-loop
+# single-vs-batch plus an open-loop Poisson run) and assert coalescing
+# fired, batch beat single, and p99 stayed under LOAD_SMOKE_P99_MS.
+load-smoke:
+	bash scripts/load_smoke.sh

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/xrand"
+)
+
+// mix is the request-composition knob: how many of the generated requests
+// are brand-new shapes (unique), relabeled isomorphs of an earlier shape
+// (shape duplicates — only coalescing can merge them), and exact byte
+// repeats of an earlier request (byte duplicates — the response cache and
+// single-flight dedup merge them).
+type mix struct {
+	Unique int `json:"unique"`
+	Shape  int `json:"shape"`
+	Byte   int `json:"byte"`
+}
+
+// parseMix reads "U:S:B" weight notation, e.g. "2:6:2".
+func parseMix(s string) (mix, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return mix{}, fmt.Errorf("mix %q: want unique:shape:byte", s)
+	}
+	var w [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return mix{}, fmt.Errorf("mix %q: bad weight %q", s, p)
+		}
+		w[i] = n
+	}
+	m := mix{Unique: w[0], Shape: w[1], Byte: w[2]}
+	if m.Unique+m.Shape+m.Byte == 0 {
+		return mix{}, fmt.Errorf("mix %q: all weights zero", s)
+	}
+	if m.Unique == 0 {
+		return mix{}, fmt.Errorf("mix %q: need at least one unique weight (duplicates need an original)", s)
+	}
+	return m, nil
+}
+
+// relabelDAG builds an isomorph: task IDs permuted, synthetic names
+// attached, edges emitted in shuffled order. Same shape and costs, different
+// bytes and byte-exact fingerprint.
+func relabelDAG(d *dag.DAG, rng *xrand.RNG) *dag.DAG {
+	n := d.Size()
+	perm := rng.Perm(n)
+	tasks := make([]dag.Task, n)
+	for old := 0; old < n; old++ {
+		tasks[perm[old]] = dag.Task{
+			ID:   dag.TaskID(perm[old]),
+			Name: fmt.Sprintf("t%d-%d", perm[old], rng.Intn(1<<16)),
+			Cost: d.Task(dag.TaskID(old)).Cost,
+		}
+	}
+	edges := make([]dag.Edge, 0, d.NumEdges())
+	for _, e := range d.Edges() {
+		edges = append(edges, dag.Edge{From: dag.TaskID(perm[e.From]), To: dag.TaskID(perm[e.To]), Cost: e.Cost})
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	return dag.MustNew(tasks, edges)
+}
+
+// buildCorpus generates n request DAGs (as marshaled JSON) honoring the mix,
+// deterministically from seed. Kinds interleave round-robin by weight so
+// duplicates spread across the run instead of clustering, and every shape or
+// byte duplicate refers back to a uniformly chosen earlier unique request.
+func buildCorpus(n, size int, m mix, seed uint64) ([][]byte, error) {
+	rng := xrand.NewFrom(seed, 0x10adce)
+	total := m.Unique + m.Shape + m.Byte
+	bodies := make([][]byte, 0, n)
+	var uniques []*dag.DAG
+	var uniqueBodies [][]byte
+	for i := 0; len(bodies) < n; i++ {
+		kind := "unique"
+		switch r := i % total; {
+		case r < m.Unique:
+			// unique
+		case r < m.Unique+m.Shape:
+			kind = "shape"
+		default:
+			kind = "byte"
+		}
+		if len(uniques) == 0 {
+			kind = "unique" // duplicates need an original to refer to
+		}
+		switch kind {
+		case "unique":
+			gs := dag.GenSpec{
+				Size:        size,
+				CCR:         rng.Uniform(0.1, 1.0),
+				Parallelism: rng.Uniform(0.3, 0.7),
+				Density:     rng.Uniform(0.3, 0.7),
+				Regularity:  0.5,
+				MeanCost:    40,
+			}
+			d, err := dag.Generate(gs, rng.Split())
+			if err != nil {
+				return nil, fmt.Errorf("generating corpus dag %d: %w", i, err)
+			}
+			b, err := json.Marshal(d)
+			if err != nil {
+				return nil, err
+			}
+			uniques = append(uniques, d)
+			uniqueBodies = append(uniqueBodies, b)
+			bodies = append(bodies, b)
+		case "shape":
+			d := uniques[rng.Intn(len(uniques))]
+			b, err := json.Marshal(relabelDAG(d, rng))
+			if err != nil {
+				return nil, err
+			}
+			bodies = append(bodies, b)
+		case "byte":
+			bodies = append(bodies, uniqueBodies[rng.Intn(len(uniqueBodies))])
+		}
+	}
+	return bodies, nil
+}

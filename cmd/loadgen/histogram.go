@@ -1,0 +1,96 @@
+package main
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histogram is an HDR-style log-linear latency histogram: 32 linear
+// sub-buckets per power-of-two decade of nanoseconds, giving a worst-case
+// relative error of ~3% at every magnitude with a fixed, allocation-free
+// bucket array. Recording is a single atomic increment, so concurrent
+// workers share one histogram without coordination.
+const numBuckets = 2048
+
+type histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNS   atomic.Int64
+	maxNS   atomic.Int64
+}
+
+// bucketIndex maps a nanosecond value to its bucket. Values below 32ns are
+// exact; above, the top five bits below the MSB select the linear sub-bucket.
+func bucketIndex(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	if v < 32 {
+		return int(v)
+	}
+	msb := bits.Len64(v) - 1
+	sub := (v >> uint(msb-5)) & 31
+	idx := (msb-4)*32 + int(sub)
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue is the representative (midpoint) nanosecond value of a bucket.
+func bucketValue(idx int) int64 {
+	if idx < 32 {
+		return int64(idx)
+	}
+	msb := idx/32 + 4
+	sub := uint64(idx % 32)
+	lower := (32 + sub) << uint(msb-5)
+	width := uint64(1) << uint(msb-5)
+	return int64(lower + width/2)
+}
+
+func (h *histogram) record(d time.Duration) {
+	ns := d.Nanoseconds()
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	for {
+		cur := h.maxNS.Load()
+		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// quantile returns the q-quantile (0 < q <= 1) as a duration, reading the
+// representative value of the bucket where the cumulative count crosses q.
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return time.Duration(bucketValue(i))
+		}
+	}
+	return time.Duration(h.maxNS.Load())
+}
+
+func (h *histogram) mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / int64(n))
+}
+
+func (h *histogram) max() time.Duration { return time.Duration(h.maxNS.Load()) }

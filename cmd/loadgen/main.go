@@ -1,0 +1,485 @@
+// Command loadgen drives a running rsgend with synthetic specification
+// traffic and measures what the serving paper-trail claims: throughput,
+// latency quantiles, and how much work the response cache, shape
+// coalescing, and single-flight dedup actually absorbed.
+//
+//	rsgend -models models.json -addr 127.0.0.1:8080 &
+//	loadgen -url http://127.0.0.1:8080 -requests 600 -mix 2:5:3 -json BENCH_8.json
+//
+// The request corpus is generated deterministically from -seed: a -mix of
+// unique DAG shapes, shape duplicates (relabeled isomorphs — only shape
+// coalescing can merge them), and byte duplicates (exact repeats — the
+// response cache merges them). Each scenario in -scenarios runs the same
+// volume of specs against its own corpus slice:
+//
+//	single  one POST /v1/spec per DAG
+//	batch   POST /v1/spec/batch with -batch DAGs per request
+//
+// -mode picks the load shape: "closed" saturates with -conns back-to-back
+// workers (throughput measurement); "open" issues arrivals as a Poisson
+// process at -rate requests/sec regardless of completions (latency
+// measurement — queueing delay is visible instead of being absorbed by the
+// closed loop), bounded by -max-outstanding before arrivals are dropped.
+//
+// Latencies land in an HDR-style log-linear histogram (~3% relative error);
+// coalescing effectiveness is read from the server's /metrics deltas around
+// each scenario. The -json document is the committed benchmark artifact
+// (BENCH_8.json): per-scenario throughput, p50/p90/p99, coalesce hit rates,
+// and the batch-vs-single throughput ratio when both scenarios ran.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rsgen/internal/xrand"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+type config struct {
+	url            string
+	scenarios      []string
+	requests       int
+	batchSize      int
+	conns          int
+	mode           string
+	rate           float64
+	maxOutstanding int
+	mix            mix
+	dagSize        int
+	repeat         int
+	seed           uint64
+	jsonOut        string
+	label          string
+	timeout        time.Duration
+}
+
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url       = fs.String("url", "http://127.0.0.1:8080", "rsgend base URL")
+		scenarios = fs.String("scenarios", "single,batch", "comma list of scenarios to run: single | batch")
+		requests  = fs.Int("requests", 400, "specs per scenario")
+		batchSize = fs.Int("batch", 32, "DAGs per /v1/spec/batch request in the batch scenario")
+		conns     = fs.Int("conns", 8, "closed-loop workers")
+		mode      = fs.String("mode", "closed", "load shape: closed (saturating workers) | open (Poisson arrivals at -rate)")
+		rate      = fs.Float64("rate", 50, "open-loop arrival rate, requests/sec")
+		maxOut    = fs.Int("max-outstanding", 256, "open-loop bound on in-flight requests before arrivals are dropped")
+		mixFlag   = fs.String("mix", "2:5:3", "request mix weights unique:shape-duplicate:byte-duplicate")
+		dagSize   = fs.Int("dag-size", 40, "tasks per generated DAG")
+		repeat    = fs.Int("repeat", 1, "repetitions per scenario, each on a fresh corpus; the median-throughput repetition is reported")
+		seed      = fs.Uint64("seed", 1, "corpus generation seed")
+		jsonOut   = fs.String("json", "", "write the JSON benchmark document to this path (empty: stdout)")
+		label     = fs.String("label", "", "free-form label recorded in the JSON document")
+		timeout   = fs.Duration("timeout", 60*time.Second, "per-HTTP-request client timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	m, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return 2
+	}
+	cfg := config{
+		url: strings.TrimRight(*url, "/"), requests: *requests, batchSize: *batchSize,
+		conns: *conns, mode: *mode, rate: *rate, maxOutstanding: *maxOut,
+		mix: m, dagSize: *dagSize, repeat: *repeat, seed: *seed, jsonOut: *jsonOut,
+		label: *label, timeout: *timeout,
+	}
+	if cfg.repeat < 1 {
+		fmt.Fprintln(stderr, "loadgen: -repeat must be at least 1")
+		return 2
+	}
+	for _, sc := range strings.Split(*scenarios, ",") {
+		sc = strings.TrimSpace(sc)
+		if sc != "single" && sc != "batch" {
+			fmt.Fprintf(stderr, "loadgen: unknown scenario %q (single | batch)\n", sc)
+			return 2
+		}
+		cfg.scenarios = append(cfg.scenarios, sc)
+	}
+	if cfg.mode != "closed" && cfg.mode != "open" {
+		fmt.Fprintf(stderr, "loadgen: unknown -mode %q (closed | open)\n", cfg.mode)
+		return 2
+	}
+
+	doc, err := runAll(cfg, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return 1
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if cfg.jsonOut == "" {
+		os.Stdout.Write(out)
+	} else if err := os.WriteFile(cfg.jsonOut, out, 0o644); err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return 1
+	}
+	return 0
+}
+
+// benchDoc is the committed benchmark artifact.
+type benchDoc struct {
+	Label     string           `json:"label,omitempty"`
+	Generated string           `json:"generated"`
+	Config    benchConfig      `json:"config"`
+	Scenarios []scenarioResult `json:"scenarios"`
+	// BatchVsSingleThroughput is batch specs/sec over single specs/sec,
+	// present when both scenarios ran.
+	BatchVsSingleThroughput float64 `json:"batch_vs_single_throughput,omitempty"`
+}
+
+type benchConfig struct {
+	URL       string  `json:"url"`
+	Requests  int     `json:"requests"`
+	BatchSize int     `json:"batch_size"`
+	Conns     int     `json:"conns"`
+	Mode      string  `json:"mode"`
+	Rate      float64 `json:"rate,omitempty"`
+	Mix       mix     `json:"mix"`
+	DagSize   int     `json:"dag_size"`
+	Repeat    int     `json:"repeat,omitempty"`
+	Seed      uint64  `json:"seed"`
+}
+
+type latencySummary struct {
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+type scenarioResult struct {
+	Name           string         `json:"name"`
+	Mode           string         `json:"mode"`
+	Requests       int            `json:"requests"`
+	Specs          int            `json:"specs"`
+	Errors         int            `json:"errors"`
+	Dropped        int            `json:"dropped,omitempty"`
+	BatchSize      int            `json:"batch_size,omitempty"`
+	ElapsedSeconds float64        `json:"elapsed_seconds"`
+	Throughput     float64        `json:"throughput_specs_per_sec"`
+	Latency        latencySummary `json:"latency"`
+	// Coalesce holds the /metrics deltas attributable to this scenario.
+	Coalesce map[string]float64 `json:"coalesce"`
+	// CoalesceHitRate is (shape-cache + shape-flight hits) / specs; the
+	// broader DuplicateMergeRate also counts byte-exact cache hits and
+	// single-flight shares.
+	CoalesceHitRate    float64 `json:"coalesce_hit_rate"`
+	DuplicateMergeRate float64 `json:"duplicate_merge_rate"`
+	// ThroughputReps lists every repetition's throughput when -repeat > 1,
+	// in run order; the rest of this result describes the median repetition.
+	ThroughputReps []float64 `json:"throughput_reps,omitempty"`
+}
+
+func runAll(cfg config, stderr io.Writer) (*benchDoc, error) {
+	// The default transport keeps only two idle connections per host; a
+	// closed loop with more workers would then pay a TCP handshake per
+	// request and measure the dialer, not the server.
+	pool := max(cfg.conns, cfg.maxOutstanding)
+	client := &http.Client{
+		Timeout: cfg.timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        pool,
+			MaxIdleConnsPerHost: pool,
+		},
+	}
+	if _, err := scrapeMetrics(client, cfg.url); err != nil {
+		return nil, fmt.Errorf("server not reachable at %s: %w", cfg.url, err)
+	}
+	doc := &benchDoc{
+		Label:     cfg.label,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Config: benchConfig{
+			URL: cfg.url, Requests: cfg.requests, BatchSize: cfg.batchSize,
+			Conns: cfg.conns, Mode: cfg.mode, Mix: cfg.mix, DagSize: cfg.dagSize,
+			Repeat: cfg.repeat, Seed: cfg.seed,
+		},
+	}
+	if cfg.mode == "open" {
+		doc.Config.Rate = cfg.rate
+	}
+	throughput := map[string]float64{}
+	repeat := max(cfg.repeat, 1)
+	for i, name := range cfg.scenarios {
+		// Each scenario — and each repetition — gets its own corpus
+		// (disjoint shapes) so no run free-rides on an earlier run's cache
+		// entries. With -repeat > 1 the median-throughput repetition is
+		// reported: on a shared machine a sub-second run is easily perturbed
+		// by scheduling noise, and the median is robust to a single slow (or
+		// suspiciously fast) outlier in a way best-of-N is not.
+		var runs []*scenarioResult
+		var reps []float64
+		for r := 0; r < repeat; r++ {
+			corpus, err := buildCorpus(cfg.requests, cfg.dagSize, cfg.mix, cfg.seed+uint64(i)*7919+uint64(r)*104729)
+			if err != nil {
+				return nil, err
+			}
+			before, err := scrapeMetrics(client, cfg.url)
+			if err != nil {
+				return nil, err
+			}
+			res, err := runScenario(name, cfg, corpus, client)
+			if err != nil {
+				return nil, err
+			}
+			after, err := scrapeMetrics(client, cfg.url)
+			if err != nil {
+				return nil, err
+			}
+			res.Coalesce = coalesceDeltas(before, after)
+			if res.Specs > 0 {
+				shape := res.Coalesce["coalesce_cache"] + res.Coalesce["coalesce_flight"]
+				res.CoalesceHitRate = shape / float64(res.Specs)
+				res.DuplicateMergeRate = (shape + res.Coalesce["spec_cache_hits"] + res.Coalesce["dedup_shared"]) / float64(res.Specs)
+			}
+			reps = append(reps, res.Throughput)
+			fmt.Fprintf(stderr, "loadgen: %-6s %6d specs in %6.2fs  %8.1f specs/s  p50 %6.2fms  p99 %7.2fms  coalesce %4.1f%%  errors %d\n",
+				name, res.Specs, res.ElapsedSeconds, res.Throughput,
+				res.Latency.P50MS, res.Latency.P99MS, 100*res.CoalesceHitRate, res.Errors)
+			runs = append(runs, res)
+		}
+		sort.Slice(runs, func(a, b int) bool { return runs[a].Throughput < runs[b].Throughput })
+		med := runs[len(runs)/2]
+		if repeat > 1 {
+			med.ThroughputReps = reps
+		}
+		throughput[name] = med.Throughput
+		doc.Scenarios = append(doc.Scenarios, *med)
+	}
+	if s, b := throughput["single"], throughput["batch"]; s > 0 && b > 0 {
+		doc.BatchVsSingleThroughput = b / s
+		fmt.Fprintf(stderr, "loadgen: batch/single throughput = %.2fx\n", doc.BatchVsSingleThroughput)
+	}
+	return doc, nil
+}
+
+// payload is one HTTP request plus the number of specs it carries.
+type payload struct {
+	body  []byte
+	specs int
+}
+
+func buildPayloads(name string, corpus [][]byte, batchSize int) (string, []payload) {
+	if name == "single" || batchSize <= 1 {
+		out := make([]payload, len(corpus))
+		for i, b := range corpus {
+			var buf bytes.Buffer
+			buf.WriteString(`{"dag":`)
+			buf.Write(b)
+			buf.WriteString(`}`)
+			out[i] = payload{body: buf.Bytes(), specs: 1}
+		}
+		return "/v1/spec", out
+	}
+	var out []payload
+	for start := 0; start < len(corpus); start += batchSize {
+		end := min(start+batchSize, len(corpus))
+		var buf bytes.Buffer
+		buf.WriteString(`{"requests":[`)
+		for i := start; i < end; i++ {
+			if i > start {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(`{"dag":`)
+			buf.Write(corpus[i])
+			buf.WriteString(`}`)
+		}
+		buf.WriteString(`]}`)
+		out = append(out, payload{body: buf.Bytes(), specs: end - start})
+	}
+	return "/v1/spec/batch", out
+}
+
+func runScenario(name string, cfg config, corpus [][]byte, client *http.Client) (*scenarioResult, error) {
+	path, payloads := buildPayloads(name, corpus, cfg.batchSize)
+	res := &scenarioResult{Name: name, Mode: cfg.mode, Requests: len(payloads)}
+	if name == "batch" {
+		res.BatchSize = cfg.batchSize
+	}
+	var (
+		hist     histogram
+		specs    atomic.Int64
+		errs     atomic.Int64
+		dropped  atomic.Int64
+		endpoint = cfg.url + path
+	)
+	fire := func(p payload) {
+		start := time.Now()
+		ok, got, memberErrs := doRequest(client, endpoint, p)
+		hist.record(time.Since(start))
+		if !ok {
+			errs.Add(int64(p.specs))
+			return
+		}
+		specs.Add(int64(got))
+		errs.Add(int64(memberErrs))
+	}
+
+	begin := time.Now()
+	if cfg.mode == "closed" {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < max(cfg.conns, 1); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(payloads) {
+						return
+					}
+					fire(payloads[i])
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		// Open loop: arrivals follow a Poisson process at cfg.rate per
+		// second — the scheduler never waits for completions, so queueing
+		// delay shows up in the latency distribution instead of being
+		// absorbed by a closed loop's back-pressure.
+		rng := xrand.NewFrom(cfg.seed, 0xa221e)
+		sem := make(chan struct{}, max(cfg.maxOutstanding, 1))
+		var wg sync.WaitGroup
+		arrival := time.Duration(0)
+		for _, p := range payloads {
+			arrival += time.Duration(rng.Exp(1/cfg.rate) * float64(time.Second))
+			if d := time.Until(begin.Add(arrival)); d > 0 {
+				time.Sleep(d)
+			}
+			select {
+			case sem <- struct{}{}:
+			default:
+				dropped.Add(1) // overloaded: the open loop drops, not queues
+				continue
+			}
+			wg.Add(1)
+			go func(p payload) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				fire(p)
+			}(p)
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(begin)
+
+	res.Specs = int(specs.Load())
+	res.Errors = int(errs.Load())
+	res.Dropped = int(dropped.Load())
+	res.ElapsedSeconds = elapsed.Seconds()
+	if elapsed > 0 {
+		res.Throughput = float64(res.Specs) / elapsed.Seconds()
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	res.Latency = latencySummary{
+		P50MS:  ms(hist.quantile(0.50)),
+		P90MS:  ms(hist.quantile(0.90)),
+		P99MS:  ms(hist.quantile(0.99)),
+		MeanMS: ms(hist.mean()),
+		MaxMS:  ms(hist.max()),
+	}
+	return res, nil
+}
+
+// doRequest posts one payload; ok is transport+status success, specs the
+// number of specifications actually produced, memberErrs per-member batch
+// failures.
+func doRequest(client *http.Client, endpoint string, p payload) (ok bool, specs, memberErrs int) {
+	resp, err := client.Post(endpoint, "application/json", bytes.NewReader(p.body))
+	if err != nil {
+		return false, 0, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false, 0, 0
+	}
+	if p.specs == 1 {
+		io.Copy(io.Discard, resp.Body)
+		return true, 1, 0
+	}
+	var br struct {
+		Members int `json:"members"`
+		Errors  int `json:"errors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return false, 0, 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	return true, br.Members - br.Errors, br.Errors
+}
+
+// scrapeMetrics fetches /metrics and parses every sample line into
+// name{labels} → value.
+func scrapeMetrics(client *http.Client, url string) (map[string]float64, error) {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out, nil
+}
+
+// coalesceDeltas extracts the serving-effectiveness counters this harness
+// reports, as before→after differences.
+func coalesceDeltas(before, after map[string]float64) map[string]float64 {
+	series := map[string]string{
+		"spec_cache_hits":   "rsgend_spec_cache_hits_total",
+		"spec_cache_misses": "rsgend_spec_cache_misses_total",
+		"coalesce_cache":    `rsgend_coalesce_hits_total{kind="cache"}`,
+		"coalesce_flight":   `rsgend_coalesce_hits_total{kind="flight"}`,
+		"dedup_shared":      "rsgend_dedup_shared_total",
+		"flight_fallbacks":  "rsgend_flight_fallbacks_total",
+		"batch_requests":    "rsgend_batch_requests_total",
+		"batch_members":     "rsgend_batch_members_total",
+		"evictions":         "rsgend_spec_cache_evictions_total",
+	}
+	out := map[string]float64{}
+	for k, s := range series {
+		out[k] = after[s] - before[s]
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/heurpred"
+	"rsgen/internal/knee"
+	"rsgen/internal/service"
+	"rsgen/internal/spec"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	for i := 1; i <= 1000; i++ {
+		h.record(time.Duration(i) * time.Millisecond)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.90, 900 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := h.quantile(c.q)
+		// Log-linear buckets guarantee ~3% relative error; allow 5%.
+		lo, hi := time.Duration(float64(c.want)*0.95), time.Duration(float64(c.want)*1.05)
+		if got < lo || got > hi {
+			t.Errorf("q%.2f = %v, want within 5%% of %v", c.q, got, c.want)
+		}
+	}
+	if h.max() != time.Second {
+		t.Errorf("max = %v, want 1s", h.max())
+	}
+	if m := h.mean(); m < 480*time.Millisecond || m > 520*time.Millisecond {
+		t.Errorf("mean = %v, want ~500ms", m)
+	}
+}
+
+func TestHistogramBucketsMonotone(t *testing.T) {
+	last := -1
+	for ns := int64(1); ns < int64(10*time.Minute); ns = ns*3/2 + 1 {
+		idx := bucketIndex(ns)
+		if idx < last {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", ns, idx, last)
+		}
+		last = idx
+		// The representative value must be within the bucket's magnitude.
+		rep := bucketValue(idx)
+		if rep < ns/2 || rep > ns*2 {
+			t.Errorf("bucketValue(%d) = %d for ns %d: off by more than 2x", idx, rep, ns)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	if m, err := parseMix("2:5:3"); err != nil || m != (mix{Unique: 2, Shape: 5, Byte: 3}) {
+		t.Errorf("parseMix(2:5:3) = %+v, %v", m, err)
+	}
+	for _, bad := range []string{"", "1:2", "a:b:c", "0:0:0", "0:5:5", "-1:2:3"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildCorpusMixAndDeterminism(t *testing.T) {
+	m := mix{Unique: 2, Shape: 5, Byte: 3}
+	a, err := buildCorpus(60, 20, m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildCorpus(60, 20, m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 60 {
+		t.Fatalf("corpus size = %d", len(a))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("corpus not deterministic at %d", i)
+		}
+	}
+	// Classify: byte duplicates repeat earlier bytes; shape duplicates are
+	// new bytes whose normal fingerprint matches an earlier DAG's without
+	// matching its exact fingerprint.
+	seenBytes := map[string]bool{}
+	exact := map[uint64]bool{}
+	shapes := map[uint64]bool{}
+	var byteDups, shapeDups, uniques int
+	for _, body := range a {
+		if seenBytes[string(body)] {
+			byteDups++
+			continue
+		}
+		seenBytes[string(body)] = true
+		d, err := dag.Decode(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("corpus produced an invalid DAG: %v", err)
+		}
+		fp, nfp := d.Fingerprint(), d.NormalFingerprint()
+		switch {
+		case shapes[nfp] && !exact[fp]:
+			shapeDups++
+		case !shapes[nfp]:
+			uniques++
+		}
+		exact[fp] = true
+		shapes[nfp] = true
+	}
+	if uniques == 0 || shapeDups == 0 || byteDups == 0 {
+		t.Errorf("mix not realized: uniques %d, shapeDups %d, byteDups %d", uniques, shapeDups, byteDups)
+	}
+	// Weights 2:5:3 over 60 draws: expect roughly 12/30/18; duplicates can
+	// only fall back to unique before an original exists, so allow slack.
+	if byteDups < 10 || shapeDups < 20 {
+		t.Errorf("duplicate counts far from weights: shapeDups %d (want ~30), byteDups %d (want ~18)", shapeDups, byteDups)
+	}
+}
+
+// loadgenTestServer stands up the real serving stack over a tiny trained
+// generator, so scenarios run against the true batch/coalescing paths.
+var loadgenGenerator = sync.OnceValues(func() (*spec.Generator, error) {
+	size, err := knee.Train(knee.TrainConfig{
+		Sizes: []int{30, 80}, CCRs: []float64{0.1, 0.5},
+		Alphas: []float64{0.4, 0.7}, Betas: []float64{0.2, 0.8},
+		Reps: 1, Density: 0.5, MeanCost: 40, Thresholds: knee.Thresholds, Seed: 7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	heur, err := heurpred.Train(heurpred.TrainConfig{
+		Sizes: []int{30, 80}, CCRs: []float64{0.1}, Alphas: []float64{0.5},
+		Betas: []float64{0.5}, Reps: 1, Seed: 8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &spec.Generator{Size: size, Heur: heur}, nil
+})
+
+func newLoadgenTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	gen, err := loadgenGenerator()
+	if err != nil {
+		t.Fatalf("training: %v", err)
+	}
+	srv, err := service.New(service.Config{Generator: gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestScenariosEndToEnd runs both scenarios (closed loop) against the real
+// service and checks the harness accounting: every spec answered, coalescing
+// observed on a duplicate-heavy mix, batch members counted on the server.
+func TestScenariosEndToEnd(t *testing.T) {
+	ts := newLoadgenTestServer(t)
+	cfg := config{
+		url: ts.URL, requests: 48, batchSize: 12, conns: 4, mode: "closed",
+		mix: mix{Unique: 2, Shape: 5, Byte: 3}, dagSize: 24, seed: 3,
+		timeout: 60 * time.Second, scenarios: []string{"single", "batch"},
+	}
+	var errOut bytes.Buffer
+	doc, err := runAll(cfg, &errOut)
+	if err != nil {
+		t.Fatalf("runAll: %v\n%s", err, errOut.String())
+	}
+	if len(doc.Scenarios) != 2 {
+		t.Fatalf("scenarios = %d", len(doc.Scenarios))
+	}
+	for _, sc := range doc.Scenarios {
+		if sc.Specs != cfg.requests || sc.Errors != 0 {
+			t.Errorf("%s: specs %d errors %d, want %d/0", sc.Name, sc.Specs, sc.Errors, cfg.requests)
+		}
+		if sc.Throughput <= 0 || sc.Latency.P99MS <= 0 {
+			t.Errorf("%s: empty measurements: %+v", sc.Name, sc)
+		}
+		if sc.CoalesceHitRate <= 0 {
+			t.Errorf("%s: no shape coalescing observed on a shape-heavy mix: %+v", sc.Name, sc.Coalesce)
+		}
+		if sc.DuplicateMergeRate <= sc.CoalesceHitRate {
+			t.Errorf("%s: byte duplicates not merged: %+v", sc.Name, sc.Coalesce)
+		}
+	}
+	batch := doc.Scenarios[1]
+	if batch.Coalesce["batch_requests"] != 4 || batch.Coalesce["batch_members"] != 48 {
+		t.Errorf("batch counters = %+v, want 4 requests / 48 members", batch.Coalesce)
+	}
+	if doc.BatchVsSingleThroughput <= 0 {
+		t.Error("batch/single ratio missing")
+	}
+}
+
+// TestOpenLoopPoisson drives the open-loop mode at a modest rate and checks
+// arrivals complete without drops at an uncontended server.
+func TestOpenLoopPoisson(t *testing.T) {
+	ts := newLoadgenTestServer(t)
+	cfg := config{
+		url: ts.URL, requests: 30, conns: 4, mode: "open", rate: 400,
+		maxOutstanding: 64, mix: mix{Unique: 1, Shape: 2, Byte: 1},
+		dagSize: 20, seed: 5, timeout: 60 * time.Second, scenarios: []string{"single"},
+	}
+	var errOut bytes.Buffer
+	doc, err := runAll(cfg, &errOut)
+	if err != nil {
+		t.Fatalf("runAll: %v\n%s", err, errOut.String())
+	}
+	sc := doc.Scenarios[0]
+	if sc.Specs+sc.Dropped != cfg.requests || sc.Errors != 0 {
+		t.Errorf("open loop: specs %d + dropped %d != %d (errors %d)", sc.Specs, sc.Dropped, cfg.requests, sc.Errors)
+	}
+	if sc.Specs == 0 {
+		t.Error("open loop completed nothing")
+	}
+	// 30 arrivals at 400/s: the run must take at least ~half the expected
+	// 75ms of scheduled arrival time (Poisson variance allows slack), i.e.
+	// arrivals were actually paced, not fired all at once.
+	if sc.ElapsedSeconds < 0.02 {
+		t.Errorf("open loop finished in %.3fs: arrivals not paced", sc.ElapsedSeconds)
+	}
+}
+
+// TestRunFlagErrors: bad invocations exit 2 without touching the network.
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mix", "nope"},
+		{"-scenarios", "wat"},
+		{"-mode", "sideways"},
+	} {
+		var errOut bytes.Buffer
+		if code := run(args, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (%s)", args, code, errOut.String())
+		}
+	}
+}
+
+// TestDoRequestBatchAccounting pins the member accounting against a stub.
+func TestDoRequestBatchAccounting(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"members": 5, "errors": 2}`))
+	}))
+	defer stub.Close()
+	ok, specs, memberErrs := doRequest(http.DefaultClient, stub.URL, payload{body: []byte(`{}`), specs: 5})
+	if !ok || specs != 3 || memberErrs != 2 {
+		t.Errorf("doRequest = %v/%d/%d, want true/3/2", ok, specs, memberErrs)
+	}
+}

@@ -89,8 +89,8 @@ func run(args []string) int {
 		maxBody     = fs.Int64("max-body", 1<<20, "request body size limit in bytes")
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-request compute deadline")
 		maxInflight = fs.Int("max-inflight", 64, "handler concurrency limit")
-		cacheSize   = fs.Int("cache", 1024, "response cache entries")
-		workers     = fs.Int("j", 0, "evaluation workers for alternative specs (0 = all cores)")
+		maxBatch    = fs.Int("max-batch", 256, "member limit for one POST /v1/spec/batch request")
+		workers     = fs.Int("j", 0, "evaluation workers for batch members and alternative specs (0 = all cores); /healthz reports the effective count")
 		leaseTTL    = fs.Duration("lease-ttl", 5*time.Minute, "default host-lease lifetime for /v1/select")
 		stateDir    = fs.String("state-dir", "", "directory for durable broker state (WAL + snapshots); empty serves from memory only")
 		leaseSweep  = fs.Duration("lease-sweep", 30*time.Second, "background lease-expiry sweep interval")
@@ -103,6 +103,9 @@ func run(args []string) int {
 		slowReq     = fs.Duration("slow-request", time.Second, "log a warning with the span breakdown for requests at least this slow (0 disables)")
 		traceSize   = fs.Int("trace-entries", 256, "finished request traces held for /debug/traces")
 	)
+	var cacheSize int
+	fs.IntVar(&cacheSize, "spec-cache-size", 1024, "response cache entries (LRU over rendered bodies)")
+	fs.IntVar(&cacheSize, "cache", 1024, "deprecated alias for -spec-cache-size")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -191,18 +194,19 @@ func run(args []string) int {
 		}
 	}
 	srv, err := service.New(service.Config{
-		Generator:    gen,
-		MaxBodyBytes: *maxBody,
-		Timeout:      *timeout,
-		MaxInflight:  *maxInflight,
-		CacheEntries: *cacheSize,
-		Workers:      *workers,
-		BaseCtx:      baseCtx,
-		Broker:       brk,
-		Reconciler:   rec,
-		Logger:       logger,
-		TraceEntries: *traceSize,
-		SlowRequest:  slowThreshold,
+		Generator:       gen,
+		MaxBodyBytes:    *maxBody,
+		Timeout:         *timeout,
+		MaxInflight:     *maxInflight,
+		MaxBatchMembers: *maxBatch,
+		CacheEntries:    cacheSize,
+		Workers:         *workers,
+		BaseCtx:         baseCtx,
+		Broker:          brk,
+		Reconciler:      rec,
+		Logger:          logger,
+		TraceEntries:    *traceSize,
+		SlowRequest:     slowThreshold,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rsgend:", err)

@@ -77,6 +77,8 @@ type DAG struct {
 	alapCache []float64
 	fpOnce    sync.Once
 	fpCache   uint64
+	normOnce  sync.Once
+	normCache *DAG
 }
 
 // New builds a DAG from tasks and edges, validating shape: task IDs must be

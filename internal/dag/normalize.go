@@ -1,0 +1,132 @@
+package dag
+
+import (
+	"math"
+	"sort"
+)
+
+// Normalize returns the canonical form of the DAG: task names are stripped,
+// tasks are renumbered into an order derived only from the graph's shape
+// (levels, costs, and edge structure), and edges are sorted by their new
+// endpoints. The result is a plain relabeling — same tasks, same costs, same
+// dependency structure — so every quantity that is invariant under graph
+// isomorphism (the §III.1.1 characteristics, Width, level sizes) is
+// untouched.
+//
+// Two DAGs that differ only in task naming, task numbering, or edge order
+// normalize to structurally identical DAGs whenever the refinement hashing
+// below distinguishes structurally distinct tasks. When it cannot (equal
+// hashes on genuinely different tasks — possible only in adversarially
+// regular graphs), ties fall back to input order, so the two inputs may keep
+// distinct normal forms: shape-based coalescing then merely misses a merge,
+// it never wrongly merges. Equal normal forms always imply isomorphic
+// inputs, because each normal form is itself a relabeling of its input.
+//
+// The result is cached; a DAG is immutable after New.
+func (d *DAG) Normalize() *DAG {
+	d.normOnce.Do(func() {
+		n := len(d.tasks)
+		order := d.canonicalOrder()
+		perm := make([]TaskID, n) // old ID → new ID
+		for newID, oldID := range order {
+			perm[oldID] = TaskID(newID)
+		}
+		tasks := make([]Task, n)
+		for newID, oldID := range order {
+			tasks[newID] = Task{ID: TaskID(newID), Cost: d.tasks[oldID].Cost}
+		}
+		edges := make([]Edge, len(d.edges))
+		for i, e := range d.edges {
+			edges[i] = Edge{From: perm[e.From], To: perm[e.To], Cost: e.Cost}
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].From != edges[j].From {
+				return edges[i].From < edges[j].From
+			}
+			return edges[i].To < edges[j].To
+		})
+		// A relabeling of a valid DAG is a valid DAG: IDs stay dense, no
+		// edge changes endpoints' identity, acyclicity is preserved.
+		d.normCache = MustNew(tasks, edges)
+	})
+	return d.normCache
+}
+
+// NormalFingerprint returns Normalize().Fingerprint(): a 64-bit hash that is
+// equal for DAGs which are the same shape — identical structure and costs
+// under some task renumbering, ignoring names — whenever canonicalization
+// succeeds in aligning them (see Normalize). It keys the serving layer's
+// shape-coalescing cache.
+func (d *DAG) NormalFingerprint() uint64 { return d.Normalize().Fingerprint() }
+
+// canonicalOrder computes the canonical task ordering by iterative hash
+// refinement (1-dimensional Weisfeiler–Leman adapted to weighted DAGs):
+// every task starts with a hash of its intrinsic shape data (level, cost,
+// in/out degree) and repeatedly absorbs its neighbors' hashes through
+// commutative folds, so the final hash is independent of task numbering and
+// edge order. Tasks are then sorted by (level, hash), input order breaking
+// exact ties.
+func (d *DAG) canonicalOrder() []TaskID {
+	n := len(d.tasks)
+	h := make([]uint64, n)
+	nh := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		x := uint64(fnvOffset)
+		x = fnvUint64(x, uint64(d.level[v]))
+		x = fnvUint64(x, math.Float64bits(d.tasks[v].Cost))
+		x = fnvUint64(x, uint64(d.NumPred(TaskID(v))))
+		x = fnvUint64(x, uint64(d.NumSucc(TaskID(v))))
+		h[v] = x
+	}
+	distinct := func(hs []uint64) int {
+		seen := make(map[uint64]struct{}, len(hs))
+		for _, x := range hs {
+			seen[x] = struct{}{}
+		}
+		return len(seen)
+	}
+	prev := distinct(h)
+	// Each round propagates shape information one hop in both directions;
+	// levels already separate path positions, so the partition stabilizes
+	// quickly. Stop when a round stops splitting classes.
+	const maxRounds = 64
+	for round := 0; round < maxRounds; round++ {
+		for v := 0; v < n; v++ {
+			var sumP, xorP, sumS, xorS uint64
+			for _, a := range d.Pred(TaskID(v)) {
+				t := fnvUint64(fnvUint64(fnvOffset, h[a.Task]), math.Float64bits(a.Cost))
+				sumP += t
+				xorP ^= t
+			}
+			for _, a := range d.Succ(TaskID(v)) {
+				t := fnvUint64(fnvUint64(fnvOffset, h[a.Task]), math.Float64bits(a.Cost))
+				sumS += t
+				xorS ^= t
+			}
+			x := fnvUint64(fnvOffset, h[v])
+			x = fnvUint64(x, sumP)
+			x = fnvUint64(x, xorP)
+			x = fnvUint64(x, sumS)
+			x = fnvUint64(x, xorS)
+			nh[v] = x
+		}
+		h, nh = nh, h
+		cur := distinct(h)
+		if cur == prev || cur == n {
+			break
+		}
+		prev = cur
+	}
+	order := make([]TaskID, n)
+	for v := range order {
+		order[v] = TaskID(v)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if d.level[a] != d.level[b] {
+			return d.level[a] < d.level[b]
+		}
+		return h[a] < h[b]
+	})
+	return order
+}

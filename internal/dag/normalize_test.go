@@ -1,0 +1,170 @@
+package dag
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rsgen/internal/xrand"
+)
+
+// relabel builds the isomorphic DAG obtained by renumbering tasks with perm
+// (new ID = perm[old ID]), renaming every task, and emitting edges in a
+// shuffled order.
+func relabel(t *testing.T, d *DAG, perm []int, rng *xrand.RNG) *DAG {
+	t.Helper()
+	n := d.Size()
+	tasks := make([]Task, n)
+	for old := 0; old < n; old++ {
+		tasks[perm[old]] = Task{
+			ID:   TaskID(perm[old]),
+			Name: fmt.Sprintf("renamed-%d-%d", perm[old], rng.Intn(1000)),
+			Cost: d.Task(TaskID(old)).Cost,
+		}
+	}
+	edges := make([]Edge, 0, d.NumEdges())
+	for _, e := range d.Edges() {
+		edges = append(edges, Edge{From: TaskID(perm[e.From]), To: TaskID(perm[e.To]), Cost: e.Cost})
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	out, err := New(tasks, edges)
+	if err != nil {
+		t.Fatalf("relabel produced an invalid DAG: %v", err)
+	}
+	return out
+}
+
+// TestNormalFingerprintInvariantUnderRelabeling is the shape-coalescing
+// contract: renaming tasks, permuting task numbers, and reordering edges
+// must not change the normal fingerprint, across a corpus of generated
+// shapes.
+func TestNormalFingerprintInvariantUnderRelabeling(t *testing.T) {
+	specs := []GenSpec{
+		{Size: 1, CCR: 0, Parallelism: 0, Density: 0.5, Regularity: 0.5, MeanCost: 10},
+		{Size: 12, CCR: 0.3, Parallelism: 0.5, Density: 0.5, Regularity: 0.5, MeanCost: 40},
+		{Size: 40, CCR: 1, Parallelism: 0.7, Density: 0.3, Regularity: 0.8, MeanCost: 25},
+		{Size: 90, CCR: 0.1, Parallelism: 0.4, Density: 0.9, Regularity: 0.2, MeanCost: 60},
+	}
+	for si, gs := range specs {
+		rng := xrand.NewFrom(77, uint64(si))
+		d, err := Generate(gs, rng)
+		if err != nil {
+			t.Fatalf("spec %d: %v", si, err)
+		}
+		want := d.NormalFingerprint()
+		for rep := 0; rep < 5; rep++ {
+			perm := rng.Perm(d.Size())
+			iso := relabel(t, d, perm, rng)
+			if iso.Fingerprint() == d.Fingerprint() && rep > 0 {
+				t.Fatalf("spec %d rep %d: relabeling produced a byte-identical DAG (bad test permutation)", si, rep)
+			}
+			if got := iso.NormalFingerprint(); got != want {
+				t.Errorf("spec %d rep %d: normal fingerprint %016x != original %016x", si, rep, got, want)
+			}
+		}
+	}
+}
+
+// TestNormalizeIsARelabeling asserts the normal form preserves everything
+// isomorphism preserves: size, edge count, level structure, characteristics,
+// and the multiset of task costs — and strips names.
+func TestNormalizeIsARelabeling(t *testing.T) {
+	rng := xrand.New(9)
+	d := MustGenerate(GenSpec{Size: 60, CCR: 0.5, Parallelism: 0.6, Density: 0.4, Regularity: 0.5, MeanCost: 30}, rng)
+	nd := d.Normalize()
+
+	if nd.Size() != d.Size() || nd.NumEdges() != d.NumEdges() || nd.Height() != d.Height() {
+		t.Fatalf("normal form changed shape: %d/%d/%d vs %d/%d/%d",
+			nd.Size(), nd.NumEdges(), nd.Height(), d.Size(), d.NumEdges(), d.Height())
+	}
+	for l := 0; l < d.Height(); l++ {
+		if nd.LevelSize(l) != d.LevelSize(l) {
+			t.Errorf("level %d size %d != %d", l, nd.LevelSize(l), d.LevelSize(l))
+		}
+	}
+	if nd.Width() != d.Width() {
+		t.Errorf("width %d != %d", nd.Width(), d.Width())
+	}
+	sum := func(x *DAG) float64 { return x.TotalWork() }
+	if math.Abs(sum(nd)-sum(d)) > 1e-9 {
+		t.Errorf("total work changed: %v != %v", sum(nd), sum(d))
+	}
+	for _, task := range nd.Tasks() {
+		if task.Name != "" {
+			t.Fatalf("normal form kept a task name: %q", task.Name)
+		}
+	}
+	// Tasks must appear in level order with dense IDs.
+	lastLevel := 0
+	for _, task := range nd.Tasks() {
+		if l := nd.Level(task.ID); l < lastLevel {
+			t.Fatalf("normal form tasks not in level order at task %d", task.ID)
+		} else {
+			lastLevel = l
+		}
+	}
+}
+
+// TestNormalizeIdempotent: the normal form of a normal form is itself.
+func TestNormalizeIdempotent(t *testing.T) {
+	rng := xrand.New(5)
+	d := MustGenerate(GenSpec{Size: 35, CCR: 0.4, Parallelism: 0.5, Density: 0.5, Regularity: 0.5, MeanCost: 40}, rng)
+	nd := d.Normalize()
+	if nd.Normalize().Fingerprint() != nd.Fingerprint() {
+		t.Error("Normalize is not idempotent")
+	}
+	if d.NormalFingerprint() != nd.Fingerprint() {
+		t.Error("NormalFingerprint != Normalize().Fingerprint()")
+	}
+}
+
+// TestNormalFingerprintSeparatesShapes: distinct shapes (different costs or
+// different structure) must keep distinct normal fingerprints.
+func TestNormalFingerprintSeparatesShapes(t *testing.T) {
+	chain := MustNew(
+		[]Task{{ID: 0, Cost: 1}, {ID: 1, Cost: 2}, {ID: 2, Cost: 3}},
+		[]Edge{{From: 0, To: 1, Cost: 1}, {From: 1, To: 2, Cost: 1}},
+	)
+	fork := MustNew(
+		[]Task{{ID: 0, Cost: 1}, {ID: 1, Cost: 2}, {ID: 2, Cost: 3}},
+		[]Edge{{From: 0, To: 1, Cost: 1}, {From: 0, To: 2, Cost: 1}},
+	)
+	costShift := MustNew(
+		[]Task{{ID: 0, Cost: 1}, {ID: 1, Cost: 2}, {ID: 2, Cost: 4}},
+		[]Edge{{From: 0, To: 1, Cost: 1}, {From: 1, To: 2, Cost: 1}},
+	)
+	edgeShift := MustNew(
+		[]Task{{ID: 0, Cost: 1}, {ID: 1, Cost: 2}, {ID: 2, Cost: 3}},
+		[]Edge{{From: 0, To: 1, Cost: 9}, {From: 1, To: 2, Cost: 1}},
+	)
+	fps := map[uint64]string{}
+	for name, d := range map[string]*DAG{"chain": chain, "fork": fork, "cost": costShift, "edge": edgeShift} {
+		fp := d.NormalFingerprint()
+		if other, dup := fps[fp]; dup {
+			t.Errorf("distinct shapes %s and %s share normal fingerprint %016x", name, other, fp)
+		}
+		fps[fp] = name
+	}
+}
+
+// TestNormalizeCharacteristicsBitIdentical pins the property the serving
+// layer's shape coalescing rests on: the characteristics vector of the
+// normal form is bit-identical to the original's for every generated shape
+// in the corpus (the sums involved are over identical float multisets in a
+// possibly different order; the canonical order regroups per level, and the
+// per-level grouping matches how the characteristics are accumulated).
+func TestNormalizeCharacteristicsBitIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := xrand.New(seed)
+		d := MustGenerate(GenSpec{
+			Size: 20 + int(seed)*11, CCR: 0.2 * float64(seed%4+1),
+			Parallelism: 0.4, Density: 0.5, Regularity: 0.5, MeanCost: 35,
+		}, rng)
+		perm := rng.Perm(d.Size())
+		iso := relabel(t, d, perm, rng)
+		a, b := d.Normalize().Characteristics(), iso.Normalize().Characteristics()
+		if a != b {
+			t.Errorf("seed %d: normal-form characteristics differ:\n%+v\nvs\n%+v", seed, a, b)
+		}
+	}
+}

@@ -107,6 +107,43 @@ func (pl *Pool) evalOne(ctx context.Context, p Point) (Result, error) {
 	return r, err
 }
 
+// Fan runs fn(i) for every i in [0, n) across at most workers goroutines
+// (workers <= 0 uses GOMAXPROCS) and returns when all calls have finished.
+// Indexes are issued in order, results land wherever fn writes them, and fn
+// handles its own errors — the generic skeleton of EvaluateAll, exported so
+// other fan-out consumers (the serving layer's batch endpoint) share the
+// evaluation engine's worker discipline instead of growing their own.
+func Fan(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // EvaluateAll evaluates every point and returns results indexed by input
 // position. On error it returns the lowest-index failure, matching what a
 // serial loop over the points would report; once a failure is observed no

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rsgen/internal/dag"
@@ -192,7 +193,28 @@ type state struct {
 	lenBuf []int32
 }
 
-var statePool = sync.Pool{New: func() interface{} { return new(state) }}
+// stateGets counts state acquisitions (one per Schedule call) and stateNews
+// the subset that had to allocate because the pool was empty; the difference
+// is how often the allocation-free steady state actually reused scratch.
+// The serving layer exposes both (rsgend_sched_state_{gets,allocs}_total) so
+// batch amortization — many schedules back to back reusing one warm state —
+// is observable in production, not just in benchmarks.
+var (
+	stateGets atomic.Uint64
+	stateNews atomic.Uint64
+)
+
+// StatePoolStats reports cumulative scheduler-state pool traffic: gets is
+// the number of Schedule calls that acquired a state, allocs the number that
+// allocated a fresh one (pool miss). gets − allocs states were reused.
+func StatePoolStats() (gets, allocs uint64) {
+	return stateGets.Load(), stateNews.Load()
+}
+
+var statePool = sync.Pool{New: func() interface{} {
+	stateNews.Add(1)
+	return new(state)
+}}
 
 func newState(d *dag.DAG, rc *platform.ResourceCollection) (*state, error) {
 	if err := rc.Validate(); err != nil {
@@ -200,6 +222,7 @@ func newState(d *dag.DAG, rc *platform.ResourceCollection) (*state, error) {
 	}
 	n := d.Size()
 	m := rc.Size()
+	stateGets.Add(1)
 	s := statePool.Get().(*state)
 	s.d = d
 	s.rc = rc

@@ -1,0 +1,291 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/eval"
+	"rsgen/internal/obs"
+	"rsgen/internal/spec"
+)
+
+// BatchRequest is the POST /v1/spec/batch body: many specification requests
+// answered in one round trip under a single pinned snapshot of the model
+// registry and platform inventory. Members that decode and validate are
+// always answered; a bad member yields a per-member 400 result, not a batch
+// failure.
+type BatchRequest struct {
+	// Requests are the members, answered positionally in Results.
+	Requests []BatchMember `json:"requests"`
+	// Options, when set, is the default option block for members that do
+	// not carry their own.
+	Options *SpecOptions `json:"options,omitempty"`
+}
+
+// BatchMember is one DAG plus (optionally) its own option overrides.
+type BatchMember struct {
+	Dag json.RawMessage `json:"dag"`
+	// Options replaces (not merges with) the batch default when set.
+	Options *SpecOptions `json:"options,omitempty"`
+}
+
+// BatchSnapshot records what every member of the batch was evaluated
+// against. It is captured once, before any member runs: a concurrent model
+// reload or platform event lands entirely before or entirely after this
+// batch's snapshot, never between two members.
+type BatchSnapshot struct {
+	// ArtifactVersion is the trained-model artifact format version.
+	ArtifactVersion int `json:"artifact_version"`
+	// SizeThresholds is the number of trained size-model thresholds.
+	SizeThresholds int `json:"size_thresholds"`
+	// HeuristicModel reports whether the heuristic predictor is loaded.
+	HeuristicModel bool `json:"heuristic_model"`
+	// InventoryGeneration is the broker's platform-inventory epoch at batch
+	// start (0 before any inventory is registered).
+	InventoryGeneration uint64 `json:"inventory_generation"`
+	// EvalWorkers is the worker count the members fanned out over.
+	EvalWorkers int `json:"eval_workers"`
+}
+
+// BatchResult is one member's outcome. Status is the HTTP status the same
+// request would have received on POST /v1/spec; Spec is present exactly when
+// Status is 200 and holds the same JSON object (batch framing aside).
+type BatchResult struct {
+	Index  int             `json:"index"`
+	Status int             `json:"status"`
+	Source string          `json:"source,omitempty"`
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /v1/spec/batch response body. The counters
+// partition Members: Computed (led or independently recomputed an
+// evaluation) + CacheHits (byte-exact or shape cache) + Coalesced (waited on
+// an in-flight computation, byte-exact or shape) + Errors.
+type BatchResponse struct {
+	Snapshot  BatchSnapshot `json:"snapshot"`
+	Members   int           `json:"members"`
+	Computed  int           `json:"computed"`
+	CacheHits int           `json:"cache_hits"`
+	Coalesced int           `json:"coalesced"`
+	Errors    int           `json:"errors"`
+	Results   []BatchResult `json:"results"`
+}
+
+// handleSpecBatch is POST /v1/spec/batch: decode and validate every member
+// up front, pin the snapshot, then fan the members over the evaluation
+// worker budget through the same resolveSpec path as single requests — so a
+// batch gets the full benefit of the response cache, shape coalescing, and
+// in-flight dedup, within itself and against concurrent traffic.
+func (s *Server) handleSpecBatch(w http.ResponseWriter, r *http.Request) {
+	// One concurrency slot covers the whole batch: the batch is the unit of
+	// admission, and its members are bounded by the eval worker budget
+	// below, not by the handler semaphore.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		s.metrics.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server saturated: %v", r.Context().Err())
+		return
+	}
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
+	_, decSpan := obs.StartSpan(r.Context(), "decode")
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		decSpan.EndErr(err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "malformed request JSON: %v", err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		decSpan.EndErr(errors.New("batch has no requests"))
+		writeError(w, http.StatusBadRequest, "batch has no requests")
+		return
+	}
+	if n := len(req.Requests); n > s.cfg.MaxBatchMembers {
+		decSpan.EndErr(fmt.Errorf("batch too large: %d members", n))
+		writeError(w, http.StatusRequestEntityTooLarge, "batch has %d members, limit is %d", n, s.cfg.MaxBatchMembers)
+		return
+	}
+
+	// Decode and validate every member before any evaluation starts, so
+	// malformed members surface as per-member 400s regardless of worker
+	// scheduling order. Byte-identical members (same raw dag bytes, same
+	// effective options) are grouped before the dag is even decoded: one
+	// leader per group decodes and resolves, and its followers copy the
+	// leader's result afterwards. Decoding dominates the per-member cost of
+	// a cache-friendly batch, so duplicate-heavy workloads skip it entirely.
+	type member struct {
+		d    *dag.DAG
+		opts SpecOptions
+	}
+	results := make([]BatchResult, len(req.Requests))
+	members := make([]member, len(req.Requests))
+	todo := make([]int, 0, len(req.Requests))
+	groups := make(map[string]int, len(req.Requests))
+	followers := make(map[int][]int)
+	for i, m := range req.Requests {
+		results[i].Index = i
+		if len(m.Dag) == 0 {
+			results[i].Status = http.StatusBadRequest
+			results[i].Error = "member has no dag"
+			continue
+		}
+		opts := SpecOptions{}
+		if m.Options != nil {
+			opts = *m.Options
+		} else if req.Options != nil {
+			opts = *req.Options
+		}
+		if err := s.validateOptions(opts); err != nil {
+			results[i].Status = http.StatusBadRequest
+			results[i].Error = fmt.Sprintf("invalid options: %v", err)
+			continue
+		}
+		rawKey := optsKey(opts) + "\x00" + string(m.Dag)
+		if leader, ok := groups[rawKey]; ok {
+			followers[leader] = append(followers[leader], i)
+			continue
+		}
+		groups[rawKey] = i
+		d, err := dag.Decode(bytes.NewReader(m.Dag))
+		if err != nil {
+			results[i].Status = http.StatusBadRequest
+			results[i].Error = fmt.Sprintf("invalid dag: %v", err)
+			continue
+		}
+		members[i] = member{d: d, opts: opts}
+		todo = append(todo, i)
+	}
+	decSpan.SetDetail("members=%d valid=%d groups=%d", len(req.Requests), len(todo), len(groups))
+	decSpan.End()
+
+	g := s.cfg.Generator
+	snapshot := BatchSnapshot{
+		ArtifactVersion:     spec.ArtifactFormatVersion,
+		SizeThresholds:      len(g.Size.Models),
+		HeuristicModel:      g.Heur != nil,
+		InventoryGeneration: s.brk.Generation(),
+		EvalWorkers:         s.effectiveWorkers(),
+	}
+	s.metrics.batchRequests.Inc()
+	s.metrics.batchMembers.Add(uint64(len(req.Requests)))
+
+	// Members run without per-member trace spans — a full batch would
+	// swamp the span ring — while keeping the request's cancellation; the
+	// batch's own decode/members spans still tell the timing story.
+	mctx := obs.WithTrace(r.Context(), nil)
+	_, runSpan := obs.StartSpan(r.Context(), "members")
+	eval.Fan(len(todo), s.effectiveWorkers(), func(k int) {
+		i := todo[k]
+		body, source, err := s.resolveSpec(mctx, members[i].d, members[i].opts)
+		if err != nil {
+			status := specErrStatus(err)
+			if errors.Is(err, errAbandoned) {
+				status = http.StatusServiceUnavailable
+			}
+			results[i].Status = status
+			results[i].Error = err.Error()
+			return
+		}
+		results[i].Status = http.StatusOK
+		results[i].Source = source
+		// The single-request body is compact JSON plus a trailing newline;
+		// strip the newline so the member embeds as a clean JSON value.
+		results[i].Spec = json.RawMessage(bytes.TrimSuffix(body, []byte("\n")))
+	})
+	runSpan.SetDetail("members=%d", len(todo))
+	runSpan.End()
+
+	// Fan the leaders' outcomes out to their byte-identical followers. A
+	// successful follower reports source "shared" — it merged with an
+	// identical request rather than being served by the cache — and failed
+	// leaders (including decode errors) propagate their result verbatim.
+	for leader, dup := range followers {
+		for _, i := range dup {
+			results[i] = results[leader]
+			results[i].Index = i
+			if results[i].Status == http.StatusOK {
+				results[i].Source = srcShared
+				s.metrics.dedupShared.Inc()
+			}
+		}
+	}
+
+	resp := BatchResponse{Snapshot: snapshot, Members: len(results), Results: results}
+	for i := range results {
+		switch results[i].Source {
+		case srcComputed, srcFallback:
+			resp.Computed++
+		case srcCacheHit, srcShapeHit:
+			resp.CacheHits++
+		case srcShared, srcCoalesced:
+			resp.Coalesced++
+		default:
+			resp.Errors++
+		}
+	}
+	writeBatchResponse(w, &resp)
+}
+
+// writeBatchResponse renders the batch body by hand instead of handing the
+// whole BatchResponse to encoding/json: the embedded member specs are
+// already compact JSON straight from the response cache, and json.Marshal
+// would re-scan and re-compact every one of them (measurably the largest
+// single cost of serving a cache-hot batch). Only the small envelope fields
+// go through the encoder.
+func writeBatchResponse(w http.ResponseWriter, resp *BatchResponse) {
+	size := 256
+	for i := range resp.Results {
+		size += len(resp.Results[i].Spec) + len(resp.Results[i].Error) + 64
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, size))
+	buf.WriteString(`{"snapshot":`)
+	snap, err := json.Marshal(resp.Snapshot)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode snapshot: %v", err)
+		return
+	}
+	buf.Write(snap)
+	fmt.Fprintf(buf, `,"members":%d,"computed":%d,"cache_hits":%d,"coalesced":%d,"errors":%d,"results":[`,
+		resp.Members, resp.Computed, resp.CacheHits, resp.Coalesced, resp.Errors)
+	for i := range resp.Results {
+		r := &resp.Results[i]
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(buf, `{"index":%d,"status":%d`, r.Index, r.Status)
+		if r.Source != "" {
+			// Sources are fixed identifiers; no escaping needed.
+			fmt.Fprintf(buf, `,"source":%q`, r.Source)
+		}
+		if len(r.Spec) > 0 {
+			buf.WriteString(`,"spec":`)
+			buf.Write(r.Spec)
+		}
+		if r.Error != "" {
+			msg, err := json.Marshal(r.Error)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "encode error: %v", err)
+				return
+			}
+			buf.WriteString(`,"error":`)
+			buf.Write(msg)
+		}
+		buf.WriteByte('}')
+	}
+	buf.WriteString("]}\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // responseCache is a bounded LRU over fully rendered response bodies. The
@@ -15,6 +16,8 @@ type responseCache struct {
 	max   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
+
+	evictions atomic.Uint64 // entries dropped by the capacity bound
 }
 
 type cacheEntry struct {
@@ -58,9 +61,13 @@ func (c *responseCache) Put(key string, body []byte) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
 }
+
+// Evictions returns the cumulative number of capacity evictions.
+func (c *responseCache) Evictions() uint64 { return c.evictions.Load() }
 
 // Len returns the number of cached responses.
 func (c *responseCache) Len() int {

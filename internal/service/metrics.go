@@ -7,6 +7,7 @@ import (
 
 	"rsgen/internal/eval"
 	"rsgen/internal/obs"
+	"rsgen/internal/sched"
 )
 
 // metrics holds the service's request instruments, registered on the
@@ -27,18 +28,39 @@ type metrics struct {
 	dedupShared *obs.Counter
 	rejected    *obs.Counter // 503s from the concurrency limiter
 	inflight    *obs.Gauge
+
+	// coalesceHits counts requests served by shape coalescing, labeled by
+	// where the share happened: kind="cache" (a past computation's bytes
+	// under the shape key) or kind="flight" (joined a shape-identical
+	// in-flight computation). Byte-exact shares stay in cacheHits and
+	// dedupShared; cacheMisses keeps its meaning of "no byte-exact entry".
+	coalesceHits *obs.CounterVec
+	// flightFallbacks counts followers that recomputed independently after
+	// their leader failed.
+	flightFallbacks *obs.Counter
+	batchRequests   *obs.Counter // POST /v1/spec/batch bodies accepted
+	batchMembers    *obs.Counter // members across all accepted batches
 }
 
-func newMetrics(reg *obs.Registry, cacheLen func() int) *metrics {
+func newMetrics(reg *obs.Registry, cache *responseCache) *metrics {
 	m := &metrics{}
 	m.requests = reg.CounterVec("rsgend_requests_total", "path", "code")
 	m.latency = reg.SummaryVec("rsgend_request_seconds", "path")
 	m.cacheHits = reg.Counter("rsgend_spec_cache_hits_total")
 	m.cacheMisses = reg.Counter("rsgend_spec_cache_misses_total")
-	reg.IntGaugeFunc("rsgend_spec_cache_entries", func() int64 { return int64(cacheLen()) })
+	reg.IntGaugeFunc("rsgend_spec_cache_entries", func() int64 { return int64(cache.Len()) })
 	m.dedupShared = reg.Counter("rsgend_dedup_shared_total")
 	m.rejected = reg.Counter("rsgend_rejected_total")
 	m.inflight = reg.Gauge("rsgend_inflight_requests")
+
+	// Batch + coalescing families (this block sits between the legacy
+	// service prefix and the eval families; the broker mount still follows
+	// the whole service+eval group).
+	reg.CounterFunc("rsgend_spec_cache_evictions_total", cache.Evictions)
+	m.coalesceHits = reg.CounterVec("rsgend_coalesce_hits_total", "kind")
+	m.flightFallbacks = reg.Counter("rsgend_flight_fallbacks_total")
+	m.batchRequests = reg.Counter("rsgend_batch_requests_total")
+	m.batchMembers = reg.Counter("rsgend_batch_members_total")
 
 	// The evaluation engine's process-wide counters (internal/eval).
 	reg.CounterFunc("rsgend_eval_points_total", func() uint64 { return eval.Snapshot().Points })
@@ -53,6 +75,11 @@ func newMetrics(reg *obs.Registry, cacheLen func() int) *metrics {
 			{Labels: `{stage="simulate"}`, Value: obs.FormatFloat(s.Simulate.Seconds())},
 		}
 	})
+	// Scheduler state-pool effectiveness: gets ≫ allocs means the pooled
+	// structures (PR 3) are actually being reused across requests and batch
+	// members rather than reallocated.
+	reg.CounterFunc("rsgend_sched_state_gets_total", func() uint64 { g, _ := sched.StatePoolStats(); return g })
+	reg.CounterFunc("rsgend_sched_state_allocs_total", func() uint64 { _, a := sched.StatePoolStats(); return a })
 	return m
 }
 

@@ -61,6 +61,15 @@ rsgend_dedup_shared_total •
 rsgend_rejected_total •
 # TYPE rsgend_inflight_requests gauge
 rsgend_inflight_requests •
+# TYPE rsgend_spec_cache_evictions_total counter
+rsgend_spec_cache_evictions_total •
+# TYPE rsgend_coalesce_hits_total counter
+# TYPE rsgend_flight_fallbacks_total counter
+rsgend_flight_fallbacks_total •
+# TYPE rsgend_batch_requests_total counter
+rsgend_batch_requests_total •
+# TYPE rsgend_batch_members_total counter
+rsgend_batch_members_total •
 # TYPE rsgend_eval_points_total counter
 rsgend_eval_points_total •
 # TYPE rsgend_eval_cache_hits_total counter
@@ -73,6 +82,10 @@ rsgend_eval_dedup_waits_total •
 rsgend_eval_stage_seconds{stage="rc_build"} •
 rsgend_eval_stage_seconds{stage="schedule"} •
 rsgend_eval_stage_seconds{stage="simulate"} •
+# TYPE rsgend_sched_state_gets_total counter
+rsgend_sched_state_gets_total •
+# TYPE rsgend_sched_state_allocs_total counter
+rsgend_sched_state_allocs_total •
 # TYPE rsgend_broker_rung_attempts_total counter
 # TYPE rsgend_broker_fallback_depth_total counter
 # TYPE rsgend_broker_selections_total counter

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,13 @@ type Config struct {
 	MaxInflight int
 	// CacheEntries bounds the response LRU; 0 defaults to 1024.
 	CacheEntries int
+	// MaxBatchMembers bounds the member count of one POST /v1/spec/batch
+	// request; 0 defaults to 256.
+	MaxBatchMembers int
+	// MaxBatchBytes bounds the batch request body; 0 defaults to 32 MiB
+	// (a batch carries many DAGs, so the single-request MaxBodyBytes would
+	// be far too tight).
+	MaxBatchBytes int64
 	// Workers bounds the evaluation pool used for alternative
 	// specifications; 0 uses all cores.
 	Workers int
@@ -108,6 +116,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 1024
+	}
+	if c.MaxBatchMembers == 0 {
+		c.MaxBatchMembers = 256
+	}
+	if c.MaxBatchBytes == 0 {
+		c.MaxBatchBytes = 32 << 20
 	}
 	if c.BaseCtx == nil {
 		c.BaseCtx = context.Background()
@@ -160,7 +174,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	cache := newResponseCache(cfg.CacheEntries)
 	reg := obs.NewRegistry()
-	m := newMetrics(reg, cache.Len)
+	m := newMetrics(reg, cache)
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
@@ -202,6 +216,7 @@ func New(cfg Config) (*Server, error) {
 		s.rec.SetTracer(s.tracer)
 	}
 	s.mux.HandleFunc("POST /v1/spec", s.handleSpec)
+	s.mux.HandleFunc("POST /v1/spec/batch", s.handleSpecBatch)
 	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
 	s.mux.HandleFunc("GET /v1/select/{id}", s.handleSelectStatus)
 	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
@@ -245,8 +260,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // whitelisted too: DebugMux routes its traffic through the same accounting.
 func metricPath(p string) string {
 	switch p {
-	case "/v1/spec", "/v1/select", "/v1/release", "/v1/platform",
-		"/v1/platform/events", "/healthz", "/metrics", "/debug/traces":
+	case "/v1/spec", "/v1/spec/batch", "/v1/select", "/v1/release",
+		"/v1/platform", "/v1/platform/events", "/healthz", "/metrics",
+		"/debug/traces":
 		return p
 	}
 	if strings.HasPrefix(p, "/v1/select/") {
@@ -386,55 +402,166 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	decSpan.SetDetail("tasks=%d", len(d.Tasks()))
 	decSpan.End()
 
-	key := cacheKey(d, req.Options)
-	_, cacheSpan := obs.StartSpan(r.Context(), "cache")
-	body, ok := s.cache.Get(key)
-	cacheSpan.SetDetail("hit=%t", ok)
-	cacheSpan.End()
-	if ok {
-		s.metrics.cacheHits.Inc()
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Cache", "hit")
-		_, _ = w.Write(body)
-		return
-	}
-	s.metrics.cacheMisses.Inc()
-
-	// Deduplicate concurrent identical requests: the leader computes
-	// under the server's context (so one client disconnecting cannot
-	// fail the rest), followers wait for the shared bytes.
-	call, leader := s.flight.join(key)
-	if leader {
-		body, err := s.computeResponse(r.Context(), d, req.Options)
-		if err == nil {
-			s.cache.Put(key, body)
-		}
-		s.flight.finish(key, call, body, err)
-	} else {
-		s.metrics.dedupShared.Inc()
-		_, awaitSpan := obs.StartSpan(r.Context(), "await")
-		select {
-		case <-call.done:
-			awaitSpan.End()
-		case <-r.Context().Done():
-			awaitSpan.EndErr(r.Context().Err())
-			writeError(w, http.StatusServiceUnavailable, "request abandoned: %v", r.Context().Err())
+	body, source, err := s.resolveSpec(r.Context(), d, req.Options)
+	if err != nil {
+		if errors.Is(err, errAbandoned) {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
-	}
-	if call.err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(call.err, context.DeadlineExceeded) {
-			status = http.StatusGatewayTimeout
-		} else if errors.Is(call.err, context.Canceled) {
-			status = http.StatusServiceUnavailable
-		}
-		writeError(w, status, "generate: %v", call.err)
+		writeError(w, specErrStatus(err), "generate: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", "miss")
-	_, _ = w.Write(call.body)
+	w.Header().Set("X-Cache", xCacheValue(source))
+	_, _ = w.Write(body)
+}
+
+// How a request's bytes were produced, for headers and batch accounting.
+const (
+	srcCacheHit  = "cache"       // byte-exact response cache
+	srcShapeHit  = "shape-cache" // shape cache: coalesced with a past computation
+	srcComputed  = "computed"    // this caller led the computation
+	srcShared    = "shared"      // waited on an identical in-flight computation
+	srcCoalesced = "coalesced"   // waited on a shape-identical in-flight computation
+	srcFallback  = "fallback"    // leader failed; computed independently
+)
+
+// errAbandoned marks a caller whose own request context ended while it was
+// waiting on a shared in-flight computation.
+var errAbandoned = errors.New("request abandoned")
+
+func specErrStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// xCacheValue renders the X-Cache header: anything that had to compute or
+// wait is a miss, matching the pre-batch header vocabulary plus the new
+// shape-hit value.
+func xCacheValue(source string) string {
+	switch source {
+	case srcCacheHit:
+		return "hit"
+	case srcShapeHit:
+		return "shape-hit"
+	}
+	return "miss"
+}
+
+// coalescible reports whether a request may share bytes with shape-identical
+// (isomorphic-modulo-labels) requests. The plain path qualifies: its response
+// is a pure function of the DAG's characteristics vector and width, both
+// invariant under relabeling. The alternatives path does not — it runs real
+// schedule sweeps whose tie-breaking follows task numbering — so it keeps
+// byte-exact dedup only.
+func coalescible(o SpecOptions) bool { return len(o.AlternativeClocks) == 0 }
+
+// shapeKey keys the canonical form; the prefix keeps the shape keyspace
+// disjoint from byte-exact keys (a normal form is itself a valid DAG whose
+// exact key must stay distinct).
+func shapeKey(nd *dag.DAG, o SpecOptions) string { return "shape|" + cacheKey(nd, o) }
+
+// resolveSpec turns one validated (DAG, options) pair into response bytes,
+// through — in order — the byte-exact cache, the shape cache, and the
+// single-flight group, computing only when no prior or concurrent identical
+// work exists. Coalescible requests are *computed on their canonical form*,
+// so a coalesced response is byte-identical to an independent evaluation of
+// the same request by construction, not by accident of arrival order.
+//
+// It is the shared engine of POST /v1/spec and every /v1/spec/batch member;
+// rctx carries the caller's trace and cancellation, while leader computation
+// runs under the server's BaseCtx+Timeout as before.
+func (s *Server) resolveSpec(rctx context.Context, d *dag.DAG, o SpecOptions) (body []byte, source string, err error) {
+	exact := cacheKey(d, o)
+	_, cacheSpan := obs.StartSpan(rctx, "cache")
+	if body, ok := s.cache.Get(exact); ok {
+		cacheSpan.SetDetail("hit=true")
+		cacheSpan.End()
+		s.metrics.cacheHits.Inc()
+		return body, srcCacheHit, nil
+	}
+	s.metrics.cacheMisses.Inc()
+
+	key, nd := exact, d
+	if coalescible(o) {
+		nd = d.Normalize()
+		key = shapeKey(nd, o)
+		if body, ok := s.cache.Get(key); ok {
+			cacheSpan.SetDetail("hit=false shape=true")
+			cacheSpan.End()
+			s.metrics.coalesceHits.With("cache").Inc()
+			// Promote the bytes to this variant's exact key so its next
+			// occurrence skips normalization.
+			s.cache.Put(exact, body)
+			return body, srcShapeHit, nil
+		}
+	}
+	cacheSpan.SetDetail("hit=false")
+	cacheSpan.End()
+
+	// Deduplicate concurrent identical (or shape-identical) requests: the
+	// leader computes under the server's context (so one client
+	// disconnecting cannot fail the rest), followers wait for the shared
+	// bytes.
+	call, leader := s.flight.join(key)
+	if leader {
+		body, err := s.computeResponse(rctx, nd, o)
+		if err == nil {
+			s.cache.Put(key, body)
+			if key != exact {
+				s.cache.Put(exact, body)
+			}
+		}
+		s.flight.finish(key, call, body, err)
+		return body, srcComputed, err
+	}
+	source = srcShared
+	if key != exact {
+		source = srcCoalesced
+		s.metrics.coalesceHits.With("flight").Inc()
+	} else {
+		s.metrics.dedupShared.Inc()
+	}
+	_, awaitSpan := obs.StartSpan(rctx, "await")
+	select {
+	case <-call.done:
+		awaitSpan.End()
+	case <-rctx.Done():
+		awaitSpan.EndErr(rctx.Err())
+		return nil, source, fmt.Errorf("%w: %v", errAbandoned, rctx.Err())
+	}
+	if call.err == nil {
+		return call.body, source, nil
+	}
+	// The leader failed — possibly for a reason particular to its own run
+	// (deadline hit under load). Fall back to an independent evaluation so
+	// one poisoned leader cannot fail the whole group, mirroring
+	// internal/eval's dedup discipline.
+	s.metrics.flightFallbacks.Inc()
+	body, err = s.computeResponse(rctx, nd, o)
+	if err != nil {
+		return nil, srcFallback, err
+	}
+	s.cache.Put(key, body)
+	if key != exact {
+		s.cache.Put(exact, body)
+	}
+	return body, srcFallback, nil
+}
+
+// effectiveWorkers is the evaluation fan-out width used for batch members
+// and alternative sweeps.
+func (s *Server) effectiveWorkers() int {
+	if s.cfg.Workers > 0 {
+		return s.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // validateOptions rejects requests the generator would choke on, so bad
@@ -478,8 +605,14 @@ func (s *Server) validateOptions(o SpecOptions) error {
 // that affects the generated bytes — the internal/eval key discipline
 // applied one layer up.
 func cacheKey(d *dag.DAG, o SpecOptions) string {
-	return fmt.Sprintf("%016x|t%g|u%g|c%g|h%g|m%d|s%g|x%t|H%s|ac%v|at%g",
-		d.Fingerprint(), o.Threshold, o.UtilityLambda, o.ClockGHz,
+	return fmt.Sprintf("%016x|", d.Fingerprint()) + optsKey(o)
+}
+
+// optsKey is the option block's contribution to every cache and coalescing
+// key: two requests share results only when every option matches.
+func optsKey(o SpecOptions) string {
+	return fmt.Sprintf("t%g|u%g|c%g|h%g|m%d|s%g|x%t|H%s|ac%v|at%g",
+		o.Threshold, o.UtilityLambda, o.ClockGHz,
 		o.HeterogeneityTolerance, o.MinMemoryMB, o.SCR, o.MixedParallel,
 		o.Heuristic, o.AlternativeClocks, o.AlternativeTolerance)
 }
@@ -588,7 +721,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":          "ok",
 		"size_thresholds": len(g.Size.Models),
 		"heuristic_model": g.Heur != nil,
+		"eval_workers":    s.effectiveWorkers(),
 		"uptime_seconds":  int64(time.Since(s.started).Seconds()),
+		"spec_cache": map[string]any{
+			"entries":  s.cache.Len(),
+			"capacity": s.cfg.CacheEntries,
+		},
 		// What the broker's store recovered at startup: all zero-valued
 		// (durable=false) when running on the in-memory store.
 		"store": s.brk.Recovery(),

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# load_smoke.sh — end-to-end smoke test for the batch/coalesced serving path.
+#
+# Trains a smoke-scale artifact, starts rsgend on an ephemeral port, and
+# drives it with cmd/loadgen twice: a closed-loop single-vs-batch comparison
+# on a shape-duplicate-heavy mix, then a short open-loop (Poisson arrivals)
+# run. Asserts that shape coalescing actually fired (nonzero coalesce hit
+# rate in both scenarios), that no request errored, that batch mode beat
+# single-request throughput, and that p99 latency stayed under the ceiling
+# (LOAD_SMOKE_P99_MS, default 2000 — generous, this is a correctness gate
+# for shared CI runners, not a performance benchmark; BENCH_8.json is the
+# measured artifact).
+#
+# Run from the repository root (make load-smoke does this for you).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+SRV_PID=""
+P99_CEILING_MS="${LOAD_SMOKE_P99_MS:-2000}"
+
+cleanup() {
+    if [[ -n "$SRV_PID" ]] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill -KILL "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "load-smoke: building rsgend and loadgen"
+go build -o "$WORK/rsgend" "$ROOT/cmd/rsgend"
+go build -o "$WORK/loadgen" "$ROOT/cmd/loadgen"
+
+echo "load-smoke: training smoke-scale models"
+"$WORK/rsgend" -train -models "$WORK/models.json" -scale smoke -seed 1
+
+echo "load-smoke: starting rsgend on an ephemeral port"
+"$WORK/rsgend" -models "$WORK/models.json" -addr 127.0.0.1:0 2>"$WORK/serve.log" &
+SRV_PID=$!
+
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's#.*listening on http://##p' "$WORK/serve.log" | head -n1)"
+    [[ -n "$ADDR" ]] && break
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+        echo "load-smoke: FAIL — server exited before binding" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+    echo "load-smoke: FAIL — server never reported its address" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+echo "load-smoke: server up at $ADDR"
+
+echo "load-smoke: closed-loop single vs batch on a shape-duplicate-heavy mix"
+"$WORK/loadgen" -url "http://$ADDR" -scenarios single,batch -mode closed \
+    -requests 200 -batch 25 -conns 4 -mix 2:5:3 -dag-size 30 -seed 11 \
+    -json "$WORK/closed.json"
+
+jq -e --argjson ceiling "$P99_CEILING_MS" '
+    (.scenarios | length) == 2 and
+    ([.scenarios[] | select(.errors != 0)] | length) == 0 and
+    ([.scenarios[] | select(.coalesce_hit_rate <= 0)] | length) == 0 and
+    ([.scenarios[] | select(.latency.p99_ms >= $ceiling)] | length) == 0 and
+    .batch_vs_single_throughput > 1
+' "$WORK/closed.json" >/dev/null || {
+    echo "load-smoke: FAIL — closed-loop run violated an assertion (errors, coalescing, p99 < ${P99_CEILING_MS}ms, batch>single):" >&2
+    cat "$WORK/closed.json" >&2
+    exit 1
+}
+echo "load-smoke: coalescing fired and batch beat single ($(jq -r '.batch_vs_single_throughput' "$WORK/closed.json")x)"
+
+echo "load-smoke: open-loop Poisson arrivals"
+"$WORK/loadgen" -url "http://$ADDR" -scenarios single -mode open -rate 200 \
+    -requests 100 -max-outstanding 64 -mix 1:2:1 -dag-size 30 -seed 12 \
+    -json "$WORK/open.json"
+
+jq -e --argjson ceiling "$P99_CEILING_MS" '
+    .scenarios[0].errors == 0 and
+    .scenarios[0].specs > 0 and
+    .scenarios[0].latency.p99_ms < $ceiling
+' "$WORK/open.json" >/dev/null || {
+    echo "load-smoke: FAIL — open-loop run violated an assertion:" >&2
+    cat "$WORK/open.json" >&2
+    exit 1
+}
+echo "load-smoke: open-loop run clean (p99 $(jq -r '.scenarios[0].latency.p99_ms' "$WORK/open.json")ms)"
+
+kill -TERM "$SRV_PID"
+set +e
+wait "$SRV_PID"
+CODE=$?
+set -e
+SRV_PID=""
+if [[ "$CODE" -ne 0 ]]; then
+    echo "load-smoke: FAIL — server exited $CODE after SIGTERM (want 0)" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+echo "load-smoke: PASS"

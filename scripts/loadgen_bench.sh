@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# loadgen_bench.sh [output.json]
+#
+# Produces the committed serving benchmark (BENCH_8.json by default): trains
+# a smoke-scale artifact, serves it, and runs cmd/loadgen's closed-loop
+# single-vs-batch comparison on a shape-duplicate-heavy mix. The resulting
+# document carries per-scenario throughput, p50/p90/p99 latency, coalesce
+# hit rates, and the batch-vs-single throughput ratio.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_8.json}"
+WORK="$(mktemp -d)"
+SRV_PID=""
+
+cleanup() {
+    if [[ -n "$SRV_PID" ]] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill -KILL "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/rsgend" ./cmd/rsgend
+go build -o "$WORK/loadgen" ./cmd/loadgen
+"$WORK/rsgend" -train -models "$WORK/models.json" -scale smoke -seed 1
+
+"$WORK/rsgend" -models "$WORK/models.json" -addr 127.0.0.1:0 2>"$WORK/serve.log" &
+SRV_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's#.*listening on http://##p' "$WORK/serve.log" | head -n1)"
+    [[ -n "$ADDR" ]] && break
+    sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+    echo "loadgen-bench: server never reported its address" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+
+# Defaults model the regime batching exists for: many small, cheap,
+# duplicate-heavy requests (5% unique / 60% shape-duplicate / 35%
+# byte-duplicate), where the fixed per-request HTTP cost dominates the
+# single-request path and the batch path amortizes it away.
+"$WORK/loadgen" -url "http://$ADDR" -scenarios single,batch -mode closed \
+    -requests "${LOADGEN_REQUESTS:-2400}" -batch "${LOADGEN_BATCH:-60}" \
+    -conns "${LOADGEN_CONNS:-8}" -mix "${LOADGEN_MIX:-1:12:7}" \
+    -dag-size "${LOADGEN_DAG_SIZE:-8}" -repeat "${LOADGEN_REPEAT:-3}" -seed 1 \
+    -label "smoke-models closed-loop shape-duplicate-heavy" -json "$OUT"
+
+kill -TERM "$SRV_PID"
+set +e
+wait "$SRV_PID"
+set -e
+SRV_PID=""
+echo "wrote $OUT (batch/single = $(jq -r '.batch_vs_single_throughput' "$OUT")x)" >&2
