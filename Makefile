@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race bench bench-smoke bench-json fuzz-smoke serve-smoke crash-smoke churn-smoke load-smoke loadgen-bench
+.PHONY: check vet build test race bench bench-smoke bench-json fuzz-smoke serve-smoke crash-smoke churn-smoke load-smoke advise-smoke loadgen-bench
 
 check: vet build race bench-smoke fuzz-smoke
 
@@ -50,6 +50,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz 'FuzzParseExpr$$' -fuzztime $(FUZZTIME) ./internal/classad
 	$(GO) test -run xxx -fuzz 'FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/sword
 	$(GO) test -run xxx -fuzz 'FuzzSelectRequest$$' -fuzztime $(FUZZTIME) ./internal/service
+	$(GO) test -run xxx -fuzz 'FuzzAdviseRequest$$' -fuzztime $(FUZZTIME) ./internal/service
 	$(GO) test -run xxx -fuzz 'FuzzWALRecord$$' -fuzztime $(FUZZTIME) ./internal/broker/durable
 
 # End-to-end service smoke: train a smoke-scale artifact, serve it on an
@@ -76,3 +77,9 @@ churn-smoke:
 # fired, batch beat single, and p99 stayed under LOAD_SMOKE_P99_MS.
 load-smoke:
 	bash scripts/load_smoke.sh
+
+# End-to-end multi-objective selection: register a priced inventory, ask
+# POST /v1/advise for the Pareto front (>= 2 mutually non-dominated
+# solutions), then round-trip a backend=moga select and release.
+advise-smoke:
+	bash scripts/advise_smoke.sh

@@ -15,7 +15,10 @@
 //	GET  /v1/select/{id}      session status: current lease, health, rebind history
 //	POST /v1/platform/events  {"events": [...]} → host churn / load / clock drift
 //	POST /v1/release  {"lease_id": "..."} → free a lease's hosts (reports rebinds)
-//	GET  /healthz     liveness + model provenance
+//	POST /v1/advise   what-if advisor: the full Pareto front over predicted
+//	                  turn-around / dollar cost / power / fragmentation,
+//	                  without taking a lease (404 with -moga=false)
+//	GET  /healthz     liveness + model provenance + registered selector backends
 //	GET  /metrics     Prometheus text exposition (requests, latencies, caches,
 //	                  broker rung attempts, fallback depth, lease occupancy)
 //
@@ -68,6 +71,7 @@ import (
 	"rsgen"
 	"rsgen/internal/broker"
 	"rsgen/internal/broker/durable"
+	"rsgen/internal/moga"
 	"rsgen/internal/obs"
 	"rsgen/internal/reconcile"
 	"rsgen/internal/service"
@@ -102,12 +106,16 @@ func run(args []string) int {
 		logFormat   = fs.String("log-format", "text", "log encoding: text | json")
 		slowReq     = fs.Duration("slow-request", time.Second, "log a warning with the span breakdown for requests at least this slow (0 disables)")
 		traceSize   = fs.Int("trace-entries", 256, "finished request traces held for /debug/traces")
+		mogaOn      = fs.Bool("moga", true, "register the multi-objective (NSGA-II) selection backend and mount POST /v1/advise")
 	)
 	var cacheSize int
 	fs.IntVar(&cacheSize, "spec-cache-size", 1024, "response cache entries (LRU over rendered bodies)")
 	fs.IntVar(&cacheSize, "cache", 1024, "deprecated alias for -spec-cache-size")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	for _, warn := range deprecationWarnings(fs) {
+		fmt.Fprintln(os.Stderr, "rsgend: warning:", warn)
 	}
 	if *modelsPath == "" {
 		fmt.Fprintln(os.Stderr, "rsgend: -models <file> is required (train it with -train)")
@@ -163,11 +171,19 @@ func run(args []string) int {
 			"torn_tail_bytes", rec.TornTailBytes, "leases_recovered", rec.LeasesRecovered,
 			"leases_expired", rec.LeasesExpired, "inventory", rec.InventoryRecovered)
 	}
+	// One moga.Config (and one Stats) is shared by the broker's selector and
+	// the service's /v1/advise handler, so backend=moga selections and
+	// advisories count into the same rsgend_moga_* families.
+	var mogaCfg *moga.Config
+	if *mogaOn {
+		mogaCfg = &moga.Config{Stats: &moga.Stats{}}
+	}
 	brk, err := broker.New(broker.Config{
 		Generator: gen,
 		Workers:   *workers,
 		LeaseTTL:  *leaseTTL,
 		Store:     store,
+		Moga:      mogaCfg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rsgend:", err)
@@ -204,6 +220,7 @@ func run(args []string) int {
 		BaseCtx:         baseCtx,
 		Broker:          brk,
 		Reconciler:      rec,
+		Moga:            mogaCfg,
 		Logger:          logger,
 		TraceEntries:    *traceSize,
 		SlowRequest:     slowThreshold,
@@ -289,6 +306,20 @@ func run(args []string) int {
 		}
 		return 0
 	}
+}
+
+// deprecationWarnings reports startup warnings for deprecated flag spellings
+// that were actually set on the command line. Visit (not Lookup) is the
+// discipline here: -cache and -spec-cache-size share one variable, so only
+// the set of explicitly-passed flags distinguishes them.
+func deprecationWarnings(fs *flag.FlagSet) []string {
+	var warns []string
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "cache" {
+			warns = append(warns, "flag -cache is deprecated; use -spec-cache-size")
+		}
+	})
+	return warns
 }
 
 // trainAndSave trains at the requested scale and writes the versioned

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// rsgendFlagSet mirrors run's cache-flag registration: both spellings bind
+// one variable, so only Visit can tell which was passed.
+func rsgendFlagSet() (*flag.FlagSet, *int) {
+	fs := flag.NewFlagSet("rsgend", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var cacheSize int
+	fs.IntVar(&cacheSize, "spec-cache-size", 1024, "response cache entries")
+	fs.IntVar(&cacheSize, "cache", 1024, "deprecated alias for -spec-cache-size")
+	return fs, &cacheSize
+}
+
+func TestCacheFlagDeprecation(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		want     int
+		wantWarn bool
+	}{
+		{"new spelling", []string{"-spec-cache-size", "512"}, 512, false},
+		{"deprecated alias", []string{"-cache", "256"}, 256, true},
+		{"neither", nil, 1024, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, size := rsgendFlagSet()
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatalf("Parse(%v): %v", tc.args, err)
+			}
+			if *size != tc.want {
+				t.Errorf("cache size = %d, want %d", *size, tc.want)
+			}
+			warns := deprecationWarnings(fs)
+			if got := len(warns) > 0; got != tc.wantWarn {
+				t.Fatalf("warnings = %v, want warning: %v", warns, tc.wantWarn)
+			}
+			if tc.wantWarn && !strings.Contains(warns[0], "-spec-cache-size") {
+				t.Errorf("warning %q does not name the replacement flag", warns[0])
+			}
+		})
+	}
+}
+
+// The warning must actually reach stderr, once, before run bails out for any
+// other reason — exercised through run itself with a missing -models.
+func TestRunPrintsCacheDeprecation(t *testing.T) {
+	stderr := func(args []string) string {
+		t.Helper()
+		old := os.Stderr
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatalf("pipe: %v", err)
+		}
+		os.Stderr = w
+		code := run(args)
+		os.Stderr = old
+		w.Close()
+		out, _ := io.ReadAll(r)
+		if code != 2 {
+			t.Fatalf("run(%v) = %d, want 2 (missing -models)", args, code)
+		}
+		return string(out)
+	}
+	if out := stderr([]string{"-cache", "128"}); !strings.Contains(out, "deprecated") {
+		t.Errorf("run -cache stderr %q has no deprecation warning", out)
+	}
+	if out := stderr([]string{"-spec-cache-size", "128"}); strings.Contains(out, "deprecated") {
+		t.Errorf("run -spec-cache-size stderr %q warns spuriously", out)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"rsgen/internal/bind"
 	"rsgen/internal/dag"
 	"rsgen/internal/knee"
+	"rsgen/internal/moga"
 	"rsgen/internal/obs"
 	"rsgen/internal/platform"
 	"rsgen/internal/spec"
@@ -52,6 +53,10 @@ type Config struct {
 	// Workers bounds the evaluation pool used when computing alternative
 	// specifications; 0 uses all cores.
 	Workers int
+	// Moga, when non-nil, additionally registers the multi-objective
+	// Pareto-front backend as "moga" (internal/moga); the config bounds
+	// every search it runs. Nil leaves the backend unregistered.
+	Moga *moga.Config
 	// Now is the clock (tests); nil defaults to time.Now.
 	Now func() time.Time
 	// Store owns the broker's mutable state (inventory record, generation,
@@ -159,7 +164,7 @@ func New(cfg Config) (*Broker, error) {
 		b.store = NewMemStore()
 	}
 	if rec := b.store.RecoveredInventory(); rec != nil {
-		inv, err := materialize(rec, b.cfg.SwordSeed)
+		inv, err := materialize(rec, b.cfg.SwordSeed, b.cfg.Moga)
 		if err != nil {
 			return nil, fmt.Errorf("broker: recovered inventory: %w", err)
 		}
@@ -180,7 +185,7 @@ func New(cfg Config) (*Broker, error) {
 // materialize validates an inventory record and builds the derived
 // in-memory state (binding grid, selection backends) the store never
 // persists.
-func materialize(rec *InventoryRecord, swordSeed uint64) (*inventory, error) {
+func materialize(rec *InventoryRecord, swordSeed uint64, mogaCfg *moga.Config) (*inventory, error) {
 	p := rec.Platform
 	if p == nil {
 		return nil, errors.New("broker: inventory record has no platform")
@@ -191,7 +196,7 @@ func materialize(rec *InventoryRecord, swordSeed uint64) (*inventory, error) {
 	if len(rec.Managers) != len(p.Clusters) {
 		return nil, fmt.Errorf("broker: record has %d managers, platform has %d clusters", len(rec.Managers), len(p.Clusters))
 	}
-	return &inventory{p: p, grid: rec.Grid(), selectors: newSelectors(p, swordSeed)}, nil
+	return &inventory{p: p, grid: rec.Grid(), selectors: newSelectors(p, swordSeed, mogaCfg)}, nil
 }
 
 // RegisterInventory installs (or replaces) the resource pool the broker
@@ -208,7 +213,7 @@ func (b *Broker) RegisterInventory(p *platform.Platform, grid *bind.Grid) error 
 	if grid.NumClusters() != len(p.Clusters) {
 		return fmt.Errorf("broker: grid manages %d clusters, platform has %d", grid.NumClusters(), len(p.Clusters))
 	}
-	inv := &inventory{p: p, grid: grid, selectors: newSelectors(p, b.cfg.SwordSeed)}
+	inv := &inventory{p: p, grid: grid, selectors: newSelectors(p, b.cfg.SwordSeed, b.cfg.Moga)}
 	// Persist first: if the store cannot make the registration durable the
 	// broker keeps serving the previous inventory.
 	if _, err := b.store.RegisterInventory(NewInventoryRecord(p, grid), b.cfg.Now()); err != nil {
@@ -238,6 +243,29 @@ func (b *Broker) Inventory() (*platform.Platform, *bind.Grid) {
 		return nil, nil
 	}
 	return b.inv.p, b.inv.grid
+}
+
+// Backends returns the configured backend names in default try order: the
+// static trio plus "moga" when Config.Moga enabled it. /healthz reports this
+// list so operators can see what is mounted without grepping flags.
+func (b *Broker) Backends() []string {
+	names := append([]string(nil), BackendNames...)
+	if b.cfg.Moga != nil {
+		names = append(names, "moga")
+	}
+	return names
+}
+
+// SelectionMask returns the hosts a fresh selection would currently be
+// masked from: every leased host plus the exclusion provider's stalled set.
+// The what-if advisor uses it so advice reflects the same universe a real
+// selection would see.
+func (b *Broker) SelectionMask() map[platform.HostID]bool {
+	mask := b.store.Leased(b.cfg.Now())
+	for h := range b.externalStalled() {
+		mask[h] = true
+	}
+	return mask
 }
 
 // Metrics returns the broker's counter set.
@@ -397,6 +425,10 @@ type RungAttempt struct {
 	Err string `json:"error,omitempty"`
 	// BindWaitSeconds is the winning binding's availability delay.
 	BindWaitSeconds float64 `json:"bind_wait_seconds,omitempty"`
+	// FrontRank is the Pareto-front rank a RungSelector (moga) attempt
+	// used: 0 is the knee point, higher ranks are the front walked after
+	// bind failures that taught the stall probe nothing.
+	FrontRank int `json:"front_rank,omitempty"`
 }
 
 // Outcome is a successful closed-loop selection.
@@ -477,7 +509,7 @@ func (b *Broker) Select(ctx context.Context, req Request) (*Outcome, error) {
 	var trace []RungAttempt
 	for rung, sp := range ladder {
 		for _, sel := range sels {
-			out, atts := b.tryRung(ctx, inv, rung, sp, sel, ttl, maxWait, stalled)
+			out, atts := b.tryRung(ctx, inv, req.Dag, rung, sp, sel, ttl, maxWait, stalled)
 			trace = append(trace, atts...)
 			if out != nil {
 				out.Trace = trace
@@ -503,7 +535,7 @@ func (inv *inventory) selectorsFor(names []string) ([]Selector, error) {
 	for _, n := range names {
 		s, ok := inv.selectors[n]
 		if !ok {
-			return nil, fmt.Errorf("broker: unknown backend %q (have %s)", n, strings.Join(BackendNames, ", "))
+			return nil, fmt.Errorf("broker: unknown backend %q (have %s)", n, strings.Join(inv.knownBackends(), ", "))
 		}
 		out = append(out, s)
 	}
@@ -536,25 +568,36 @@ func (b *Broker) ladder(ctx context.Context, req Request) ([]*spec.Specification
 }
 
 // tryRung attempts one (rung, backend) pair: select with leased hosts
-// masked, acquire the lease, bind with bounded retry. Two failures restart
-// the loop with a bigger mask instead of abandoning the rung: losing the
-// acquisition race to a concurrent session (bounded by LeaseAttempts) and a
-// bind refusal that stalls new clusters — the Chapter VII rebind loop, which
-// re-selects around the stalled clusters and is bounded because every
-// iteration must grow the mask. A selection failure ends the rung: it is
-// deterministic given the mask, so the caller moves on.
-func (b *Broker) tryRung(ctx context.Context, inv *inventory, rung int, sp *spec.Specification, sel Selector, ttl time.Duration, maxWait float64, stalled map[platform.HostID]bool) (*Outcome, []RungAttempt) {
+// masked, acquire the lease, bind with bounded retry. Three failures restart
+// the loop instead of abandoning the rung: losing the acquisition race to a
+// concurrent session (bounded by LeaseAttempts), a bind refusal that stalls
+// new clusters — the Chapter VII rebind loop, which re-selects around the
+// stalled clusters and is bounded because every iteration must grow the
+// mask — and, for RungSelectors (moga), a bind refusal that taught the probe
+// nothing, which walks to the next rank of the selector's own Pareto front
+// (bounded because the front is finite and exhaustion is a selection
+// failure). A selection failure ends the rung: it is deterministic given the
+// mask and rank, so the caller moves on.
+func (b *Broker) tryRung(ctx context.Context, inv *inventory, d *dag.DAG, rung int, sp *spec.Specification, sel Selector, ttl time.Duration, maxWait float64, stalled map[platform.HostID]bool) (*Outcome, []RungAttempt) {
 	var atts []RungAttempt
 	leaseMisses := 0
+	rank := 0
+	rungSel, walksFront := sel.(RungSelector)
 	for {
-		att := RungAttempt{Rung: rung, ClockGHz: sp.MaxClockGHz, RCSize: sp.RCSize, Backend: sel.Name()}
+		att := RungAttempt{Rung: rung, ClockGHz: sp.MaxClockGHz, RCSize: sp.RCSize, Backend: sel.Name(), FrontRank: rank}
 		excluded := b.store.Leased(b.cfg.Now())
 		for h := range stalled {
 			excluded[h] = true
 		}
 		_, selSpan := obs.StartSpan(ctx, "select")
-		selSpan.SetDetail("rung=%d backend=%s", rung, sel.Name())
-		rc, err := sel.Select(sp, excluded)
+		selSpan.SetDetail("rung=%d backend=%s rank=%d", rung, sel.Name(), rank)
+		var rc *platform.ResourceCollection
+		var err error
+		if walksFront {
+			rc, err = rungSel.SelectRung(ctx, d, sp, excluded, rank)
+		} else {
+			rc, err = sel.Select(sp, excluded)
+		}
 		selSpan.EndErr(err)
 		if err != nil {
 			att.Stage, att.Err = StageSelect, err.Error()
@@ -590,6 +633,10 @@ func (b *Broker) tryRung(ctx context.Context, inv *inventory, rung int, sp *spec
 			atts = append(atts, att)
 			if grew > 0 && ctx.Err() == nil {
 				continue // route the re-selection around the stalled clusters
+			}
+			if walksFront && ctx.Err() == nil {
+				rank++ // the probe learned nothing: walk the Pareto front
+				continue
 			}
 			return nil, atts
 		}
@@ -663,7 +710,7 @@ func (b *Broker) Rebind(ctx context.Context, leaseID string, req Request, stalle
 	var trace []RungAttempt
 	for rung, sp := range ladder {
 		for _, sel := range sels {
-			out, atts, err := b.tryRebindRung(ctx, inv, rung, sp, sel, leaseID, maxWait, stalled)
+			out, atts, err := b.tryRebindRung(ctx, inv, req.Dag, rung, sp, sel, leaseID, maxWait, stalled)
 			trace = append(trace, atts...)
 			if err != nil {
 				return nil, err
@@ -688,11 +735,13 @@ func (b *Broker) Rebind(ctx context.Context, leaseID string, req Request, stalle
 // managers then refuse — and the acquisition is an atomic Swap preserving
 // the old expiry. A non-nil error is terminal for the whole rebind
 // (ErrLeaseGone: the lease vanished mid-flight).
-func (b *Broker) tryRebindRung(ctx context.Context, inv *inventory, rung int, sp *spec.Specification, sel Selector, leaseID string, maxWait float64, stalled map[platform.HostID]bool) (*Outcome, []RungAttempt, error) {
+func (b *Broker) tryRebindRung(ctx context.Context, inv *inventory, d *dag.DAG, rung int, sp *spec.Specification, sel Selector, leaseID string, maxWait float64, stalled map[platform.HostID]bool) (*Outcome, []RungAttempt, error) {
 	var atts []RungAttempt
 	swapMisses := 0
+	rank := 0
+	rungSel, walksFront := sel.(RungSelector)
 	for {
-		att := RungAttempt{Rung: rung, ClockGHz: sp.MaxClockGHz, RCSize: sp.RCSize, Backend: sel.Name()}
+		att := RungAttempt{Rung: rung, ClockGHz: sp.MaxClockGHz, RCSize: sp.RCSize, Backend: sel.Name(), FrontRank: rank}
 		now := b.cfg.Now()
 		own, held := b.store.Lookup(leaseID, now)
 		if !held {
@@ -706,8 +755,14 @@ func (b *Broker) tryRebindRung(ctx context.Context, inv *inventory, rung int, sp
 			excluded[h] = true
 		}
 		_, selSpan := obs.StartSpan(ctx, "select")
-		selSpan.SetDetail("rung=%d backend=%s rebind=%s", rung, sel.Name(), leaseID)
-		rc, err := sel.Select(sp, excluded)
+		selSpan.SetDetail("rung=%d backend=%s rank=%d rebind=%s", rung, sel.Name(), rank, leaseID)
+		var rc *platform.ResourceCollection
+		var err error
+		if walksFront {
+			rc, err = rungSel.SelectRung(ctx, d, sp, excluded, rank)
+		} else {
+			rc, err = sel.Select(sp, excluded)
+		}
 		selSpan.EndErr(err)
 		if err != nil {
 			att.Stage, att.Err = StageSelect, err.Error()
@@ -727,6 +782,10 @@ func (b *Broker) tryRebindRung(ctx context.Context, inv *inventory, rung int, sp
 				"lease_id", leaseID, "rung", rung, "backend", sel.Name(), "stalled_hosts", grew, "error", err)
 			atts = append(atts, att)
 			if grew > 0 && ctx.Err() == nil {
+				continue
+			}
+			if walksFront && ctx.Err() == nil {
+				rank++ // the probe learned nothing: walk the Pareto front
 				continue
 			}
 			return nil, atts, nil

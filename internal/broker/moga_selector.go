@@ -1,0 +1,77 @@
+package broker
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/moga"
+	"rsgen/internal/platform"
+	"rsgen/internal/spec"
+)
+
+// RungSelector is a Selector whose fallback ladder is its own ranked
+// solution list — for moga, the knee-ranked Pareto front — rather than the
+// clock-degraded specs of the request ladder. The broker binds rank 0 (the
+// knee point) first and, when binding fails without teaching the stall probe
+// anything new, walks to the next rank instead of abandoning the rung.
+type RungSelector interface {
+	Selector
+	// SelectRung resolves the specification into the rank-th ranked
+	// solution. The DAG may be nil (the plain Selector path); rank beyond
+	// the last solution returns an error, which ends the rung like any
+	// selection failure. Results are deterministic in (sp, excluded, rank).
+	SelectRung(ctx context.Context, d *dag.DAG, sp *spec.Specification, excluded map[platform.HostID]bool, rank int) (*platform.ResourceCollection, error)
+}
+
+// mogaSelector adapts internal/moga's Pareto search to the Selector
+// contract. Each call runs a fresh deterministic search, so equal inputs at
+// increasing ranks walk one consistent front.
+type mogaSelector struct {
+	p   *platform.Platform
+	cfg moga.Config
+}
+
+func (s *mogaSelector) Name() string { return "moga" }
+
+func (s *mogaSelector) Select(sp *spec.Specification, excluded map[platform.HostID]bool) (*platform.ResourceCollection, error) {
+	return s.SelectRung(context.Background(), nil, sp, excluded, 0)
+}
+
+func (s *mogaSelector) SelectRung(ctx context.Context, d *dag.DAG, sp *spec.Specification, excluded map[platform.HostID]bool, rank int) (*platform.ResourceCollection, error) {
+	res, err := moga.Search(ctx, moga.Problem{
+		Platform: s.p,
+		Spec:     sp,
+		Dag:      d,
+		Excluded: excluded,
+	}, s.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("moga: %w", err)
+	}
+	if rank >= len(res.Front) {
+		return nil, fmt.Errorf("moga: front exhausted (%d solutions, rank %d)", len(res.Front), rank)
+	}
+	sol := res.Front[rank]
+	// The Selector contract forbids short collections: a masked-down
+	// universe must fail the rung, not under-deliver.
+	if len(sol.Hosts) < sp.RCSize {
+		return nil, fmt.Errorf("moga: only %d eligible hosts for %d requested", len(sol.Hosts), sp.RCSize)
+	}
+	hosts := make([]platform.Host, len(sol.Hosts))
+	for i, id := range sol.Hosts {
+		hosts[i] = s.p.Hosts[id]
+	}
+	return platform.SubsetRC(s.p, hosts), nil
+}
+
+// knownBackends lists an inventory's registered backend names, sorted, for
+// error messages.
+func (inv *inventory) knownBackends() []string {
+	names := make([]string, 0, len(inv.selectors))
+	for n := range inv.selectors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

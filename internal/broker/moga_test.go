@@ -1,0 +1,204 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"rsgen/internal/bind"
+	"rsgen/internal/dag"
+	"rsgen/internal/moga"
+	"rsgen/internal/platform"
+	"rsgen/internal/spec"
+)
+
+func mogaTestBroker(t *testing.T) (*Broker, *platform.Platform, *bind.Grid) {
+	t.Helper()
+	return newTestBroker(t, func(c *Config) {
+		c.Moga = &moga.Config{PopSize: 16, Generations: 6, Seed: 11}
+	})
+}
+
+func TestBackendsList(t *testing.T) {
+	plain, _, _ := newTestBroker(t, nil)
+	if got := plain.Backends(); len(got) != 3 || got[0] != "vgdl" || got[1] != "classad" || got[2] != "sword" {
+		t.Errorf("Backends without moga = %v", got)
+	}
+	withMoga, _, _ := mogaTestBroker(t)
+	if got := withMoga.Backends(); len(got) != 4 || got[3] != "moga" {
+		t.Errorf("Backends with moga = %v", got)
+	}
+	// Unknown backends report the effective registry, moga included.
+	_, err := withMoga.Select(context.Background(), Request{Dag: testDAG(t), Backends: []string{"nope"}})
+	if err == nil {
+		t.Fatal("unknown backend selected successfully")
+	}
+	if want := "classad, moga, sword, vgdl"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not list registered backends %q", err, want)
+	}
+}
+
+// backend=moga must bind the knee point as a normal lease, and a second
+// selection must honor the first lease's host exclusions (disjoint,
+// full-size collection).
+func TestMogaSelectHonorsExclusions(t *testing.T) {
+	b, _, _ := mogaTestBroker(t)
+	req := Request{Dag: testDAG(t), Backends: []string{"moga"}}
+	first, err := b.Select(context.Background(), req)
+	if err != nil {
+		t.Fatalf("first Select: %v", err)
+	}
+	if first.Backend != "moga" {
+		t.Fatalf("backend = %q, want moga", first.Backend)
+	}
+	if first.RC.Size() != first.Spec.RCSize {
+		t.Fatalf("bound %d hosts, spec wants %d", first.RC.Size(), first.Spec.RCSize)
+	}
+	last := first.Trace[len(first.Trace)-1]
+	if last.Stage != StageBound || last.FrontRank != 0 {
+		t.Errorf("winning attempt = %+v, want bound at front rank 0", last)
+	}
+	held := make(map[platform.HostID]bool)
+	for _, h := range first.RC.Hosts {
+		held[h.ID] = true
+	}
+	second, err := b.Select(context.Background(), req)
+	if err != nil {
+		t.Fatalf("second Select: %v", err)
+	}
+	for _, h := range second.RC.Hosts {
+		if held[h.ID] {
+			t.Errorf("second selection reused leased host %d", h.ID)
+		}
+	}
+}
+
+// Rebinding a moga lease around stalled hosts must produce a replacement
+// front (searched under the grown mask) whose bound solution avoids every
+// stalled host, preserving the lease ID semantics of Store.Swap.
+func TestMogaRebindAroundStalled(t *testing.T) {
+	b, _, _ := mogaTestBroker(t)
+	req := Request{Dag: testDAG(t), Backends: []string{"moga"}}
+	out, err := b.Select(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	stalled := make(map[platform.HostID]bool)
+	for _, h := range out.RC.Hosts {
+		stalled[h.ID] = true
+	}
+	re, err := b.Rebind(context.Background(), out.Lease.ID, req, stalled)
+	if err != nil {
+		t.Fatalf("Rebind: %v", err)
+	}
+	if re.Backend != "moga" {
+		t.Errorf("rebind backend = %q, want moga", re.Backend)
+	}
+	for _, h := range re.RC.Hosts {
+		if stalled[h.ID] {
+			t.Errorf("rebind reused stalled host %d", h.ID)
+		}
+	}
+	if _, held := b.Lease(re.Lease.ID); !held {
+		t.Error("replacement lease not held after rebind")
+	}
+}
+
+// fakeFrontSelector is a RungSelector with a canned two-solution front that
+// deliberately ignores the exclusion mask: the state a live system reaches
+// when a bind failure teaches the stall probe nothing new (manager state
+// raced). The broker must then walk to the next front rank instead of
+// abandoning the rung or looping.
+type fakeFrontSelector struct {
+	front []*platform.ResourceCollection
+}
+
+func (s *fakeFrontSelector) Name() string { return "fake" }
+
+func (s *fakeFrontSelector) Select(sp *spec.Specification, excluded map[platform.HostID]bool) (*platform.ResourceCollection, error) {
+	return s.SelectRung(context.Background(), nil, sp, excluded, 0)
+}
+
+func (s *fakeFrontSelector) SelectRung(_ context.Context, _ *dag.DAG, _ *spec.Specification, _ map[platform.HostID]bool, rank int) (*platform.ResourceCollection, error) {
+	if rank >= len(s.front) {
+		return nil, fmt.Errorf("fake: front exhausted (%d solutions, rank %d)", len(s.front), rank)
+	}
+	return s.front[rank], nil
+}
+
+func clusterRC(p *platform.Platform, cluster, n int) *platform.ResourceCollection {
+	c := p.Clusters[cluster]
+	hosts := make([]platform.Host, n)
+	for i := 0; i < n; i++ {
+		hosts[i] = p.Hosts[c.FirstHost+platform.HostID(i)]
+	}
+	return platform.SubsetRC(p, hosts)
+}
+
+// When binding the rank-0 solution keeps failing without growing the stall
+// mask, the broker must advance to rank 1 of the selector's front (the
+// next Pareto rung) and bind it, recording the walk in the trace.
+func TestFrontWalkOnBindFailure(t *testing.T) {
+	b, p, grid := newTestBroker(t, nil)
+	fake := &fakeFrontSelector{front: []*platform.ResourceCollection{
+		clusterRC(p, 0, 2),
+		clusterRC(p, 1, 2),
+	}}
+	b.inv.selectors["fake"] = fake
+	// Cluster 0 is stalled far past any wait bound; the fake selector keeps
+	// proposing it at rank 0 regardless of the mask, so the second bind
+	// failure yields grew == 0 and must trigger the front walk.
+	grid.SetManager(bind.Manager{Cluster: 0, Discipline: bind.Reservation, NextSlot: 1e12})
+
+	out, err := b.Select(context.Background(), Request{Dag: testDAG(t), Backends: []string{"fake"}})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	last := out.Trace[len(out.Trace)-1]
+	if last.Stage != StageBound || last.FrontRank != 1 {
+		t.Fatalf("winning attempt = %+v, want bound at front rank 1", last)
+	}
+	if got := out.RC.Hosts[0].Cluster; got != 1 {
+		t.Errorf("bound cluster %d, want 1 (rank-1 solution)", got)
+	}
+	ranks := make([]int, len(out.Trace))
+	for i, a := range out.Trace {
+		ranks[i] = a.FrontRank
+	}
+	// First bind failure masks cluster 0 (rank stays 0), second teaches the
+	// probe nothing (rank advances), rank 1 binds.
+	want := []int{0, 0, 1}
+	if len(ranks) != len(want) {
+		t.Fatalf("trace ranks = %v, want %v", ranks, want)
+	}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("trace ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+// An exhausted front ends the rung as a selection failure: the request
+// terminates with the full walk in the trace instead of looping.
+func TestFrontWalkExhaustion(t *testing.T) {
+	b, p, grid := newTestBroker(t, nil)
+	fake := &fakeFrontSelector{front: []*platform.ResourceCollection{
+		clusterRC(p, 0, 2),
+		clusterRC(p, 1, 2),
+	}}
+	b.inv.selectors["fake"] = fake
+	grid.SetManager(bind.Manager{Cluster: 0, Discipline: bind.Reservation, NextSlot: 1e12})
+	grid.SetManager(bind.Manager{Cluster: 1, Discipline: bind.Reservation, NextSlot: 1e12})
+
+	_, err := b.Select(context.Background(), Request{Dag: testDAG(t), Backends: []string{"fake"}})
+	var unsat *UnsatisfiableError
+	if !errors.As(err, &unsat) {
+		t.Fatalf("Select error = %v, want UnsatisfiableError", err)
+	}
+	last := unsat.Trace[len(unsat.Trace)-1]
+	if last.Stage != StageSelect || last.FrontRank != 2 {
+		t.Errorf("final attempt = %+v, want select failure at rank 2 (exhausted)", last)
+	}
+}

@@ -3,6 +3,7 @@ package broker
 import (
 	"testing"
 
+	"rsgen/internal/moga"
 	"rsgen/internal/platform"
 	"rsgen/internal/spec"
 	"rsgen/internal/xrand"
@@ -19,13 +20,13 @@ func TestExclusionParity(t *testing.T) {
 	}
 	// A roomy platform so a second disjoint collection always exists.
 	p := platform.MustGenerate(platform.GenSpec{Clusters: 24, Year: 2006}, xrand.New(5))
-	sels := newSelectors(p, 1)
+	sels := newSelectors(p, 1, &moga.Config{})
 	sp, err := gen.Generate(testDAG(t), spec.Options{ClockGHz: 2.0})
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
 
-	for _, name := range BackendNames {
+	for _, name := range append(append([]string(nil), BackendNames...), "moga") {
 		t.Run(name, func(t *testing.T) {
 			sel, ok := sels[name]
 			if !ok {
@@ -70,7 +71,7 @@ func TestExclusionExhaustsPool(t *testing.T) {
 		t.Fatalf("training test generator: %v", err)
 	}
 	p := platform.MustGenerate(platform.GenSpec{Clusters: 8, Year: 2006}, xrand.New(5))
-	sels := newSelectors(p, 1)
+	sels := newSelectors(p, 1, &moga.Config{})
 	sp, err := gen.Generate(testDAG(t), spec.Options{ClockGHz: 2.0})
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
@@ -79,7 +80,7 @@ func TestExclusionExhaustsPool(t *testing.T) {
 	for _, h := range p.Hosts {
 		all[h.ID] = true
 	}
-	for _, name := range BackendNames {
+	for _, name := range append(append([]string(nil), BackendNames...), "moga") {
 		t.Run(name, func(t *testing.T) {
 			if _, err := sels[name].Select(sp, all); err == nil {
 				t.Error("selection succeeded with every host excluded")

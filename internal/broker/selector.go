@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rsgen/internal/classad"
+	"rsgen/internal/moga"
 	"rsgen/internal/platform"
 	"rsgen/internal/spec"
 	"rsgen/internal/sword"
@@ -25,20 +26,26 @@ type Selector interface {
 	Select(sp *spec.Specification, excluded map[platform.HostID]bool) (*platform.ResourceCollection, error)
 }
 
-// BackendNames lists the registered backends in default try order.
+// BackendNames lists the always-registered backends in default try order.
+// The optional moga backend (Config.Moga) is additionally registered as
+// "moga"; Broker.Backends reports the effective list.
 var BackendNames = []string{"vgdl", "classad", "sword"}
 
-// newSelectors builds all three backends over one platform. The ClassAd
-// machine ads and the SWORD directory are materialized once per
-// registration — both are O(hosts) to build and immutable afterwards, so
-// concurrent selections share them and only the per-call exclusion mask
-// differs.
-func newSelectors(p *platform.Platform, swordSeed uint64) map[string]Selector {
-	return map[string]Selector{
+// newSelectors builds the backends over one platform. The ClassAd machine
+// ads and the SWORD directory are materialized once per registration — both
+// are O(hosts) to build and immutable afterwards, so concurrent selections
+// share them and only the per-call exclusion mask differs. When mogaCfg is
+// non-nil the multi-objective backend is registered too.
+func newSelectors(p *platform.Platform, swordSeed uint64, mogaCfg *moga.Config) map[string]Selector {
+	sels := map[string]Selector{
 		"vgdl":    &vgdlSelector{p: p},
 		"classad": newClassAdSelector(p),
 		"sword":   &swordSelector{p: p, dir: sword.NewDirectory(p, xrand.New(swordSeed))},
 	}
+	if mogaCfg != nil {
+		sels["moga"] = &mogaSelector{p: p, cfg: *mogaCfg}
+	}
+	return sels
 }
 
 // vgdlSelector resolves the specification's vgDL through the vgES-style

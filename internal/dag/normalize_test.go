@@ -147,6 +147,81 @@ func TestNormalFingerprintSeparatesShapes(t *testing.T) {
 	}
 }
 
+// TestNormalizeSingleTask: the degenerate one-task workflow — no edges, no
+// refinement rounds to run — must normalize to a valid, stable form that
+// strips the name and keeps the cost.
+func TestNormalizeSingleTask(t *testing.T) {
+	d := MustNew([]Task{{ID: 0, Name: "only", Cost: 7.5}}, nil)
+	nd := d.Normalize()
+	if nd.Size() != 1 || nd.NumEdges() != 0 {
+		t.Fatalf("normal form shape %d tasks/%d edges, want 1/0", nd.Size(), nd.NumEdges())
+	}
+	if task := nd.Task(0); task.Name != "" || task.Cost != 7.5 {
+		t.Errorf("normal task = %+v, want nameless cost 7.5", task)
+	}
+	if nd.Normalize().Fingerprint() != nd.Fingerprint() {
+		t.Error("single-task Normalize is not idempotent")
+	}
+	renamed := MustNew([]Task{{ID: 0, Name: "other", Cost: 7.5}}, nil)
+	if renamed.NormalFingerprint() != d.NormalFingerprint() {
+		t.Error("renaming the only task changed the normal fingerprint")
+	}
+	if off := MustNew([]Task{{ID: 0, Cost: 8}}, nil); off.NormalFingerprint() == d.NormalFingerprint() {
+		t.Error("different single-task costs share a normal fingerprint")
+	}
+}
+
+// TestNormalizeDisconnectedComponents: a DAG whose underlying graph has
+// several components (independent jobs batched into one workflow) must
+// normalize like any other shape — component numbering is just task
+// numbering, so swapping the components is a relabeling and must not change
+// the normal fingerprint.
+func TestNormalizeDisconnectedComponents(t *testing.T) {
+	// Component A: chain 0→1; component B: fork 2→{3,4}; task 5 isolated.
+	d := MustNew(
+		[]Task{
+			{ID: 0, Name: "a0", Cost: 1}, {ID: 1, Name: "a1", Cost: 2},
+			{ID: 2, Name: "b0", Cost: 3}, {ID: 3, Name: "b1", Cost: 4}, {ID: 4, Name: "b2", Cost: 5},
+			{ID: 5, Name: "lone", Cost: 6},
+		},
+		[]Edge{{From: 0, To: 1, Cost: 1}, {From: 2, To: 3, Cost: 2}, {From: 2, To: 4, Cost: 3}},
+	)
+	nd := d.Normalize()
+	if nd.Size() != d.Size() || nd.NumEdges() != d.NumEdges() {
+		t.Fatalf("normal form shape %d/%d, want %d/%d", nd.Size(), nd.NumEdges(), d.Size(), d.NumEdges())
+	}
+	if math.Abs(nd.TotalWork()-d.TotalWork()) > 1e-9 {
+		t.Errorf("total work changed: %v != %v", nd.TotalWork(), d.TotalWork())
+	}
+	// The same workflow with the components listed in the other order (and
+	// everything renamed) is isomorphic; the relabel corpus helper exercises
+	// arbitrary permutations on top.
+	swapped := MustNew(
+		[]Task{
+			{ID: 0, Name: "B0", Cost: 3}, {ID: 1, Name: "B1", Cost: 4}, {ID: 2, Name: "B2", Cost: 5},
+			{ID: 3, Name: "L", Cost: 6},
+			{ID: 4, Name: "A0", Cost: 1}, {ID: 5, Name: "A1", Cost: 2},
+		},
+		[]Edge{{From: 0, To: 1, Cost: 2}, {From: 0, To: 2, Cost: 3}, {From: 4, To: 5, Cost: 1}},
+	)
+	if swapped.NormalFingerprint() != d.NormalFingerprint() {
+		t.Errorf("component order changed the normal fingerprint: %016x != %016x",
+			swapped.NormalFingerprint(), d.NormalFingerprint())
+	}
+	rng := xrand.New(21)
+	for rep := 0; rep < 5; rep++ {
+		iso := relabel(t, d, rng.Perm(d.Size()), rng)
+		if iso.NormalFingerprint() != d.NormalFingerprint() {
+			t.Errorf("rep %d: relabeled disconnected DAG changed normal fingerprint", rep)
+		}
+	}
+	// Merging the components (an extra edge) is a different shape.
+	joined := MustNew(d.Tasks(), append(append([]Edge(nil), d.Edges()...), Edge{From: 1, To: 5, Cost: 1}))
+	if joined.NormalFingerprint() == d.NormalFingerprint() {
+		t.Error("connecting the components kept the same normal fingerprint")
+	}
+}
+
 // TestNormalizeCharacteristicsBitIdentical pins the property the serving
 // layer's shape coalescing rests on: the characteristics vector of the
 // normal form is bit-identical to the original's for every generated shape

@@ -1,0 +1,134 @@
+package moga
+
+import (
+	"math"
+	"sort"
+)
+
+// rankInfo is one member's position under the crowded-comparison operator.
+type rankInfo struct {
+	rank     int // 0 = first (non-dominated) front
+	crowding float64
+}
+
+// rankAndCrowd runs NSGA-II's fast non-dominated sort followed by per-front
+// crowding-distance assignment.
+func rankAndCrowd(pop []indiv) []rankInfo {
+	n := len(pop)
+	out := make([]rankInfo, n)
+	if n == 0 {
+		return out
+	}
+	dominated := make([][]int, n) // dominated[i]: members i dominates
+	domCount := make([]int, n)    // members dominating i
+	var current []int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case pop[i].obj.Dominates(pop[j].obj):
+				dominated[i] = append(dominated[i], j)
+				domCount[j]++
+			case pop[j].obj.Dominates(pop[i].obj):
+				dominated[j] = append(dominated[j], i)
+				domCount[i]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if domCount[i] == 0 {
+			out[i].rank = 0
+			current = append(current, i)
+		}
+	}
+	for rank := 0; len(current) > 0; rank++ {
+		var next []int
+		for _, i := range current {
+			for _, j := range dominated[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					out[j].rank = rank + 1
+					next = append(next, j)
+				}
+			}
+		}
+		crowd(pop, current, out)
+		current = next
+	}
+	return out
+}
+
+// crowd assigns crowding distances within one front (indices into pop).
+func crowd(pop []indiv, front []int, out []rankInfo) {
+	m := len(front)
+	if m == 0 {
+		return
+	}
+	if m <= 2 {
+		for _, i := range front {
+			out[i].crowding = math.Inf(1)
+		}
+		return
+	}
+	idx := make([]int, m)
+	for axis := 0; axis < 4; axis++ {
+		copy(idx, front)
+		sort.Slice(idx, func(x, y int) bool {
+			ax, ay := pop[idx[x]].obj.vector()[axis], pop[idx[y]].obj.vector()[axis]
+			if ax != ay {
+				return ax < ay
+			}
+			return pop[idx[x]].key < pop[idx[y]].key
+		})
+		lo := pop[idx[0]].obj.vector()[axis]
+		hi := pop[idx[m-1]].obj.vector()[axis]
+		out[idx[0]].crowding = math.Inf(1)
+		out[idx[m-1]].crowding = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for x := 1; x < m-1; x++ {
+			prev := pop[idx[x-1]].obj.vector()[axis]
+			next := pop[idx[x+1]].obj.vector()[axis]
+			out[idx[x]].crowding += (next - prev) / (hi - lo)
+		}
+	}
+}
+
+// kneeRank sorts a front by normalized Euclidean distance to its ideal point
+// (per-axis minimum), filling each Solution's KneeDistance. Ties break on the
+// host list, so the order is total and deterministic. Solutions[0] is the
+// knee: the best-balanced compromise, which the broker binds first.
+func kneeRank(front []Solution) {
+	if len(front) == 0 {
+		return
+	}
+	var lo, hi [4]float64
+	for i := range lo {
+		lo[i], hi[i] = math.Inf(1), math.Inf(-1)
+	}
+	for _, s := range front {
+		v := s.Obj.vector()
+		for i := range v {
+			lo[i] = math.Min(lo[i], v[i])
+			hi[i] = math.Max(hi[i], v[i])
+		}
+	}
+	for i := range front {
+		v := front[i].Obj.vector()
+		d := 0.0
+		for a := range v {
+			if hi[a] == lo[a] {
+				continue // axis is flat across the front: no information
+			}
+			norm := (v[a] - lo[a]) / (hi[a] - lo[a])
+			d += norm * norm
+		}
+		front[i].KneeDistance = math.Sqrt(d)
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].KneeDistance != front[j].KneeDistance {
+			return front[i].KneeDistance < front[j].KneeDistance
+		}
+		return hostsLess(front[i].Hosts, front[j].Hosts)
+	})
+}

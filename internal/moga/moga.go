@@ -1,0 +1,540 @@
+// Package moga implements a multi-objective (NSGA-II-style) selection
+// backend: instead of scoring host subsets on predicted turn-around alone
+// like the vgdl/classad/sword selectors, it searches the space of RCSize-host
+// subsets under four simultaneous objectives — predicted turn-around via the
+// real scheduling path, dollar cost from the platform's VM catalog, power
+// draw, and lease fragmentation (clusters spanned) — and returns a ranked
+// Pareto front. The broker binds the knee point and walks the remaining
+// rungs of the front on rebind; /v1/advise returns the whole front as a
+// what-if answer without taking a lease.
+//
+// The search is deterministic under a fixed Config.Seed: population
+// initialization, tournament selection, crossover and mutation all draw from
+// one xrand stream, every sort uses total tie-breakers, and no map iteration
+// order leaks into results. Budgets are hard: at most Config.Generations
+// generations and Config.MaxEvaluations unique objective evaluations, with
+// context cancellation checked every generation.
+package moga
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+
+	"rsgen/internal/dag"
+	"rsgen/internal/platform"
+	"rsgen/internal/sched"
+	"rsgen/internal/spec"
+	"rsgen/internal/xrand"
+)
+
+// Defaults for zero-valued Config fields.
+const (
+	DefaultPopSize     = 32
+	DefaultGenerations = 24
+)
+
+// ErrNoEligibleHosts reports that the exclusion mask and memory floor leave
+// no host to build a solution from.
+var ErrNoEligibleHosts = errors.New("moga: no eligible hosts")
+
+// Config bounds one search.
+type Config struct {
+	// PopSize is the population size; 0 means DefaultPopSize.
+	PopSize int
+	// Generations is the generation budget; 0 means DefaultGenerations.
+	Generations int
+	// MaxEvaluations caps unique objective evaluations (schedule runs);
+	// 0 means PopSize × (Generations + 1).
+	MaxEvaluations int
+	// Seed drives the deterministic search stream; 0 means 1.
+	Seed uint64
+	// Stats, when non-nil, accumulates counters across searches (exposed
+	// as rsgend_moga_* metrics by the service).
+	Stats *Stats
+}
+
+func (c Config) withDefaults() Config {
+	if c.PopSize <= 0 {
+		c.PopSize = DefaultPopSize
+	}
+	if c.Generations <= 0 {
+		c.Generations = DefaultGenerations
+	}
+	if c.MaxEvaluations <= 0 {
+		c.MaxEvaluations = c.PopSize * (c.Generations + 1)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Problem is one search instance.
+type Problem struct {
+	Platform *platform.Platform
+	// Spec supplies the subset size (RCSize), the memory floor and the
+	// scheduling heuristic. The clock range is deliberately not enforced:
+	// trading slower-but-cheaper hosts against faster-but-pricier ones is
+	// the point of the multi-objective search.
+	Spec *spec.Specification
+	// Dag, when non-nil, makes turn-around the real schedule prediction
+	// (sched.Heuristic over SubsetRC). When nil — the plain Selector path,
+	// which does not carry the DAG — a perfectly-parallel work proxy is
+	// used: relative ordering by aggregate speedup, one instance-hour of
+	// cost per host.
+	Dag *dag.DAG
+	// Excluded hosts never appear in any solution.
+	Excluded map[platform.HostID]bool
+}
+
+// Objectives is one solution's score vector; every axis is minimized.
+type Objectives struct {
+	TurnAroundSeconds float64 `json:"turn_around_seconds"`
+	CostUSD           float64 `json:"cost_usd"`
+	PowerWatts        float64 `json:"power_watts"`
+	// Fragmentation is the number of clusters the solution spans.
+	Fragmentation float64 `json:"fragmentation"`
+}
+
+func (o Objectives) vector() [4]float64 {
+	return [4]float64{o.TurnAroundSeconds, o.CostUSD, o.PowerWatts, o.Fragmentation}
+}
+
+// Dominates reports Pareto dominance: no axis worse, at least one strictly
+// better.
+func (o Objectives) Dominates(b Objectives) bool {
+	ov, bv := o.vector(), b.vector()
+	better := false
+	for i := range ov {
+		if ov[i] > bv[i] {
+			return false
+		}
+		if ov[i] < bv[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+// Solution is one point of the returned front.
+type Solution struct {
+	// Hosts is the selected subset, sorted by ID.
+	Hosts []platform.HostID `json:"hosts"`
+	Obj   Objectives        `json:"objectives"`
+	// KneeDistance is the normalized Euclidean distance to the front's
+	// ideal point; the front is sorted by it, so index 0 is the knee.
+	KneeDistance float64 `json:"knee_distance"`
+}
+
+// Result is one completed search.
+type Result struct {
+	// Front is the first non-dominated front, knee-ranked: Front[0] is the
+	// knee point, later entries are the fallback rungs the broker walks.
+	Front []Solution
+	// Evaluations is the number of unique objective evaluations spent.
+	Evaluations int
+	// Generations is the number of generations completed.
+	Generations int
+}
+
+// Search runs one NSGA-II search and returns the knee-ranked Pareto front.
+func Search(ctx context.Context, pr Problem, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	e, err := newEngine(pr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pop := e.initialPopulation()
+	gens := 0
+	for g := 0; g < cfg.Generations; g++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if e.evals >= cfg.MaxEvaluations {
+			break
+		}
+		pop = e.step(pop)
+		gens++
+	}
+	front := e.front(pop)
+	res := &Result{Front: front, Evaluations: e.evals, Generations: gens}
+	if cfg.Stats != nil {
+		cfg.Stats.record(res)
+	}
+	return res, nil
+}
+
+// indiv is one population member: a sorted genome of indices into the
+// eligible-host slice plus its cached objectives.
+type indiv struct {
+	genome []int32
+	key    string
+	obj    Objectives
+}
+
+type engine struct {
+	cfg  Config
+	p    *platform.Platform
+	d    *dag.DAG
+	h    sched.Heuristic
+	elig []platform.Host // eligible hosts, ascending ID
+	k    int             // solution size
+	rng  *xrand.RNG
+
+	evals int
+	cache map[string]Objectives
+}
+
+func newEngine(pr Problem, cfg Config) (*engine, error) {
+	sp := pr.Spec
+	if sp == nil {
+		return nil, errors.New("moga: nil specification")
+	}
+	var elig []platform.Host
+	for _, h := range pr.Platform.Hosts {
+		if pr.Excluded[h.ID] {
+			continue
+		}
+		if sp.MinMemoryMB > 0 && h.MemoryMB < sp.MinMemoryMB {
+			continue
+		}
+		elig = append(elig, h)
+	}
+	if len(elig) == 0 {
+		return nil, ErrNoEligibleHosts
+	}
+	k := sp.RCSize
+	if k < 1 {
+		k = 1
+	}
+	if k > len(elig) {
+		k = len(elig)
+	}
+	h, err := sched.ByName(sp.Heuristic)
+	if err != nil {
+		h, _ = sched.ByName("MCP")
+	}
+	return &engine{
+		cfg:   cfg,
+		p:     pr.Platform,
+		d:     pr.Dag,
+		h:     h,
+		elig:  elig,
+		k:     k,
+		rng:   xrand.NewFrom(cfg.Seed, 0x6d6f6761), // "moga"
+		cache: map[string]Objectives{},
+	}, nil
+}
+
+func genomeKey(g []int32) string {
+	b := make([]byte, 4*len(g))
+	for i, v := range g {
+		b[4*i] = byte(v)
+		b[4*i+1] = byte(v >> 8)
+		b[4*i+2] = byte(v >> 16)
+		b[4*i+3] = byte(v >> 24)
+	}
+	return string(b)
+}
+
+func sortGenome(g []int32) {
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+}
+
+// evaluate scores a sorted genome, memoizing per key so duplicate genomes do
+// not burn evaluation budget.
+func (e *engine) evaluate(g []int32) Objectives {
+	key := genomeKey(g)
+	if obj, ok := e.cache[key]; ok {
+		return obj
+	}
+	hosts := make([]platform.Host, e.k)
+	clusters := map[int]bool{}
+	sumSpeedup := 0.0
+	power := 0.0
+	for i, idx := range g {
+		h := e.elig[idx]
+		hosts[i] = h
+		clusters[h.Cluster] = true
+		sumSpeedup += h.Speedup()
+		power += e.p.HostWatts(h.ID)
+	}
+	var turn, holdHours float64
+	if e.d != nil {
+		s, err := e.h.Schedule(e.d, platform.SubsetRC(e.p, hosts))
+		if err != nil {
+			// Unschedulable subsets (cannot happen for k ≥ 1, but stay
+			// total): worst on every axis so they are dominated away.
+			turn = inf
+		} else {
+			turn = s.TurnAround(1)
+		}
+		holdHours = turn / 3600
+	} else {
+		// Perfectly-parallel proxy: k units of reference work spread over
+		// the subset's aggregate speed, charged one instance-hour each.
+		turn = float64(e.k) / sumSpeedup
+		holdHours = 1
+	}
+	cost := 0.0
+	for _, h := range hosts {
+		cost += e.p.HostHourlyUSD(h.ID) * holdHours
+	}
+	obj := Objectives{
+		TurnAroundSeconds: turn,
+		CostUSD:           cost,
+		PowerWatts:        power,
+		Fragmentation:     float64(len(clusters)),
+	}
+	e.cache[key] = obj
+	e.evals++
+	return obj
+}
+
+func (e *engine) makeIndiv(g []int32) indiv {
+	sortGenome(g)
+	return indiv{genome: g, key: genomeKey(g), obj: e.evaluate(g)}
+}
+
+// initialPopulation seeds the four single-objective corners (fastest,
+// cheapest, lowest-power, most-packed) so the extremes of the front are
+// present from generation zero, then fills with uniform random subsets.
+func (e *engine) initialPopulation() []indiv {
+	n := len(e.elig)
+	order := func(less func(a, b platform.Host) bool) []int32 {
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		sort.SliceStable(idx, func(i, j int) bool {
+			return less(e.elig[idx[i]], e.elig[idx[j]])
+		})
+		return idx[:e.k:e.k]
+	}
+	clusterSize := map[int]int{}
+	for _, h := range e.elig {
+		clusterSize[h.Cluster]++
+	}
+	seeds := [][]int32{
+		order(func(a, b platform.Host) bool { // fastest
+			if a.ClockGHz != b.ClockGHz {
+				return a.ClockGHz > b.ClockGHz
+			}
+			return a.ID < b.ID
+		}),
+		order(func(a, b platform.Host) bool { // cheapest
+			pa, pb := e.p.HostHourlyUSD(a.ID), e.p.HostHourlyUSD(b.ID)
+			if pa != pb {
+				return pa < pb
+			}
+			return a.ID < b.ID
+		}),
+		order(func(a, b platform.Host) bool { // lowest power
+			wa, wb := e.p.HostWatts(a.ID), e.p.HostWatts(b.ID)
+			if wa != wb {
+				return wa < wb
+			}
+			return a.ID < b.ID
+		}),
+		order(func(a, b platform.Host) bool { // most packed: big clusters first
+			sa, sb := clusterSize[a.Cluster], clusterSize[b.Cluster]
+			if sa != sb {
+				return sa > sb
+			}
+			if a.Cluster != b.Cluster {
+				return a.Cluster < b.Cluster
+			}
+			return a.ID < b.ID
+		}),
+	}
+	var pop []indiv
+	seen := map[string]bool{}
+	add := func(g []int32) {
+		iv := e.makeIndiv(g)
+		if !seen[iv.key] {
+			seen[iv.key] = true
+			pop = append(pop, iv)
+		}
+	}
+	for _, s := range seeds {
+		add(append([]int32(nil), s...))
+	}
+	// Random fill; cap the attempts so tiny search spaces (n choose k small)
+	// terminate with a short population instead of spinning.
+	for tries := 0; len(pop) < e.cfg.PopSize && tries < 4*e.cfg.PopSize; tries++ {
+		sample := e.rng.Sample(n, e.k)
+		g := make([]int32, e.k)
+		for i, v := range sample {
+			g[i] = int32(v)
+		}
+		add(g)
+	}
+	return pop
+}
+
+// step runs one NSGA-II generation: binary-tournament parents, subset
+// crossover, point mutation, then elitist survivor selection over the merged
+// parent+offspring pool.
+func (e *engine) step(pop []indiv) []indiv {
+	ranked := rankAndCrowd(pop)
+	offspring := make([]indiv, 0, e.cfg.PopSize)
+	seen := map[string]bool{}
+	for _, iv := range pop {
+		seen[iv.key] = true
+	}
+	for tries := 0; len(offspring) < e.cfg.PopSize && tries < 4*e.cfg.PopSize; tries++ {
+		if e.evals >= e.cfg.MaxEvaluations {
+			break
+		}
+		a := e.tournament(pop, ranked)
+		b := e.tournament(pop, ranked)
+		child := e.crossover(pop[a].genome, pop[b].genome)
+		e.mutate(child)
+		iv := e.makeIndiv(child)
+		if seen[iv.key] {
+			continue
+		}
+		seen[iv.key] = true
+		offspring = append(offspring, iv)
+	}
+	return e.survivors(append(pop, offspring...))
+}
+
+// tournament returns the index of the better of two uniformly drawn members
+// under the crowded-comparison operator.
+func (e *engine) tournament(pop []indiv, ranked []rankInfo) int {
+	a, b := e.rng.Intn(len(pop)), e.rng.Intn(len(pop))
+	if ranked[a].rank != ranked[b].rank {
+		if ranked[a].rank < ranked[b].rank {
+			return a
+		}
+		return b
+	}
+	if ranked[a].crowding != ranked[b].crowding {
+		if ranked[a].crowding > ranked[b].crowding {
+			return a
+		}
+		return b
+	}
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// crossover unions both parents and keeps the shared genes, filling the rest
+// with a uniform sample of the symmetric difference.
+func (e *engine) crossover(a, b []int32) []int32 {
+	inA := map[int32]bool{}
+	for _, v := range a {
+		inA[v] = true
+	}
+	child := make([]int32, 0, e.k)
+	var diff []int32
+	for _, v := range b {
+		if inA[v] {
+			child = append(child, v) // shared
+			delete(inA, v)
+		} else {
+			diff = append(diff, v) // only in b
+		}
+	}
+	for _, v := range a {
+		if inA[v] {
+			diff = append(diff, v) // only in a
+		}
+	}
+	sortGenome(diff)
+	need := e.k - len(child)
+	for _, i := range e.rng.Sample(len(diff), need) {
+		child = append(child, diff[i])
+	}
+	return child
+}
+
+// mutate replaces one gene with a random non-member host (when one exists).
+func (e *engine) mutate(g []int32) {
+	n := len(e.elig)
+	if n <= e.k || e.rng.Float64() >= 0.35 {
+		return
+	}
+	members := map[int32]bool{}
+	for _, v := range g {
+		members[v] = true
+	}
+	pos := e.rng.Intn(len(g))
+	for tries := 0; tries < 8; tries++ {
+		cand := int32(e.rng.Intn(n))
+		if !members[cand] {
+			g[pos] = cand
+			return
+		}
+	}
+}
+
+// survivors keeps the best PopSize members by (rank, crowding) with full
+// deterministic tie-breaking.
+func (e *engine) survivors(pool []indiv) []indiv {
+	ranked := rankAndCrowd(pool)
+	idx := make([]int, len(pool))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		a, b := idx[x], idx[y]
+		if ranked[a].rank != ranked[b].rank {
+			return ranked[a].rank < ranked[b].rank
+		}
+		if ranked[a].crowding != ranked[b].crowding {
+			return ranked[a].crowding > ranked[b].crowding
+		}
+		return pool[a].key < pool[b].key
+	})
+	n := e.cfg.PopSize
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]indiv, n)
+	for i := 0; i < n; i++ {
+		out[i] = pool[idx[i]]
+	}
+	return out
+}
+
+// front extracts the rank-0 members of the final population as a knee-ranked
+// Solution slice.
+func (e *engine) front(pop []indiv) []Solution {
+	ranked := rankAndCrowd(pop)
+	var first []indiv
+	for i, iv := range pop {
+		if ranked[i].rank == 0 {
+			first = append(first, iv)
+		}
+	}
+	sols := make([]Solution, len(first))
+	for i, iv := range first {
+		hosts := make([]platform.HostID, len(iv.genome))
+		for j, idx := range iv.genome {
+			hosts[j] = e.elig[idx].ID
+		}
+		sols[i] = Solution{Hosts: hosts, Obj: iv.obj}
+	}
+	kneeRank(sols)
+	return sols
+}
+
+func hostsLess(a, b []platform.HostID) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+var inf = math.Inf(1)

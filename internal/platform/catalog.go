@@ -1,0 +1,81 @@
+package platform
+
+// A cloud-style VM catalog: each speed class the generator emits maps to an
+// instance type with an hourly price and a per-host power draw. Prices follow
+// the EC2-2007 anchor of §V.3.2.1 ($0.10/h at 1.7 GHz) but are convex in
+// clock rate — the fastest parts cost disproportionately more per GHz, which
+// is what makes cost-vs-makespan a real trade-off rather than a single axis
+// (HPCAdvisor's observation). Power grows with clock the same way.
+//
+// Platforms registered before the catalog existed (or hand-built ones) carry
+// zero-valued price/power fields; HostHourlyUSD and HostWatts fall back to
+// the linear HourlyCost model and a simple affine watts model, so old durable
+// snapshots keep working unchanged.
+
+// InstanceType is one priced speed class of the catalog.
+type InstanceType struct {
+	Name      string  `json:"name"`
+	ClockGHz  float64 `json:"clock_ghz"`
+	HourlyUSD float64 `json:"hourly_usd"`
+	Watts     float64 `json:"watts"`
+}
+
+// DefaultCatalog lists the instance types matching the generator's clock
+// mixes (2003–2010), ordered by clock rate.
+var DefaultCatalog = []InstanceType{
+	{Name: "t1.nano", ClockGHz: 1.0, HourlyUSD: 0.045, Watts: 95},
+	{Name: "m1.small", ClockGHz: 1.5, HourlyUSD: 0.075, Watts: 115},
+	{Name: "m1.medium", ClockGHz: 2.0, HourlyUSD: 0.115, Watts: 140},
+	{Name: "c1.medium", ClockGHz: 2.4, HourlyUSD: 0.150, Watts: 165},
+	{Name: "c1.large", ClockGHz: 2.8, HourlyUSD: 0.200, Watts: 190},
+	{Name: "c3.large", ClockGHz: 3.0, HourlyUSD: 0.230, Watts: 205},
+	{Name: "c3.xlarge", ClockGHz: 3.2, HourlyUSD: 0.270, Watts: 225},
+	{Name: "c4.xlarge", ClockGHz: 3.5, HourlyUSD: 0.340, Watts: 255},
+}
+
+// InstanceFor returns the catalog entry nearest the given clock rate, ties
+// broken toward the slower (cheaper) class.
+func InstanceFor(clockGHz float64) InstanceType {
+	best := DefaultCatalog[0]
+	bestDist := clockGHz - best.ClockGHz
+	if bestDist < 0 {
+		bestDist = -bestDist
+	}
+	for _, it := range DefaultCatalog[1:] {
+		d := clockGHz - it.ClockGHz
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = it, d
+		}
+	}
+	return best
+}
+
+// DefaultWatts models per-host power draw for clusters that predate the
+// catalog: an affine fit through the catalog's range.
+func DefaultWatts(clockGHz float64) float64 {
+	return 70 + 50*clockGHz
+}
+
+// HostHourlyUSD returns the price per hour of one host, preferring the
+// cluster's catalog annotation and falling back to the linear §V.3.2.1 model
+// for unpriced inventories.
+func (p *Platform) HostHourlyUSD(id HostID) float64 {
+	c := p.Clusters[p.Hosts[id].Cluster]
+	if c.HourlyUSD > 0 {
+		return c.HourlyUSD
+	}
+	return HourlyCost(p.Hosts[id].ClockGHz)
+}
+
+// HostWatts returns the power draw of one host, preferring the cluster's
+// catalog annotation and falling back to the affine default model.
+func (p *Platform) HostWatts(id HostID) float64 {
+	c := p.Clusters[p.Hosts[id].Cluster]
+	if c.HostWatts > 0 {
+		return c.HostWatts
+	}
+	return DefaultWatts(p.Hosts[id].ClockGHz)
+}

@@ -1,0 +1,91 @@
+package platform
+
+import (
+	"testing"
+
+	"rsgen/internal/xrand"
+)
+
+// The catalog must be ordered by clock with strictly increasing price and
+// power, and pricing must be convex relative to the linear §V.3.2.1 model at
+// the fast end (that convexity is what gives moga a real cost axis).
+func TestCatalogShape(t *testing.T) {
+	for i := 1; i < len(DefaultCatalog); i++ {
+		a, b := DefaultCatalog[i-1], DefaultCatalog[i]
+		if b.ClockGHz <= a.ClockGHz {
+			t.Errorf("catalog not clock-ordered at %d: %v after %v", i, b.ClockGHz, a.ClockGHz)
+		}
+		if b.HourlyUSD <= a.HourlyUSD || b.Watts <= a.Watts {
+			t.Errorf("catalog price/power not increasing at %d: %+v after %+v", i, b, a)
+		}
+	}
+	fastest := DefaultCatalog[len(DefaultCatalog)-1]
+	if fastest.HourlyUSD <= HourlyCost(fastest.ClockGHz) {
+		t.Errorf("fastest class %q priced %v, not above linear model %v",
+			fastest.Name, fastest.HourlyUSD, HourlyCost(fastest.ClockGHz))
+	}
+}
+
+func TestInstanceFor(t *testing.T) {
+	cases := []struct {
+		clock float64
+		want  string
+	}{
+		{0.5, "t1.nano"},
+		{1.0, "t1.nano"},
+		{1.2, "t1.nano"}, // tie with m1.small breaks toward the slower class
+		{2.4, "c1.medium"},
+		{3.4, "c4.xlarge"},
+		{9.0, "c4.xlarge"},
+	}
+	for _, c := range cases {
+		if got := InstanceFor(c.clock); got.Name != c.want {
+			t.Errorf("InstanceFor(%v) = %q, want %q", c.clock, got.Name, c.want)
+		}
+	}
+}
+
+// Generate must annotate every cluster with a catalog entry matching its
+// clock class, and the accessors must read the annotation through the hosts.
+func TestGenerateAnnotatesCatalog(t *testing.T) {
+	p := MustGenerate(GenSpec{Clusters: 24, Year: 2006}, xrand.New(11))
+	for _, c := range p.Clusters {
+		if c.InstanceType == "" || c.HourlyUSD <= 0 || c.HostWatts <= 0 {
+			t.Fatalf("cluster %d missing catalog annotation: %+v", c.ID, c)
+		}
+		it := InstanceFor(c.ClockGHz)
+		if c.InstanceType != it.Name || c.HourlyUSD != it.HourlyUSD || c.HostWatts != it.Watts {
+			t.Fatalf("cluster %d annotated %q/%v/%v, want %q/%v/%v",
+				c.ID, c.InstanceType, c.HourlyUSD, c.HostWatts, it.Name, it.HourlyUSD, it.Watts)
+		}
+	}
+	h := p.Hosts[0]
+	cl := p.Clusters[h.Cluster]
+	if got := p.HostHourlyUSD(h.ID); got != cl.HourlyUSD {
+		t.Errorf("HostHourlyUSD(%d) = %v, want cluster price %v", h.ID, got, cl.HourlyUSD)
+	}
+	if got := p.HostWatts(h.ID); got != cl.HostWatts {
+		t.Errorf("HostWatts(%d) = %v, want cluster watts %v", h.ID, got, cl.HostWatts)
+	}
+}
+
+// Unpriced inventories (pre-catalog durable snapshots, hand-built platforms)
+// must fall back to the modeled defaults instead of reporting free hosts.
+func TestHostPriceFallback(t *testing.T) {
+	p := MustGenerate(GenSpec{Clusters: 4, Year: 2006}, xrand.New(5))
+	for i := range p.Clusters {
+		p.Clusters[i].InstanceType = ""
+		p.Clusters[i].HourlyUSD = 0
+		p.Clusters[i].HostWatts = 0
+	}
+	h := p.Hosts[0]
+	if got, want := p.HostHourlyUSD(h.ID), HourlyCost(h.ClockGHz); got != want {
+		t.Errorf("fallback HostHourlyUSD = %v, want %v", got, want)
+	}
+	if got, want := p.HostWatts(h.ID), DefaultWatts(h.ClockGHz); got != want {
+		t.Errorf("fallback HostWatts = %v, want %v", got, want)
+	}
+	if p.HostWatts(h.ID) <= 0 || p.HostHourlyUSD(h.ID) <= 0 {
+		t.Error("fallback produced non-positive price or power")
+	}
+}

@@ -94,15 +94,22 @@ func Generate(spec GenSpec, rng *xrand.RNG) (*Platform, error) {
 			intra = 10_000 // newer large clusters: 10 GbE interconnect
 		}
 		uplink := LinkClassesMbps[1+rng.Intn(len(LinkClassesMbps)-1)]
+		// Catalog annotation is a pure function of the clock class: no
+		// extra RNG draws, so generated platforms are byte-identical to
+		// pre-catalog ones apart from the new fields.
+		it := InstanceFor(clock)
 		cl := Cluster{
-			ID:         c,
-			Name:       fmt.Sprintf("cluster%04d", c),
-			NumHosts:   size,
-			FirstHost:  nextID,
-			ClockGHz:   clock,
-			MemoryMB:   memMB,
-			IntraMbps:  intra,
-			UplinkMbps: uplink,
+			ID:           c,
+			Name:         fmt.Sprintf("cluster%04d", c),
+			NumHosts:     size,
+			FirstHost:    nextID,
+			ClockGHz:     clock,
+			MemoryMB:     memMB,
+			IntraMbps:    intra,
+			UplinkMbps:   uplink,
+			InstanceType: it.Name,
+			HourlyUSD:    it.HourlyUSD,
+			HostWatts:    it.Watts,
 		}
 		p.Clusters = append(p.Clusters, cl)
 		for i := 0; i < size; i++ {

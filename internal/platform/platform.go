@@ -59,6 +59,13 @@ type Cluster struct {
 	// UplinkMbps is the capacity of the cluster's uplink into the
 	// wide-area topology.
 	UplinkMbps float64 `json:"uplink_mbps"`
+	// InstanceType, HourlyUSD and HostWatts carry the VM-catalog
+	// annotation (catalog.go). Optional: zero values mean "unpriced" and
+	// the Host* accessors fall back to the modeled defaults, keeping
+	// pre-catalog inventories and durable snapshots valid.
+	InstanceType string  `json:"instance_type,omitempty"`
+	HourlyUSD    float64 `json:"hourly_usd,omitempty"`
+	HostWatts    float64 `json:"host_watts,omitempty"`
 }
 
 // Platform is a synthetic LSDE: hosts grouped into clusters plus a wide-area

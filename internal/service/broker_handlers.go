@@ -116,10 +116,11 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
 		return
 	}
+	registered := s.brk.Backends()
 	for _, b := range req.Backends {
-		if !slices.Contains(broker.BackendNames, b) {
+		if !slices.Contains(registered, b) {
 			decSpan.EndErr(fmt.Errorf("unknown backend %q", b))
-			writeError(w, http.StatusBadRequest, "unknown backend %q (have %v)", b, broker.BackendNames)
+			writeError(w, http.StatusBadRequest, "unknown backend %q (have %v)", b, registered)
 			return
 		}
 	}

@@ -34,3 +34,39 @@ func FuzzSelectRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAdviseRequest drives the /v1/advise body decoder the same way: any
+// bytes must yield an error or a well-formed (request, dag) pair with the
+// search budget inside the server's hard ceilings — never a panic.
+func FuzzAdviseRequest(f *testing.F) {
+	f.Add([]byte(adviseBody("", "")))
+	f.Add([]byte(adviseBody(`{"min_memory_mb": 512}`, `"search": {"population": 24, "generations": 8, "seed": 3}, "include_leased": true`)))
+	f.Add([]byte(adviseBody("", `"search": {"max_evaluations": 131072}`)))
+	f.Add([]byte(`{"dag": {"tasks": []}}`))
+	f.Add([]byte(`{"dag": 17, "search": {"population": -1}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(strings.Repeat(`{"search":`, 50)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, d, err := decodeAdviseRequest(data)
+		if err != nil {
+			if req != nil || d != nil {
+				t.Fatalf("error %v with non-nil results", err)
+			}
+			return
+		}
+		if req == nil || d == nil {
+			t.Fatal("nil results without error")
+		}
+		if d.Size() == 0 {
+			t.Fatal("decoded dag has no tasks")
+		}
+		sr := req.Search
+		if sr.Population < 0 || sr.Population > maxAdvisePopulation ||
+			sr.Generations < 0 || sr.Generations > maxAdviseGenerations ||
+			sr.MaxEvaluations < 0 || sr.MaxEvaluations > maxAdviseEvaluations {
+			t.Fatalf("accepted out-of-bounds search budget %+v", sr)
+		}
+	})
+}

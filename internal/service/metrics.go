@@ -40,6 +40,11 @@ type metrics struct {
 	flightFallbacks *obs.Counter
 	batchRequests   *obs.Counter // POST /v1/spec/batch bodies accepted
 	batchMembers    *obs.Counter // members across all accepted batches
+
+	// adviseLatency times POST /v1/advise search runs
+	// (rsgend_moga_advise_duration_seconds); registered by New only when the
+	// moga backend is enabled, like the reconciler families.
+	adviseLatency *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry, cache *responseCache) *metrics {

@@ -46,6 +46,7 @@ import (
 	"rsgen/internal/broker"
 	"rsgen/internal/dag"
 	"rsgen/internal/knee"
+	"rsgen/internal/moga"
 	"rsgen/internal/obs"
 	"rsgen/internal/reconcile"
 	"rsgen/internal/sched"
@@ -93,6 +94,13 @@ type Config struct {
 	// status, transparent rebinds reported on release, and the
 	// rsgend_reconcile_* metric families. It must wrap the same broker.
 	Reconciler *reconcile.Reconciler
+	// Moga, when set, enables the multi-objective selection backend: the
+	// internally built broker registers it as backend=moga, POST /v1/advise
+	// is mounted, and the rsgend_moga_* metric families are registered. A
+	// caller passing its own Broker must ALSO set broker.Config.Moga there —
+	// this field then only governs the /v1/advise mount and metrics, and the
+	// two configs should share one Stats so the counters agree.
+	Moga *moga.Config
 	// Logger receives the service's structured logs (request logs at debug,
 	// slow-request warnings); nil discards them.
 	Logger *slog.Logger
@@ -164,10 +172,15 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("service: config needs a generator with a trained size model")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Moga != nil && cfg.Moga.Stats == nil {
+		// Stats must exist before the broker copies the Config into its
+		// selector, or searches through /v1/select would go uncounted.
+		cfg.Moga.Stats = &moga.Stats{}
+	}
 	brk := cfg.Broker
 	if brk == nil {
 		var err error
-		brk, err = broker.New(broker.Config{Generator: cfg.Generator, Workers: cfg.Workers})
+		brk, err = broker.New(broker.Config{Generator: cfg.Generator, Workers: cfg.Workers, Moga: cfg.Moga})
 		if err != nil {
 			return nil, err
 		}
@@ -204,6 +217,16 @@ func New(cfg Config) (*Server, error) {
 		return 0
 	})
 	registerRuntime(reg)
+	if cfg.Moga != nil {
+		// rsgend_moga_* appears only when the backend is enabled, like the
+		// reconciler families.
+		st := cfg.Moga.Stats
+		reg.CounterFunc("rsgend_moga_searches_total", func() uint64 { return uint64(st.Searches()) })
+		reg.CounterFunc("rsgend_moga_evaluations_total", func() uint64 { return uint64(st.Evaluations()) })
+		reg.CounterFunc("rsgend_moga_generations_total", func() uint64 { return uint64(st.Generations()) })
+		reg.IntGaugeFunc("rsgend_moga_front_size", st.LastFrontSize)
+		m.adviseLatency = reg.Histogram("rsgend_moga_advise_duration_seconds", obs.DefBuckets)
+	}
 	s.tracer = &obs.Tracer{
 		Ring:          s.ring,
 		OnSpan:        func(name string, d time.Duration) { m.stage.With(name).Observe(d) },
@@ -223,6 +246,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("PUT /v1/platform", s.handlePlatformPut)
 	s.mux.HandleFunc("GET /v1/platform", s.handlePlatformGet)
 	s.mux.HandleFunc("POST /v1/platform/events", s.handlePlatformEvents)
+	if cfg.Moga != nil {
+		s.mux.HandleFunc("POST /v1/advise", s.handleAdvise)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -261,8 +287,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func metricPath(p string) string {
 	switch p {
 	case "/v1/spec", "/v1/spec/batch", "/v1/select", "/v1/release",
-		"/v1/platform", "/v1/platform/events", "/healthz", "/metrics",
-		"/debug/traces":
+		"/v1/advise", "/v1/platform", "/v1/platform/events", "/healthz",
+		"/metrics", "/debug/traces":
 		return p
 	}
 	if strings.HasPrefix(p, "/v1/select/") {
@@ -729,7 +755,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		},
 		// What the broker's store recovered at startup: all zero-valued
 		// (durable=false) when running on the in-memory store.
-		"store": s.brk.Recovery(),
+		"store":             s.brk.Recovery(),
+		"selector_backends": s.brk.Backends(),
 		"leases": map[string]any{
 			"active_leases": stats.ActiveLeases,
 			"leased_hosts":  stats.LeasedHosts,

@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# advise_smoke.sh — end-to-end smoke test for the multi-objective selection
+# backend (-moga) and its what-if advisor endpoint.
+#
+# Starts rsgend with smoke-scale models, registers a priced synthetic
+# inventory (the platform generator annotates every cluster with an instance
+# type, $/hour and watts), and asserts:
+#
+#   1. /healthz lists moga among the registered selector backends.
+#   2. POST /v1/advise returns a Pareto front of >= 2 solutions whose
+#      objective vectors are mutually non-dominated (checked pairwise over
+#      turn-around / cost / power / fragmentation), without taking a lease.
+#   3. POST /v1/select with backend=moga binds the knee point as a normal
+#      lease, and POST /v1/release frees it (occupancy returns to zero).
+#   4. /metrics counts the searches in the rsgend_moga_* families.
+#
+# Run from the repository root (make advise-smoke does this for you).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TESTDATA="$ROOT/cmd/rsgend/testdata"
+WORK="$(mktemp -d)"
+SRV_PID=""
+
+cleanup() {
+    if [[ -n "$SRV_PID" ]] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill -KILL "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "advise-smoke: building rsgend"
+go build -o "$WORK/rsgend" "$ROOT/cmd/rsgend"
+
+echo "advise-smoke: training smoke-scale models"
+"$WORK/rsgend" -train -models "$WORK/models.json" -scale smoke -seed 1
+
+echo "advise-smoke: starting rsgend"
+"$WORK/rsgend" -models "$WORK/models.json" -addr 127.0.0.1:0 2>"$WORK/serve.log" &
+SRV_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's#.*listening on http://##p' "$WORK/serve.log" | head -n1)"
+    [[ -n "$ADDR" ]] && break
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+        echo "advise-smoke: FAIL — server exited before binding" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[[ -n "$ADDR" ]] || {
+    echo "advise-smoke: FAIL — server never reported its address" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+}
+echo "advise-smoke: server up at $ADDR"
+
+echo "advise-smoke: /healthz must list the moga backend"
+curl -sS "http://$ADDR/healthz" -o "$WORK/healthz.json"
+jq -e '.selector_backends | index("moga")' "$WORK/healthz.json" >/dev/null || {
+    echo "advise-smoke: FAIL — moga missing from selector_backends:" >&2
+    cat "$WORK/healthz.json" >&2
+    exit 1
+}
+
+echo "advise-smoke: registering a priced 2006-era inventory"
+curl -sS -X PUT -d '{"generate": {"clusters": 16, "year": 2006, "seed": 3}}' \
+    "http://$ADDR/v1/platform" -o "$WORK/platform.json"
+jq -e '.clusters == 16' "$WORK/platform.json" >/dev/null || {
+    echo "advise-smoke: FAIL — unexpected PUT /v1/platform response:" >&2
+    cat "$WORK/platform.json" >&2
+    exit 1
+}
+
+echo "advise-smoke: asking the advisor for the Pareto front"
+jq '. + {search: {seed: 9}}' "$TESTDATA/fig_iii2_request.json" >"$WORK/advise_req.json"
+curl -sS -X POST --data-binary "@$WORK/advise_req.json" \
+    "http://$ADDR/v1/advise" -o "$WORK/advise.json"
+jq -e '.backend == "moga" and .front_size >= 2 and (.front | length) == .front_size' \
+    "$WORK/advise.json" >/dev/null || {
+    echo "advise-smoke: FAIL — advise response has no usable front:" >&2
+    cat "$WORK/advise.json" >&2
+    exit 1
+}
+echo "advise-smoke: front of $(jq '.front_size' "$WORK/advise.json") solutions ($(jq '.evaluations' "$WORK/advise.json") evaluations)"
+
+echo "advise-smoke: every pair on the front must be mutually non-dominated"
+jq -e '
+    def vec: [.objectives.turn_around_seconds, .objectives.cost_usd,
+              .objectives.power_watts, .objectives.fragmentation];
+    def dominates($a; $b):
+        ([range(0; 4)] | all(. as $i | $a[$i] <= $b[$i])) and
+        ([range(0; 4)] | any(. as $i | $a[$i] <  $b[$i]));
+    [.front[] | vec] as $vs |
+    [range(0; $vs | length)] | all(. as $i |
+        [range(0; $vs | length)] | all(. as $j |
+            $i == $j or (dominates($vs[$i]; $vs[$j]) | not)))
+' "$WORK/advise.json" >/dev/null || {
+    echo "advise-smoke: FAIL — dominated solution on the front:" >&2
+    jq '[.front[].objectives]' "$WORK/advise.json" >&2
+    exit 1
+}
+
+echo "advise-smoke: the advisor must not have taken a lease"
+curl -sS "http://$ADDR/v1/platform" -o "$WORK/occupancy0.json"
+jq -e '.leases.active_leases == 0' "$WORK/occupancy0.json" >/dev/null || {
+    echo "advise-smoke: FAIL — advise leaked a lease:" >&2
+    cat "$WORK/occupancy0.json" >&2
+    exit 1
+}
+
+echo "advise-smoke: backend=moga select must bind the knee point"
+jq '. + {backends: ["moga"]}' "$TESTDATA/fig_iii2_request.json" >"$WORK/select_req.json"
+curl -sS -X POST --data-binary "@$WORK/select_req.json" \
+    "http://$ADDR/v1/select" -o "$WORK/select.json"
+LEASE="$(jq -r '.lease_id // empty' "$WORK/select.json")"
+[[ "$LEASE" == lease-* ]] || {
+    echo "advise-smoke: FAIL — backend=moga select returned no lease:" >&2
+    cat "$WORK/select.json" >&2
+    exit 1
+}
+jq -e '.backend == "moga" and (.hosts | length) == .rc_size' "$WORK/select.json" >/dev/null || {
+    echo "advise-smoke: FAIL — moga lease malformed:" >&2
+    cat "$WORK/select.json" >&2
+    exit 1
+}
+echo "advise-smoke: bound $LEASE over $(jq '.hosts | length' "$WORK/select.json") hosts"
+
+echo "advise-smoke: releasing $LEASE"
+curl -sS -X POST -d "{\"lease_id\": \"$LEASE\"}" "http://$ADDR/v1/release" -o "$WORK/release.json"
+jq -e '.released == true' "$WORK/release.json" >/dev/null || {
+    echo "advise-smoke: FAIL — release failed:" >&2
+    cat "$WORK/release.json" >&2
+    exit 1
+}
+curl -sS "http://$ADDR/v1/platform" -o "$WORK/occupancy.json"
+jq -e '.leases.active_leases == 0 and .leases.leased_hosts == 0' "$WORK/occupancy.json" >/dev/null || {
+    echo "advise-smoke: FAIL — occupancy nonzero after release:" >&2
+    cat "$WORK/occupancy.json" >&2
+    exit 1
+}
+
+echo "advise-smoke: /metrics must count both searches"
+curl -sS "http://$ADDR/metrics" -o "$WORK/metrics.txt"
+grep -Eq '^rsgend_moga_searches_total [2-9]' "$WORK/metrics.txt" || {
+    echo "advise-smoke: FAIL — rsgend_moga_searches_total not counting:" >&2
+    grep 'rsgend_moga' "$WORK/metrics.txt" >&2 || true
+    exit 1
+}
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || true
+SRV_PID=""
+
+echo "advise-smoke: PASS (non-dominated front of >= 2; moga select/release round-trip)"
