@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race bench bench-smoke bench-json fuzz-smoke serve-smoke crash-smoke churn-smoke load-smoke advise-smoke loadgen-bench
+.PHONY: check vet build test race bench bench-smoke bench-json fuzz-smoke serve-smoke crash-smoke churn-smoke load-smoke advise-smoke accuracy-smoke loadgen-bench
 
 check: vet build race bench-smoke fuzz-smoke
 
@@ -83,3 +83,11 @@ load-smoke:
 # solutions), then round-trip a backend=moga select and release.
 advise-smoke:
 	bash scripts/advise_smoke.sh
+
+# End-to-end prediction accuracy: bind with -state-dir and -obs-dir,
+# SIGKILL mid-lease, restart, release with an observed makespan, and
+# assert the observation is complete (predicted + observed + trace id),
+# the rsgend_accuracy_* families are exposed, and rsgend_model_drift
+# flips under a synthetic 4x-slow cluster.
+accuracy-smoke:
+	bash scripts/accuracy_smoke.sh

@@ -18,6 +18,10 @@
 //	POST /v1/advise   what-if advisor: the full Pareto front over predicted
 //	                  turn-around / dollar cost / power / fragmentation,
 //	                  without taking a lease (404 with -moga=false)
+//	GET  /v1/observations  prediction-accuracy flight recorder: every lease's
+//	                  terminal event (release / expiry / rebind) with the
+//	                  promised vs observed makespan (filters: backend,
+//	                  fingerprint, since; paginated)
 //	GET  /healthz     liveness + model provenance + registered selector backends
 //	GET  /metrics     Prometheus text exposition (requests, latencies, caches,
 //	                  broker rung attempts, fallback depth, lease occupancy)
@@ -42,6 +46,11 @@
 // double-bound, and a graceful drain folds the log into one final
 // snapshot. Without the flag everything lives in memory, exactly as
 // before the flag existed.
+//
+// With -obs-dir every terminal lease event is additionally appended to a
+// size-capped JSONL observation log in that directory; the in-memory ring
+// behind GET /v1/observations, the rsgend_accuracy_* metric families, and
+// the rsgend_model_drift drift detector run either way.
 //
 // With -debug-addr a second, operator-only listener additionally serves
 // net/http/pprof and GET /debug/traces — the span-level breakdown of recent
@@ -97,6 +106,7 @@ func run(args []string) int {
 		workers     = fs.Int("j", 0, "evaluation workers for batch members and alternative specs (0 = all cores); /healthz reports the effective count")
 		leaseTTL    = fs.Duration("lease-ttl", 5*time.Minute, "default host-lease lifetime for /v1/select")
 		stateDir    = fs.String("state-dir", "", "directory for durable broker state (WAL + snapshots); empty serves from memory only")
+		obsDir      = fs.String("obs-dir", "", "directory for the prediction-accuracy observation log (append-only JSONL, size-capped rotation); empty keeps observations in memory only")
 		leaseSweep  = fs.Duration("lease-sweep", 30*time.Second, "background lease-expiry sweep interval")
 		recEvery    = fs.Duration("reconcile-interval", 5*time.Second, "continuous-reconciler cycle period (0 disables the closed loop)")
 		probeWindow = fs.Duration("probe-timeout", time.Hour, "expected-progress window: clusters whose probed queue wait exceeds this are declared stalled and rebound around")
@@ -194,6 +204,20 @@ func run(args []string) int {
 		// into one final snapshot, so the next start replays nothing.
 		defer store.Close()
 	}
+	// The flight recorder always runs (in-memory ring, accuracy series,
+	// GET /v1/observations); -obs-dir additionally persists every
+	// observation as JSONL.
+	var obsLog *obs.ObsLog
+	if *obsDir != "" {
+		obsLog, err = obs.OpenObsLog(*obsDir, obs.ObsLogOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsgend:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "rsgend: observation log at %s\n", obsLog.Path())
+	}
+	recorder := obs.NewFlightRecorder(0, obsLog, logger)
+	defer recorder.Close()
 	stopSweeper := brk.StartSweeper(*leaseSweep)
 	defer stopSweeper()
 	var rec *reconcile.Reconciler
@@ -220,6 +244,7 @@ func run(args []string) int {
 		BaseCtx:         baseCtx,
 		Broker:          brk,
 		Reconciler:      rec,
+		Recorder:        recorder,
 		Moga:            mogaCfg,
 		Logger:          logger,
 		TraceEntries:    *traceSize,

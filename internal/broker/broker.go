@@ -25,6 +25,7 @@ import (
 	"rsgen/internal/moga"
 	"rsgen/internal/obs"
 	"rsgen/internal/platform"
+	"rsgen/internal/sched"
 	"rsgen/internal/spec"
 )
 
@@ -146,6 +147,9 @@ type Broker struct {
 
 	exclMu       sync.RWMutex
 	exclProvider func() map[platform.HostID]bool
+
+	obsMu   sync.RWMutex
+	obsSink func(obs.Observation)
 }
 
 // New validates the config and assembles a broker over the configured
@@ -276,14 +280,88 @@ func (b *Broker) Metrics() *Metrics { return b.metrics }
 func (b *Broker) Registry() *obs.Registry { return b.metrics.reg }
 
 // LeaseStats sweeps expired leases and reports occupancy.
-func (b *Broker) LeaseStats() LeaseStats { return b.store.Stats(b.cfg.Now()) }
+func (b *Broker) LeaseStats() LeaseStats {
+	st := b.store.Stats(b.cfg.Now())
+	b.flushExpired()
+	return st
+}
+
+// SetObservationSink registers the flight recorder's intake: every terminal
+// lease event (release, TTL expiry, rebind replacement) is handed to it as
+// an obs.Observation. At most one sink; nil disconnects.
+func (b *Broker) SetObservationSink(f func(obs.Observation)) {
+	b.obsMu.Lock()
+	b.obsSink = f
+	b.obsMu.Unlock()
+}
+
+func (b *Broker) emitObservation(o obs.Observation) {
+	b.obsMu.RLock()
+	f := b.obsSink
+	b.obsMu.RUnlock()
+	if f != nil {
+		f(o)
+	}
+}
+
+// observe builds the Observation closing a lease's segment. observed is the
+// client-reported makespan when positive; otherwise the wall-clock duration
+// the lease was held (zero when BoundAt predates the annotation fields).
+func observe(l *Lease, endReason, traceID string, end time.Time, observed float64) obs.Observation {
+	if observed <= 0 && !l.BoundAt.IsZero() && end.After(l.BoundAt) {
+		observed = end.Sub(l.BoundAt).Seconds()
+	}
+	return obs.Observation{
+		Time:             end,
+		LeaseID:          l.ID,
+		TraceID:          traceID,
+		Fingerprint:      l.Fingerprint,
+		Backend:          l.Backend,
+		Heuristic:        l.Heuristic,
+		Rung:             l.Rung,
+		FrontRank:        l.FrontRank,
+		RCSize:           len(l.Hosts),
+		EndReason:        endReason,
+		PredictedSeconds: l.PredictedTurnAround,
+		ObservedSeconds:  observed,
+		HourlyUSD:        l.HourlyUSD,
+		Watts:            l.Watts,
+	}
+}
+
+// flushExpired drains the store's TTL-reclaimed leases and emits their
+// expiry observations. Expiry happens inside the store's sweep (under its
+// mutex, from many call paths), so the store queues the reclaimed leases
+// and the broker folds them into the flight recorder here — called after
+// every lease operation and from the background sweeper tick. An expiry has
+// no requesting trace, so TraceID stays empty; the observed duration is the
+// full TTL the lease was held.
+func (b *Broker) flushExpired() {
+	for _, l := range b.store.TakeExpired() {
+		b.emitObservation(observe(l, obs.EndExpired, "", l.Expires, 0))
+	}
+}
 
 // Release frees a lease; ok is false for unknown or expired IDs.
 func (b *Broker) Release(id string) bool {
-	ok := b.store.Release(id, b.cfg.Now())
+	return b.ReleaseObserved(context.Background(), id, 0)
+}
+
+// ReleaseObserved frees a lease and emits its terminal observation,
+// carrying the request's trace ID from ctx and the client-reported makespan
+// (observedSeconds <= 0 falls back to the lease's wall-clock hold time). ok
+// is false for unknown or expired IDs.
+func (b *Broker) ReleaseObserved(ctx context.Context, id string, observedSeconds float64) bool {
+	now := b.cfg.Now()
+	lease, held := b.store.Lookup(id, now)
+	ok := b.store.Release(id, now)
 	if ok {
 		b.metrics.releases.Add(1)
+		if held {
+			b.emitObservation(observe(&lease, obs.EndReleased, obs.TraceIDFrom(ctx), now, observedSeconds))
+		}
 	}
+	b.flushExpired()
 	return ok
 }
 
@@ -334,6 +412,7 @@ func (b *Broker) StartSweeper(interval time.Duration) (stop func()) {
 				return
 			case <-t.C:
 				b.store.Sweep(b.cfg.Now())
+				b.flushExpired()
 			}
 		}
 	}()
@@ -462,6 +541,7 @@ func (b *Broker) Select(ctx context.Context, req Request) (*Outcome, error) {
 		return nil, ErrDraining
 	}
 	defer b.inflight.Done()
+	defer b.flushExpired() // selections sweep inline; surface what they reclaimed
 	b.metrics.inflight.Add(1)
 	defer b.metrics.inflight.Add(-1)
 	b.metrics.selections.Add(1)
@@ -606,7 +686,7 @@ func (b *Broker) tryRung(ctx context.Context, inv *inventory, d *dag.DAG, rung i
 		}
 		_, leaseSpan := obs.StartSpan(ctx, "lease")
 		leaseSpan.SetDetail("rung=%d hosts=%d", rung, len(rc.Hosts))
-		lease, err := b.store.Acquire(rc.Hosts, ttl, b.cfg.Now(), rung, sel.Name())
+		lease, err := b.store.Acquire(rc.Hosts, ttl, b.cfg.Now(), leaseMeta(inv, d, sp, rc, rung, rank, sel.Name()))
 		leaseSpan.EndErr(err)
 		if err != nil {
 			att.Stage, att.Err = StageLease, err.Error()
@@ -671,6 +751,7 @@ func (b *Broker) Rebind(ctx context.Context, leaseID string, req Request, stalle
 		return nil, ErrDraining
 	}
 	defer b.inflight.Done()
+	defer b.flushExpired()
 
 	b.invMu.RLock()
 	inv := b.inv
@@ -792,7 +873,7 @@ func (b *Broker) tryRebindRung(ctx context.Context, inv *inventory, d *dag.DAG, 
 		}
 		_, swapSpan := obs.StartSpan(ctx, "swap")
 		swapSpan.SetDetail("old=%s rung=%d hosts=%d", leaseID, rung, len(rc.Hosts))
-		lease, err := b.store.Swap(leaseID, rc.Hosts, now, rung, sel.Name())
+		lease, err := b.store.Swap(leaseID, rc.Hosts, now, leaseMeta(inv, d, sp, rc, rung, rank, sel.Name()))
 		swapSpan.EndErr(err)
 		if err != nil {
 			att.Stage, att.Err = StageLease, err.Error()
@@ -807,6 +888,11 @@ func (b *Broker) tryRebindRung(ctx context.Context, inv *inventory, d *dag.DAG, 
 			}
 			continue // a concurrent session grabbed a candidate host: re-select
 		}
+		// The swap retired the old lease: close its segment in the flight
+		// recorder. The replacement lease's own observation comes when it
+		// ends in turn.
+		b.emitObservation(observe(&own, obs.EndRebound, obs.TraceIDFrom(ctx), now, 0))
+		b.flushExpired()
 		att.Stage = StageBound
 		att.BindWaitSeconds = binding.AvailableAt
 		b.metrics.rungAttempt(sel.Name(), StageBound)
@@ -872,6 +958,44 @@ func (b *Broker) markStalled(inv *inventory, rc *platform.ResourceCollection, ma
 		}
 	}
 	return grew
+}
+
+// leaseMeta assembles the acquisition's annotations: which rung, backend,
+// heuristic, and front rank won, the request DAG's fingerprint, the makespan
+// the spec promises on the actually-bound collection, and the collection's
+// summed catalog price and power draw. Everything here is what the flight
+// recorder needs when the lease eventually ends.
+func leaseMeta(inv *inventory, d *dag.DAG, sp *spec.Specification, rc *platform.ResourceCollection, rung, rank int, backend string) LeaseMeta {
+	m := LeaseMeta{
+		Rung:                rung,
+		Backend:             backend,
+		FrontRank:           rank,
+		Fingerprint:         fmt.Sprintf("%016x", d.Fingerprint()),
+		Heuristic:           sp.Heuristic,
+		PredictedTurnAround: predictTurnAround(d, sp.Heuristic, inv.p, rc),
+	}
+	for _, h := range rc.Hosts {
+		m.HourlyUSD += inv.p.HostHourlyUSD(h.ID)
+		m.Watts += inv.p.HostWatts(h.ID)
+	}
+	return m
+}
+
+// predictTurnAround schedules the DAG on the bound collection with the
+// spec's heuristic — the same estimate the moga evaluator uses — giving the
+// promised makespan (seconds) the flight recorder later scores against the
+// observed one. 0 when the heuristic is unknown or the subset is
+// unschedulable: the lease is then recorded but never scored.
+func predictTurnAround(d *dag.DAG, heuristic string, p *platform.Platform, rc *platform.ResourceCollection) float64 {
+	h, err := sched.ByName(heuristic)
+	if err != nil {
+		return 0
+	}
+	s, err := h.Schedule(d, platform.SubsetRC(p, rc.Hosts))
+	if err != nil {
+		return 0
+	}
+	return s.TurnAround(1)
 }
 
 func countClusters(rc *platform.ResourceCollection) int {

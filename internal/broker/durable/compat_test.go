@@ -1,0 +1,135 @@
+package durable
+
+// Wire-form compatibility: durable state written before the
+// prediction-accuracy annotations existed (no bound_at,
+// predicted_turn_around_seconds, front_rank, fingerprint, heuristic,
+// hourly_usd, watts on a lease) must replay cleanly, with the missing
+// fields decoding to their zero values ("unknown"), and must survive a
+// re-snapshot round-trip. The fixtures below are handcrafted byte-for-byte
+// in the old wire form rather than produced through today's structs.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rsgen/internal/broker"
+)
+
+// writeFramed writes payloads to path using the WAL record framing.
+func writeFramed(t *testing.T, path string, payloads ...string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, p := range payloads {
+		if _, err := appendRecord(f, []byte(p)); err != nil {
+			t.Fatalf("appendRecord: %v", err)
+		}
+	}
+}
+
+// oldLeaseJSON is a lease as PR 9 and earlier serialized it: only the five
+// original fields.
+func oldLeaseJSON(id string, h0, h1, rung int, backend string, expires time.Time) string {
+	return fmt.Sprintf(`{"id":%q,"hosts":[%d,%d],"expires":%q,"rung":%d,"backend":%q}`,
+		id, h0, h1, expires.Format(time.RFC3339Nano), rung, backend)
+}
+
+func TestReplayPrePRWAL(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	expires := t0.Add(time.Hour)
+
+	writeFramed(t, filepath.Join(dir, walName),
+		fmt.Sprintf(`{"op":"acquire","lease":%s}`, oldLeaseJSON("lease-00000001", 0, 1, 0, "vgdl", expires)),
+		fmt.Sprintf(`{"op":"acquire","lease":%s}`, oldLeaseJSON("lease-00000002", 2, 3, 1, "tophosts", expires)),
+		`{"op":"release","lease_id":"lease-00000002"}`,
+	)
+
+	s := open(t, dir, func() time.Time { return t0 })
+	r := s.Recovery()
+	if r.RecordsReplayed != 3 || r.LeasesRecovered != 1 {
+		t.Fatalf("recovery %+v: want 3 records replayed, 1 lease recovered", r)
+	}
+	l, ok := s.Lookup("lease-00000001", t0)
+	if !ok {
+		t.Fatal("pre-PR lease not recovered")
+	}
+	if l.Rung != 0 || l.Backend != "vgdl" || len(l.Hosts) != 2 || !l.Expires.Equal(expires) {
+		t.Errorf("recovered lease %+v mangled", l)
+	}
+	// The fields that postdate the record decode to zero = "unknown".
+	if !l.BoundAt.IsZero() || l.PredictedTurnAround != 0 || l.Fingerprint != "" ||
+		l.Heuristic != "" || l.HourlyUSD != 0 || l.Watts != 0 || l.FrontRank != 0 {
+		t.Errorf("pre-PR lease grew phantom annotations: %+v", l)
+	}
+	// The lease is fully operational: new acquisitions continue the ID
+	// sequence past it and it can be released.
+	l3, err := s.Acquire(nil, time.Hour, t0, broker.LeaseMeta{Rung: 2, Backend: "moga"})
+	if err != nil {
+		t.Fatalf("Acquire after replay: %v", err)
+	}
+	if l3.ID != "lease-00000003" {
+		t.Errorf("next lease ID %s, want lease-00000003", l3.ID)
+	}
+	if !s.Release("lease-00000001", t0) {
+		t.Error("cannot release a pre-PR lease")
+	}
+
+	// Close compacts into a snapshot in today's form; reopening must
+	// restore the same state.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, func() time.Time { return t0 })
+	defer s2.Close()
+	if !s2.Recovery().SnapshotLoaded {
+		t.Error("re-snapshot after pre-PR replay not loaded")
+	}
+	if _, ok := s2.Lookup(l3.ID, t0); !ok {
+		t.Error("post-replay lease lost across the round-trip")
+	}
+	if _, ok := s2.Lookup("lease-00000001", t0); ok {
+		t.Error("released pre-PR lease resurrected")
+	}
+}
+
+func TestLoadPrePRSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	expires := t0.Add(time.Hour)
+
+	writeFramed(t, filepath.Join(dir, snapName),
+		fmt.Sprintf(`{"version":1,"generation":3,"next_id":7,"expired_total":2,"leases":[%s]}`,
+			oldLeaseJSON("lease-00000005", 0, 1, 1, "vgdl", expires)),
+	)
+
+	s := open(t, dir, func() time.Time { return t0 })
+	defer s.Close()
+	if !s.Recovery().SnapshotLoaded {
+		t.Fatal("pre-PR snapshot not loaded")
+	}
+	if s.Generation() != 3 {
+		t.Errorf("generation %d, want 3", s.Generation())
+	}
+	l, ok := s.Lookup("lease-00000005", t0)
+	if !ok {
+		t.Fatal("lease from pre-PR snapshot not restored")
+	}
+	if !l.BoundAt.IsZero() || l.PredictedTurnAround != 0 || l.Heuristic != "" {
+		t.Errorf("pre-PR snapshot lease grew phantom annotations: %+v", l)
+	}
+	st := s.Stats(t0)
+	if st.ActiveLeases != 1 || st.ExpiredTotal != 2 {
+		t.Errorf("stats %+v, want 1 active / 2 expired", st)
+	}
+	// OldestBoundAt must stay zero — only pre-annotation leases live here.
+	if !st.OldestBoundAt.IsZero() {
+		t.Errorf("OldestBoundAt %v from a lease with no bound_at", st.OldestBoundAt)
+	}
+}

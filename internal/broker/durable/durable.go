@@ -451,8 +451,8 @@ func (s *Store) Generation() uint64 { return s.mem.Generation() }
 // store cannot promise to remember across a crash is never handed out
 // (handing it out and forgetting it would double-bind the hosts after a
 // restart).
-func (s *Store) Acquire(hosts []platform.Host, ttl time.Duration, now time.Time, rung int, backend string) (*broker.Lease, error) {
-	l, err := s.mem.Acquire(hosts, ttl, now, rung, backend)
+func (s *Store) Acquire(hosts []platform.Host, ttl time.Duration, now time.Time, meta broker.LeaseMeta) (*broker.Lease, error) {
+	l, err := s.mem.Acquire(hosts, ttl, now, meta)
 	if err != nil {
 		return nil, err
 	}
@@ -485,12 +485,12 @@ func (s *Store) Release(id string, now time.Time) bool {
 // durable state never holds both leases or neither. A journal failure rolls
 // the swap back — the caller keeps the old lease, exactly as if the rebind
 // never happened.
-func (s *Store) Swap(oldID string, hosts []platform.Host, now time.Time, rung int, backend string) (*broker.Lease, error) {
+func (s *Store) Swap(oldID string, hosts []platform.Host, now time.Time, meta broker.LeaseMeta) (*broker.Lease, error) {
 	old, held := s.mem.Lookup(oldID, now)
 	if !held {
 		return nil, fmt.Errorf("%w: %s", broker.ErrLeaseGone, oldID)
 	}
-	l, err := s.mem.Swap(oldID, hosts, now, rung, backend)
+	l, err := s.mem.Swap(oldID, hosts, now, meta)
 	if err != nil {
 		return nil, err
 	}
@@ -512,6 +512,12 @@ func (s *Store) Sweep(now time.Time) uint64 { return s.mem.Sweep(now) }
 
 // Leased returns the currently leased host set.
 func (s *Store) Leased(now time.Time) map[platform.HostID]bool { return s.mem.Leased(now) }
+
+// TakeExpired drains the TTL-reclaimed leases accumulated since the last
+// call. Expiry is never journaled (recovery re-derives it), so the drain is
+// a pure in-memory handoff; leases whose TTL ran out while the process was
+// down land here too, after Open's recovery sweep.
+func (s *Store) TakeExpired() []*broker.Lease { return s.mem.TakeExpired() }
 
 // Stats sweeps and reports occupancy.
 func (s *Store) Stats(now time.Time) broker.LeaseStats { return s.mem.Stats(now) }

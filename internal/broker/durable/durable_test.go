@@ -50,11 +50,11 @@ func TestWALReplayRestoresState(t *testing.T) {
 	if gen, err := s.RegisterInventory(rec, t0); err != nil || gen != 1 {
 		t.Fatalf("RegisterInventory = %d, %v", gen, err)
 	}
-	l1, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl")
+	l1, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"})
 	if err != nil {
 		t.Fatalf("Acquire: %v", err)
 	}
-	l2, err := s.Acquire(p.Hosts[2:5], time.Hour, t0, 1, "tophosts")
+	l2, err := s.Acquire(p.Hosts[2:5], time.Hour, t0, broker.LeaseMeta{Rung: 1, Backend: "tophosts"})
 	if err != nil {
 		t.Fatalf("Acquire: %v", err)
 	}
@@ -84,10 +84,10 @@ func TestWALReplayRestoresState(t *testing.T) {
 	}
 	// The surviving lease masks its hosts: re-acquiring them must fail
 	// (rebind safety), and fresh IDs must not collide with pre-crash ones.
-	if _, err := s2.Acquire(p.Hosts[0:1], time.Hour, t0, 0, "vgdl"); err == nil {
+	if _, err := s2.Acquire(p.Hosts[0:1], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"}); err == nil {
 		t.Error("re-acquiring a recovered lease's host succeeded")
 	}
-	l3, err := s2.Acquire(p.Hosts[5:6], time.Hour, t0, 0, "vgdl")
+	l3, err := s2.Acquire(p.Hosts[5:6], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"})
 	if err != nil {
 		t.Fatalf("Acquire after recovery: %v", err)
 	}
@@ -108,7 +108,7 @@ func TestTornTailTruncated(t *testing.T) {
 	if _, err := s.RegisterInventory(rec, t0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl"); err != nil {
+	if _, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"}); err != nil {
 		t.Fatal(err)
 	}
 	crash(s)
@@ -155,7 +155,7 @@ func TestSnapshotWALEquivalence(t *testing.T) {
 		if _, err := s.RegisterInventory(rec, t0); err != nil {
 			t.Fatal(err)
 		}
-		l1, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl")
+		l1, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,7 +164,7 @@ func TestSnapshotWALEquivalence(t *testing.T) {
 				t.Fatalf("Compact: %v", err)
 			}
 		}
-		if _, err := s.Acquire(p.Hosts[3:5], 2*time.Hour, t0, 1, "tophosts"); err != nil {
+		if _, err := s.Acquire(p.Hosts[3:5], 2*time.Hour, t0, broker.LeaseMeta{Rung: 1, Backend: "tophosts"}); err != nil {
 			t.Fatal(err)
 		}
 		s.Release(l1.ID, t0)
@@ -196,10 +196,10 @@ func TestTTLExpiryAcrossRestart(t *testing.T) {
 	if _, err := s.RegisterInventory(rec, t0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Acquire(p.Hosts[0:2], time.Minute, t0, 0, "vgdl"); err != nil {
+	if _, err := s.Acquire(p.Hosts[0:2], time.Minute, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Acquire(p.Hosts[2:4], time.Hour, t0, 0, "vgdl"); err != nil {
+	if _, err := s.Acquire(p.Hosts[2:4], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"}); err != nil {
 		t.Fatal(err)
 	}
 	crash(s)
@@ -216,7 +216,7 @@ func TestTTLExpiryAcrossRestart(t *testing.T) {
 		t.Errorf("stats %+v after expiry, want 1 lease over 2 hosts", st)
 	}
 	// The expired lease's hosts are free again.
-	if _, err := s2.Acquire(p.Hosts[0:2], time.Hour, t0.Add(10*time.Minute), 0, "vgdl"); err != nil {
+	if _, err := s2.Acquire(p.Hosts[0:2], time.Hour, t0.Add(10*time.Minute), broker.LeaseMeta{Rung: 0, Backend: "vgdl"}); err != nil {
 		t.Errorf("re-acquiring expired hosts: %v", err)
 	}
 }
@@ -233,10 +233,10 @@ func TestAutoCompaction(t *testing.T) {
 	if _, err := s.RegisterInventory(rec, t0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Acquire(p.Hosts[0:1], time.Hour, t0, 0, "vgdl"); err != nil {
+	if _, err := s.Acquire(p.Hosts[0:1], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Acquire(p.Hosts[1:2], time.Hour, t0, 0, "vgdl"); err != nil {
+	if _, err := s.Acquire(p.Hosts[1:2], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"}); err != nil {
 		t.Fatal(err)
 	}
 	// Third append crossed CompactEvery: the WAL must be empty again and
@@ -252,7 +252,7 @@ func TestAutoCompaction(t *testing.T) {
 		t.Errorf("snapshot missing after auto-compaction: %v", err)
 	}
 	// One more record lands in the fresh WAL; recovery sees snapshot + 1.
-	if _, err := s.Acquire(p.Hosts[2:3], time.Hour, t0, 0, "vgdl"); err != nil {
+	if _, err := s.Acquire(p.Hosts[2:3], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"}); err != nil {
 		t.Fatal(err)
 	}
 	crash(s)
@@ -274,7 +274,7 @@ func TestCloseWritesFinalSnapshot(t *testing.T) {
 	if _, err := s.RegisterInventory(rec, t0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl"); err != nil {
+	if _, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {

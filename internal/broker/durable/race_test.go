@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"rsgen/internal/broker"
 )
 
 // TestConcurrentAcquireDuringCompaction hammers Acquire/Release from many
@@ -35,7 +37,7 @@ func TestConcurrentAcquireDuringCompaction(t *testing.T) {
 			// succeed; contention is on the WAL and the compactor.
 			hosts := p.Hosts[2*w : 2*w+2]
 			for i := 0; i < iters; i++ {
-				l, err := s.Acquire(hosts, time.Hour, t0, 0, "vgdl")
+				l, err := s.Acquire(hosts, time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"})
 				if err != nil {
 					t.Errorf("worker %d: Acquire: %v", w, err)
 					return

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"rsgen/internal/broker"
 )
 
 func TestSwapSurvivesCrash(t *testing.T) {
@@ -17,11 +19,11 @@ func TestSwapSurvivesCrash(t *testing.T) {
 	if _, err := s.RegisterInventory(rec, t0); err != nil {
 		t.Fatalf("RegisterInventory: %v", err)
 	}
-	old, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl")
+	old, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"})
 	if err != nil {
 		t.Fatalf("Acquire: %v", err)
 	}
-	nu, err := s.Swap(old.ID, p.Hosts[2:5], t0, 1, "classad")
+	nu, err := s.Swap(old.ID, p.Hosts[2:5], t0, broker.LeaseMeta{Rung: 1, Backend: "classad"})
 	if err != nil {
 		t.Fatalf("Swap: %v", err)
 	}
@@ -45,13 +47,13 @@ func TestSwapSurvivesCrash(t *testing.T) {
 	if !got.Expires.Equal(old.Expires) || got.Rung != 1 || got.Backend != "classad" {
 		t.Errorf("recovered lease %+v, want rung 1 via classad expiring %v", got, old.Expires)
 	}
-	if _, err := s2.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl"); err != nil {
+	if _, err := s2.Acquire(p.Hosts[0:2], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"}); err != nil {
 		t.Errorf("hosts freed by the swap are still masked after recovery: %v", err)
 	}
-	if _, err := s2.Acquire(p.Hosts[3:4], time.Hour, t0, 0, "vgdl"); err == nil {
+	if _, err := s2.Acquire(p.Hosts[3:4], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"}); err == nil {
 		t.Error("a replacement-held host was acquirable after recovery")
 	}
-	l3, err := s2.Acquire(p.Hosts[5:6], time.Hour, t0, 0, "vgdl")
+	l3, err := s2.Acquire(p.Hosts[5:6], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"})
 	if err != nil {
 		t.Fatalf("Acquire after recovery: %v", err)
 	}
@@ -69,14 +71,14 @@ func TestSwapWALFailureRollsBack(t *testing.T) {
 	if _, err := s.RegisterInventory(rec, t0); err != nil {
 		t.Fatalf("RegisterInventory: %v", err)
 	}
-	old, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl")
+	old, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"})
 	if err != nil {
 		t.Fatalf("Acquire: %v", err)
 	}
 	// Fail the journal out from under the swap: the caller must keep the
 	// old lease exactly as if the rebind never happened.
 	s.wal.Close()
-	if _, err := s.Swap(old.ID, p.Hosts[2:4], t0, 1, "vgdl"); err == nil {
+	if _, err := s.Swap(old.ID, p.Hosts[2:4], t0, broker.LeaseMeta{Rung: 1, Backend: "vgdl"}); err == nil {
 		t.Fatal("Swap succeeded with a dead WAL")
 	}
 	got, held := s.Lookup(old.ID, t0)
@@ -101,7 +103,7 @@ func TestSwallowedReleaseWALErrorIsCounted(t *testing.T) {
 	if _, err := s.RegisterInventory(rec, t0); err != nil {
 		t.Fatalf("RegisterInventory: %v", err)
 	}
-	l, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, 0, "vgdl")
+	l, err := s.Acquire(p.Hosts[0:2], time.Hour, t0, broker.LeaseMeta{Rung: 0, Backend: "vgdl"})
 	if err != nil {
 		t.Fatalf("Acquire: %v", err)
 	}

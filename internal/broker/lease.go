@@ -10,7 +10,12 @@ import (
 // reserved for the holder until it releases them or the TTL runs out.
 //
 // The JSON tags are the durable store's wire form; Expires serializes as
-// RFC 3339 with nanoseconds, which round-trips time.Time exactly.
+// RFC 3339 with nanoseconds, which round-trips time.Time exactly. Every
+// field after Backend was added by the prediction-accuracy flight recorder
+// and is tagged to vanish at its zero value, so snapshots and WAL records
+// written before the fields existed replay cleanly (they decode to zero,
+// meaning "unknown") and leases that never carried an annotation stay
+// byte-identical on disk.
 type Lease struct {
 	// ID is the opaque handle returned to the client ("lease-00000001").
 	ID string `json:"id"`
@@ -21,6 +26,47 @@ type Lease struct {
 	// Rung and Backend record which ladder rung and selection backend won.
 	Rung    int    `json:"rung"`
 	Backend string `json:"backend"`
+	// BoundAt is when the lease was acquired (or swapped in, for a rebind
+	// replacement). Zero for leases persisted before the field existed.
+	BoundAt time.Time `json:"bound_at,omitzero"`
+	// PredictedTurnAround is the makespan (seconds) the winning rung's
+	// specification promised, computed by scheduling the request's DAG on
+	// the actually-bound collection at bind time. 0 means no prediction was
+	// available (pre-annotation lease, or an unschedulable spec).
+	PredictedTurnAround float64 `json:"predicted_turn_around_seconds,omitempty"`
+	// FrontRank is the Pareto-front rank the winning selection used (moga);
+	// 0 for backends that do not walk a front.
+	FrontRank int `json:"front_rank,omitempty"`
+	// Fingerprint is the request DAG's 64-bit fingerprint in hex, linking
+	// the lease's eventual observation back to the workload shape.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Heuristic is the scheduling heuristic the winning spec named.
+	Heuristic string `json:"heuristic,omitempty"`
+	// HourlyUSD and Watts annotate the bound collection's catalog price and
+	// power draw (summed over its hosts).
+	HourlyUSD float64 `json:"hourly_usd,omitempty"`
+	Watts     float64 `json:"watts,omitempty"`
+}
+
+// LeaseMeta carries everything an acquisition records on the lease beyond
+// the hosts and deadline: the winning rung/backend pair plus the
+// prediction-accuracy annotations the flight recorder needs when the lease
+// eventually ends. The zero value is valid (an unannotated lease).
+type LeaseMeta struct {
+	// Rung and Backend record which ladder rung and selection backend won.
+	Rung    int
+	Backend string
+	// FrontRank is the Pareto-front rank of the winning selection (moga).
+	FrontRank int
+	// Fingerprint is the request DAG's fingerprint in hex.
+	Fingerprint string
+	// Heuristic is the winning spec's scheduling heuristic.
+	Heuristic string
+	// PredictedTurnAround is the promised makespan in seconds (0 = none).
+	PredictedTurnAround float64
+	// HourlyUSD and Watts are the collection's summed catalog annotations.
+	HourlyUSD float64
+	Watts     float64
 }
 
 // LeaseStats is a point-in-time occupancy snapshot.
@@ -30,4 +76,7 @@ type LeaseStats struct {
 	LeasedHosts  int
 	// ExpiredTotal counts leases ever reclaimed by TTL expiry.
 	ExpiredTotal uint64
+	// OldestBoundAt is the earliest BoundAt among live leases; zero when no
+	// live lease carries one (empty table, or only pre-annotation leases).
+	OldestBoundAt time.Time
 }

@@ -1,0 +1,180 @@
+package broker
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"rsgen/internal/obs"
+	"rsgen/internal/platform"
+	"rsgen/internal/spec"
+)
+
+// obsCollector is a thread-safe observation sink for tests.
+type obsCollector struct {
+	mu  sync.Mutex
+	got []obs.Observation
+}
+
+func (c *obsCollector) record(o obs.Observation) {
+	c.mu.Lock()
+	c.got = append(c.got, o)
+	c.mu.Unlock()
+}
+
+func (c *obsCollector) all() []obs.Observation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]obs.Observation(nil), c.got...)
+}
+
+func TestReleaseEmitsObservation(t *testing.T) {
+	b, _, _ := newTestBroker(t, nil)
+	var sink obsCollector
+	b.SetObservationSink(sink.record)
+
+	out, err := b.Select(context.Background(), Request{
+		Dag:     testDAG(t),
+		Options: spec.Options{ClockGHz: 2.0},
+	})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if out.Lease.PredictedTurnAround <= 0 {
+		t.Errorf("lease predicted turn-around %v, want > 0", out.Lease.PredictedTurnAround)
+	}
+	if out.Lease.BoundAt.IsZero() {
+		t.Error("lease has no BoundAt")
+	}
+	if len(out.Lease.Fingerprint) != 16 {
+		t.Errorf("lease fingerprint %q, want 16 hex digits", out.Lease.Fingerprint)
+	}
+	if out.Lease.HourlyUSD <= 0 || out.Lease.Watts <= 0 {
+		t.Errorf("lease price/power annotations %v USD/h, %v W, want > 0",
+			out.Lease.HourlyUSD, out.Lease.Watts)
+	}
+
+	tr := &obs.Trace{ID: "cafebabe"}
+	ctx := obs.WithTrace(context.Background(), tr)
+	if !b.ReleaseObserved(ctx, out.Lease.ID, 42) {
+		t.Fatal("release failed")
+	}
+	got := sink.all()
+	if len(got) != 1 {
+		t.Fatalf("got %d observations, want 1", len(got))
+	}
+	o := got[0]
+	if o.EndReason != obs.EndReleased {
+		t.Errorf("end reason %q, want %q", o.EndReason, obs.EndReleased)
+	}
+	if o.LeaseID != out.Lease.ID || o.Backend != "vgdl" || o.RCSize != len(out.Lease.Hosts) {
+		t.Errorf("observation %+v does not match the lease", o)
+	}
+	if o.TraceID != "cafebabe" {
+		t.Errorf("trace id %q, want the releasing request's", o.TraceID)
+	}
+	if o.ObservedSeconds != 42 {
+		t.Errorf("observed %v, want the client-reported 42", o.ObservedSeconds)
+	}
+	if o.PredictedSeconds != out.Lease.PredictedTurnAround {
+		t.Errorf("predicted %v, want %v", o.PredictedSeconds, out.Lease.PredictedTurnAround)
+	}
+	if o.Fingerprint != out.Lease.Fingerprint || o.Heuristic != out.Lease.Heuristic {
+		t.Errorf("observation %+v missing fingerprint/heuristic annotations", o)
+	}
+	if _, ok := o.LogError(); !ok {
+		t.Error("observation with prediction and report should be scorable")
+	}
+
+	// Releasing again: gone, no second observation.
+	if b.Release(out.Lease.ID) {
+		t.Error("double release succeeded")
+	}
+	if got := sink.all(); len(got) != 1 {
+		t.Errorf("%d observations after double release, want still 1", len(got))
+	}
+}
+
+func TestExpiryEmitsObservation(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	b, _, _ := newTestBroker(t, func(c *Config) { c.Now = clock })
+	var sink obsCollector
+	b.SetObservationSink(sink.record)
+
+	out, err := b.Select(context.Background(), Request{
+		Dag:     testDAG(t),
+		Options: spec.Options{ClockGHz: 2.0},
+		TTL:     time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	now = now.Add(2 * time.Minute) // past the TTL: next sweep reclaims
+	if st := b.LeaseStats(); st.ActiveLeases != 0 {
+		t.Fatalf("lease still active after TTL: %+v", st)
+	}
+	got := sink.all()
+	if len(got) != 1 {
+		t.Fatalf("got %d observations after expiry, want 1", len(got))
+	}
+	o := got[0]
+	if o.EndReason != obs.EndExpired || o.LeaseID != out.Lease.ID {
+		t.Errorf("observation %+v, want expiry of %s", o, out.Lease.ID)
+	}
+	if o.TraceID != "" {
+		t.Errorf("expiry observation carries trace id %q, want none", o.TraceID)
+	}
+	if o.ObservedSeconds != 60 {
+		t.Errorf("observed %v s, want the 60 s TTL hold", o.ObservedSeconds)
+	}
+}
+
+func TestRebindEmitsReboundObservation(t *testing.T) {
+	b, p, _ := newTestBroker(t, nil)
+	var sink obsCollector
+	b.SetObservationSink(sink.record)
+
+	out, err := b.Select(context.Background(), Request{
+		Dag:                  testDAG(t),
+		Options:              spec.Options{ClockGHz: 3.0},
+		AlternativeClocks:    []float64{2.0},
+		AlternativeTolerance: 1.0,
+	})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	stalled := make(map[platform.HostID]bool)
+	for _, h := range p.Hosts {
+		if h.ClockGHz >= 3.0 {
+			stalled[h.ID] = true
+		}
+	}
+	re, err := b.Rebind(context.Background(), out.Lease.ID, Request{
+		Dag:                  testDAG(t),
+		Options:              spec.Options{ClockGHz: 3.0},
+		AlternativeClocks:    []float64{2.0},
+		AlternativeTolerance: 1.0,
+	}, stalled)
+	if err != nil {
+		t.Fatalf("Rebind: %v", err)
+	}
+	got := sink.all()
+	if len(got) != 1 {
+		t.Fatalf("got %d observations after rebind, want 1 (the retired lease)", len(got))
+	}
+	o := got[0]
+	if o.EndReason != obs.EndRebound || o.LeaseID != out.Lease.ID {
+		t.Errorf("observation %+v, want rebound of %s", o, out.Lease.ID)
+	}
+	// Only the retired lease's segment closed; the replacement emits when
+	// it ends in turn.
+	if !b.ReleaseObserved(context.Background(), re.Lease.ID, 0) {
+		t.Fatal("releasing the replacement failed")
+	}
+	got = sink.all()
+	if len(got) != 2 || got[1].EndReason != obs.EndReleased || got[1].LeaseID != re.Lease.ID {
+		t.Fatalf("observations after replacement release: %+v", got)
+	}
+}

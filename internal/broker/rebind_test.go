@@ -21,17 +21,17 @@ func mkHosts(ids ...platform.HostID) []platform.Host {
 func TestMemStoreSwap(t *testing.T) {
 	s := NewMemStore()
 	now := time.Unix(1000, 0)
-	old, err := s.Acquire(mkHosts(0, 1), time.Minute, now, 0, "vgdl")
+	old, err := s.Acquire(mkHosts(0, 1), time.Minute, now, LeaseMeta{Rung: 0, Backend: "vgdl"})
 	if err != nil {
 		t.Fatalf("Acquire: %v", err)
 	}
-	other, err := s.Acquire(mkHosts(5), time.Minute, now, 0, "vgdl")
+	other, err := s.Acquire(mkHosts(5), time.Minute, now, LeaseMeta{Rung: 0, Backend: "vgdl"})
 	if err != nil {
 		t.Fatalf("Acquire: %v", err)
 	}
 
 	// Conflict with a foreign lease must fail and leave the old lease held.
-	if _, err := s.Swap(old.ID, mkHosts(5, 6), now, 1, "vgdl"); err == nil {
+	if _, err := s.Swap(old.ID, mkHosts(5, 6), now, LeaseMeta{Rung: 1, Backend: "vgdl"}); err == nil {
 		t.Fatal("Swap onto a foreign-held host succeeded")
 	}
 	if _, held := s.Lookup(old.ID, now); !held {
@@ -43,7 +43,7 @@ func TestMemStoreSwap(t *testing.T) {
 
 	// A valid swap may reuse the old lease's own hosts, preserves the
 	// original expiry, and frees the hosts it no longer covers.
-	nu, err := s.Swap(old.ID, mkHosts(1, 2, 3), now, 1, "classad")
+	nu, err := s.Swap(old.ID, mkHosts(1, 2, 3), now, LeaseMeta{Rung: 1, Backend: "classad"})
 	if err != nil {
 		t.Fatalf("Swap: %v", err)
 	}
@@ -59,15 +59,15 @@ func TestMemStoreSwap(t *testing.T) {
 	if _, held := s.Lookup(old.ID, now); held {
 		t.Error("old lease still resolves after swap")
 	}
-	if _, err := s.Acquire(mkHosts(0), time.Minute, now, 0, "vgdl"); err != nil {
+	if _, err := s.Acquire(mkHosts(0), time.Minute, now, LeaseMeta{Rung: 0, Backend: "vgdl"}); err != nil {
 		t.Errorf("host dropped by the swap is still held: %v", err)
 	}
-	if _, err := s.Acquire(mkHosts(2), time.Minute, now, 0, "vgdl"); err == nil {
+	if _, err := s.Acquire(mkHosts(2), time.Minute, now, LeaseMeta{Rung: 0, Backend: "vgdl"}); err == nil {
 		t.Error("host covered by the replacement lease was acquirable")
 	}
 
 	// Swapping a gone lease is ErrLeaseGone.
-	if _, err := s.Swap(old.ID, mkHosts(7), now, 0, "vgdl"); !errors.Is(err, ErrLeaseGone) {
+	if _, err := s.Swap(old.ID, mkHosts(7), now, LeaseMeta{Rung: 0, Backend: "vgdl"}); !errors.Is(err, ErrLeaseGone) {
 		t.Errorf("swap of a gone lease: err = %v, want ErrLeaseGone", err)
 	}
 }

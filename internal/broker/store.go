@@ -87,10 +87,11 @@ type Store interface {
 	// Generation returns the current inventory epoch (0 before any
 	// registration).
 	Generation() uint64
-	// Acquire atomically leases every host or none. An error is either a
-	// lost acquisition race (a host already held) or, for durable stores,
-	// a persistence failure — in both cases no lease is held afterwards.
-	Acquire(hosts []platform.Host, ttl time.Duration, now time.Time, rung int, backend string) (*Lease, error)
+	// Acquire atomically leases every host or none, stamping BoundAt and
+	// the meta annotations onto the lease. An error is either a lost
+	// acquisition race (a host already held) or, for durable stores, a
+	// persistence failure — in both cases no lease is held afterwards.
+	Acquire(hosts []platform.Host, ttl time.Duration, now time.Time, meta LeaseMeta) (*Lease, error)
 	// Release frees a lease's hosts; false for unknown or expired IDs.
 	Release(id string, now time.Time) bool
 	// Swap atomically replaces lease oldID with a fresh lease over hosts,
@@ -101,7 +102,11 @@ type Store interface {
 	// either way the old lease is untouched on failure. Durable stores
 	// journal the swap as one record so recovery sees the old lease or the
 	// new one, never both and never neither.
-	Swap(oldID string, hosts []platform.Host, now time.Time, rung int, backend string) (*Lease, error)
+	Swap(oldID string, hosts []platform.Host, now time.Time, meta LeaseMeta) (*Lease, error)
+	// TakeExpired drains the leases reclaimed by TTL expiry since the last
+	// call (bounded; see maxExpiredPending). The broker turns them into
+	// end-of-lease observations.
+	TakeExpired() []*Lease
 	// Lookup returns a copy of a live lease; ok is false for unknown or
 	// expired IDs.
 	Lookup(id string, now time.Time) (Lease, bool)
@@ -133,7 +138,15 @@ type MemStore struct {
 	expired    uint64 // total leases reclaimed by TTL expiry
 	generation uint64
 	inv        *InventoryRecord
+	// expiredPending holds TTL-reclaimed leases until TakeExpired drains
+	// them (bounded by maxExpiredPending, oldest dropped first).
+	expiredPending []*Lease
 }
+
+// maxExpiredPending bounds the undrained expired-lease queue so a broker
+// that never drains it (no observation sink configured) cannot grow it
+// without bound.
+const maxExpiredPending = 4096
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
@@ -156,8 +169,22 @@ func (s *MemStore) sweepLocked(now time.Time) {
 			}
 			delete(s.byID, id)
 			s.expired++
+			s.expiredPending = append(s.expiredPending, l)
 		}
 	}
+	if drop := len(s.expiredPending) - maxExpiredPending; drop > 0 {
+		s.expiredPending = append([]*Lease(nil), s.expiredPending[drop:]...)
+	}
+}
+
+// TakeExpired drains the TTL-reclaimed leases accumulated since the last
+// call.
+func (s *MemStore) TakeExpired() []*Lease {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.expiredPending
+	s.expiredPending = nil
+	return out
 }
 
 // RegisterInventory replaces the inventory, bumps the generation, and drops
@@ -211,7 +238,7 @@ func (s *MemStore) Leased(now time.Time) map[platform.HostID]bool {
 // Acquire atomically leases every host or none: if any host is already held
 // (a concurrent session won the race between selection and acquisition) the
 // whole acquisition fails and the caller re-selects with a fresh mask.
-func (s *MemStore) Acquire(hosts []platform.Host, ttl time.Duration, now time.Time, rung int, backend string) (*Lease, error) {
+func (s *MemStore) Acquire(hosts []platform.Host, ttl time.Duration, now time.Time, meta LeaseMeta) (*Lease, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sweepLocked(now)
@@ -221,20 +248,37 @@ func (s *MemStore) Acquire(hosts []platform.Host, ttl time.Duration, now time.Ti
 		}
 	}
 	s.nextID++
+	l := newLease(fmt.Sprintf("lease-%08d", s.nextID), now.Add(ttl), now, meta, hosts)
+	for _, h := range hosts {
+		s.byHost[h.ID] = l.ID
+	}
+	s.byID[l.ID] = l
+	return l, nil
+}
+
+// newLease assembles a lease from an acquisition's parts: the host IDs are
+// copied and sorted, BoundAt is stamped from now, and the meta annotations
+// ride along verbatim.
+func newLease(id string, expires, now time.Time, meta LeaseMeta, hosts []platform.Host) *Lease {
 	l := &Lease{
-		ID:      fmt.Sprintf("lease-%08d", s.nextID),
-		Hosts:   make([]platform.HostID, len(hosts)),
-		Expires: now.Add(ttl),
-		Rung:    rung,
-		Backend: backend,
+		ID:                  id,
+		Hosts:               make([]platform.HostID, len(hosts)),
+		Expires:             expires,
+		Rung:                meta.Rung,
+		Backend:             meta.Backend,
+		BoundAt:             now,
+		PredictedTurnAround: meta.PredictedTurnAround,
+		FrontRank:           meta.FrontRank,
+		Fingerprint:         meta.Fingerprint,
+		Heuristic:           meta.Heuristic,
+		HourlyUSD:           meta.HourlyUSD,
+		Watts:               meta.Watts,
 	}
 	for i, h := range hosts {
 		l.Hosts[i] = h.ID
-		s.byHost[h.ID] = l.ID
 	}
 	sort.Slice(l.Hosts, func(i, j int) bool { return l.Hosts[i] < l.Hosts[j] })
-	s.byID[l.ID] = l
-	return l, nil
+	return l
 }
 
 // Release frees a lease's hosts; ok is false for unknown (or already
@@ -249,7 +293,7 @@ func (s *MemStore) Release(id string, now time.Time) bool {
 // Swap atomically replaces lease oldID with a fresh lease over hosts. The
 // new lease inherits the old deadline; on any failure the old lease remains
 // exactly as it was.
-func (s *MemStore) Swap(oldID string, hosts []platform.Host, now time.Time, rung int, backend string) (*Lease, error) {
+func (s *MemStore) Swap(oldID string, hosts []platform.Host, now time.Time, meta LeaseMeta) (*Lease, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sweepLocked(now)
@@ -265,18 +309,10 @@ func (s *MemStore) Swap(oldID string, hosts []platform.Host, now time.Time, rung
 		}
 	}
 	s.nextID++
-	l := &Lease{
-		ID:      fmt.Sprintf("lease-%08d", s.nextID),
-		Hosts:   make([]platform.HostID, len(hosts)),
-		Expires: old.Expires,
-		Rung:    rung,
-		Backend: backend,
-	}
-	for i, h := range hosts {
-		l.Hosts[i] = h.ID
+	l := newLease(fmt.Sprintf("lease-%08d", s.nextID), old.Expires, now, meta, hosts)
+	for _, h := range hosts {
 		s.byHost[h.ID] = l.ID
 	}
-	sort.Slice(l.Hosts, func(i, j int) bool { return l.Hosts[i] < l.Hosts[j] })
 	s.byID[l.ID] = l
 	return l, nil
 }
@@ -313,11 +349,20 @@ func (s *MemStore) Stats(now time.Time) LeaseStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sweepLocked(now)
-	return LeaseStats{
+	st := LeaseStats{
 		ActiveLeases: len(s.byID),
 		LeasedHosts:  len(s.byHost),
 		ExpiredTotal: s.expired,
 	}
+	for _, l := range s.byID {
+		if l.BoundAt.IsZero() {
+			continue // pre-annotation lease: no bind timestamp to report
+		}
+		if st.OldestBoundAt.IsZero() || l.BoundAt.Before(st.OldestBoundAt) {
+			st.OldestBoundAt = l.BoundAt
+		}
+	}
+	return st
 }
 
 // RecoveredInventory is nil: an in-memory store never recovers anything.

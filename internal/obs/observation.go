@@ -1,0 +1,201 @@
+// Prediction-accuracy flight recorder: every terminal lease event (release,
+// TTL expiry, transparent rebind) becomes one Observation — the promised
+// makespan next to what actually happened — appended to a JSONL log on
+// disk, held in an in-memory ring for hot queries (GET /v1/observations),
+// and folded into the streaming accuracy series (EWMA of the log-error
+// ratio, quantile sketch, Page-Hinkley drift detector) in accuracy.go.
+package obs
+
+import (
+	"log/slog"
+	"math"
+	"sync"
+	"time"
+)
+
+// Lease end reasons, the Observation.EndReason vocabulary.
+const (
+	// EndReleased: the client released the lease (possibly reporting the
+	// observed makespan).
+	EndReleased = "released"
+	// EndExpired: the TTL ran out before a release.
+	EndExpired = "expired"
+	// EndRebound: the reconciler transparently swapped the lease away; the
+	// observation closes the replaced lease's segment.
+	EndRebound = "rebound"
+)
+
+// Observation is one terminal lease event: what was promised at bind time
+// against what the lease's lifetime actually looked like. It is the flight
+// recorder's wire form — one JSONL line in the observation log and one row
+// of GET /v1/observations.
+type Observation struct {
+	// Time is when the lease ended.
+	Time time.Time `json:"time"`
+	// LeaseID is the lease that ended; TraceID links the terminal event's
+	// request to /debug/traces (empty for expiries — nobody asked).
+	LeaseID string `json:"lease_id"`
+	TraceID string `json:"trace_id,omitempty"`
+	// Fingerprint identifies the request DAG (64-bit hex).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Backend, Heuristic, Rung and FrontRank record how the binding was
+	// chosen.
+	Backend   string `json:"backend"`
+	Heuristic string `json:"heuristic,omitempty"`
+	Rung      int    `json:"rung"`
+	FrontRank int    `json:"front_rank,omitempty"`
+	// RCSize is the bound collection's host count.
+	RCSize int `json:"rc_size"`
+	// EndReason is EndReleased, EndExpired or EndRebound.
+	EndReason string `json:"end_reason"`
+	// PredictedSeconds is the makespan promised at bind time (0 = none).
+	// ObservedSeconds is the client-reported makespan when the release
+	// carried one, else the wall-clock duration the lease was held.
+	PredictedSeconds float64 `json:"predicted_seconds,omitempty"`
+	ObservedSeconds  float64 `json:"observed_seconds,omitempty"`
+	// HourlyUSD and Watts are the collection's catalog annotations.
+	HourlyUSD float64 `json:"hourly_usd,omitempty"`
+	Watts     float64 `json:"watts,omitempty"`
+}
+
+// LogError is ln(observed/predicted): 0 for a perfect prediction, positive
+// when the workload ran slower than promised. ok is false when either side
+// is missing (pre-annotation leases, instant releases) — such observations
+// are recorded but never scored.
+func (o Observation) LogError() (v float64, ok bool) {
+	if o.PredictedSeconds <= 0 || o.ObservedSeconds <= 0 {
+		return 0, false
+	}
+	return math.Log(o.ObservedSeconds / o.PredictedSeconds), true
+}
+
+// ObservationFilter narrows a FlightRecorder query.
+type ObservationFilter struct {
+	// Backend and Fingerprint, when non-empty, must match exactly.
+	Backend     string
+	Fingerprint string
+	// Since, when non-zero, keeps observations at or after it.
+	Since time.Time
+}
+
+func (f ObservationFilter) match(o Observation) bool {
+	if f.Backend != "" && o.Backend != f.Backend {
+		return false
+	}
+	if f.Fingerprint != "" && o.Fingerprint != f.Fingerprint {
+		return false
+	}
+	if !f.Since.IsZero() && o.Time.Before(f.Since) {
+		return false
+	}
+	return true
+}
+
+// FlightRecorder fans one Record call out to the three consumers of a
+// terminal lease event: the in-memory ring (hot queries), the JSONL
+// observation log (durable history, optional), and the streaming accuracy
+// series. Safe for concurrent use.
+type FlightRecorder struct {
+	acc *Accuracy
+	log *ObsLog
+	lg  *slog.Logger
+
+	mu    sync.Mutex
+	buf   []Observation // ring, next is the slot for the next write
+	next  int
+	total uint64
+}
+
+// NewFlightRecorder sizes the ring (ringSize <= 0 defaults to 1024) over an
+// optional observation log (nil keeps everything in memory) and logger (nil
+// discards; the recorder warns once when drift is detected).
+func NewFlightRecorder(ringSize int, log *ObsLog, lg *slog.Logger) *FlightRecorder {
+	if ringSize <= 0 {
+		ringSize = 1024
+	}
+	if lg == nil {
+		lg = Nop
+	}
+	return &FlightRecorder{
+		acc: NewAccuracy(),
+		log: log,
+		lg:  lg,
+		buf: make([]Observation, 0, ringSize),
+	}
+}
+
+// Record ingests one terminal lease event. A zero Time is stamped with the
+// wall clock so callers replaying historic leases can pass their own.
+func (f *FlightRecorder) Record(o Observation) {
+	if o.Time.IsZero() {
+		o.Time = time.Now()
+	}
+	f.mu.Lock()
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, o)
+	} else {
+		f.buf[f.next] = o
+	}
+	f.next = (f.next + 1) % cap(f.buf)
+	f.total++
+	f.mu.Unlock()
+
+	if f.log != nil {
+		if err := f.log.Append(o); err != nil {
+			f.lg.Warn("observation log append failed", "lease_id", o.LeaseID, "error", err)
+		}
+	}
+	if drifted := f.acc.Record(o); drifted {
+		f.lg.Warn("model drift detected: observed turn-around diverged from predictions",
+			"backend", o.Backend, "heuristic", o.Heuristic,
+			"drift_score", f.acc.DriftScore())
+	}
+}
+
+// Total counts observations ever recorded (the ring holds only the tail).
+func (f *FlightRecorder) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Recent returns the ring's matching observations, newest first.
+func (f *FlightRecorder) Recent(filter ObservationFilter) []Observation {
+	f.mu.Lock()
+	// Snapshot oldest→newest: the ring is buf[next:] then buf[:next] once
+	// full, plain buf while filling.
+	snap := make([]Observation, 0, len(f.buf))
+	if len(f.buf) == cap(f.buf) {
+		snap = append(snap, f.buf[f.next:]...)
+		snap = append(snap, f.buf[:f.next]...)
+	} else {
+		snap = append(snap, f.buf...)
+	}
+	f.mu.Unlock()
+	out := make([]Observation, 0, len(snap))
+	for i := len(snap) - 1; i >= 0; i-- {
+		if filter.match(snap[i]) {
+			out = append(out, snap[i])
+		}
+	}
+	return out
+}
+
+// Accuracy exposes the streaming accuracy series for /healthz.
+func (f *FlightRecorder) Accuracy() *Accuracy { return f.acc }
+
+// Registry builds the rsgend_accuracy_* and rsgend_model_drift metric
+// families over this recorder, for mounting into a service registry.
+func (f *FlightRecorder) Registry() *Registry {
+	reg := NewRegistry()
+	f.acc.register(reg)
+	return reg
+}
+
+// Close flushes and closes the observation log, if any.
+func (f *FlightRecorder) Close() error {
+	if f.log == nil {
+		return nil
+	}
+	return f.log.Close()
+}

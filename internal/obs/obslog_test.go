@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func readObsLines(t *testing.T, path string) []Observation {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	var out []Observation
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var o Observation
+		if err := json.Unmarshal(sc.Bytes(), &o); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+func TestObsLogAppendAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenObsLog(dir, ObsLogOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		if err := l.Append(Observation{Time: at, LeaseID: fmt.Sprintf("lease-%d", i),
+			Backend: "vgdl", EndReason: EndReleased, PredictedSeconds: 10, ObservedSeconds: 12}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Observation{}); err == nil {
+		t.Error("append after close succeeded")
+	}
+	// Reopen appends, never truncates.
+	l2, err := OpenObsLog(dir, ObsLogOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(Observation{Time: at, LeaseID: "lease-3", Backend: "vgdl", EndReason: EndExpired}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := readObsLines(t, l2.Path())
+	if len(got) != 4 {
+		t.Fatalf("log holds %d observations, want 4", len(got))
+	}
+	if got[0].LeaseID != "lease-0" || got[3].LeaseID != "lease-3" {
+		t.Errorf("unexpected order: first %s last %s", got[0].LeaseID, got[3].LeaseID)
+	}
+	if got[3].EndReason != EndExpired || !got[3].Time.Equal(at) {
+		t.Errorf("round-trip mangled the record: %+v", got[3])
+	}
+}
+
+func TestObsLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny cap: every record (~150 bytes) forces a rotation.
+	l, err := OpenObsLog(dir, ObsLogOptions{MaxBytes: 200, MaxFiles: 2, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append(Observation{Time: time.Unix(int64(i), 0).UTC(),
+			LeaseID: fmt.Sprintf("lease-%04d", i), Backend: "vgdl", EndReason: EndReleased,
+			Fingerprint: "0123456789abcdef", PredictedSeconds: 10, ObservedSeconds: 12}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, obsLogName)
+	for _, p := range []string{base, base + ".1", base + ".2"} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("expected rotated segment %s: %v", p, err)
+		}
+	}
+	if _, err := os.Stat(base + ".3"); err == nil {
+		t.Error("segment .3 exists, want at most MaxFiles=2 rotated segments")
+	}
+	// The newest record is in the active segment; rotation never loses the
+	// most recent MaxBytes of history.
+	got := readObsLines(t, base)
+	if len(got) == 0 || got[len(got)-1].LeaseID != "lease-0009" {
+		t.Errorf("active segment tail %+v, want lease-0009 last", got)
+	}
+}
+
+func TestFlightRecorderRingAndFilter(t *testing.T) {
+	dir := t.TempDir()
+	log, err := OpenObsLog(dir, ObsLogOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFlightRecorder(4, log, nil)
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 6; i++ {
+		backend := "vgdl"
+		if i%2 == 1 {
+			backend = "moga"
+		}
+		f.Record(Observation{Time: at.Add(time.Duration(i) * time.Second),
+			LeaseID: fmt.Sprintf("lease-%d", i), Backend: backend, EndReason: EndReleased})
+	}
+	if f.Total() != 6 {
+		t.Errorf("total %d, want 6", f.Total())
+	}
+	// Ring of 4: leases 2..5, newest first.
+	all := f.Recent(ObservationFilter{})
+	if len(all) != 4 || all[0].LeaseID != "lease-5" || all[3].LeaseID != "lease-2" {
+		t.Errorf("ring contents %+v", all)
+	}
+	vgdl := f.Recent(ObservationFilter{Backend: "vgdl"})
+	if len(vgdl) != 2 || vgdl[0].LeaseID != "lease-4" {
+		t.Errorf("backend filter %+v", vgdl)
+	}
+	since := f.Recent(ObservationFilter{Since: at.Add(4 * time.Second)})
+	if len(since) != 2 {
+		t.Errorf("since filter returned %d rows, want 2", len(since))
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The log kept everything the ring evicted.
+	if got := readObsLines(t, log.Path()); len(got) != 6 {
+		t.Errorf("log holds %d observations, want all 6", len(got))
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrentRegisterAndExpose hammers a registry with
+// registrations of every family kind while other goroutines continuously
+// render the exposition. Run under -race this proves registration is safe
+// against a concurrent scrape — the situation rsgend is in whenever a
+// subsystem mounts its families while Prometheus is already polling
+// /metrics.
+func TestRegistryConcurrentRegisterAndExpose(t *testing.T) {
+	reg := NewRegistry()
+	const writers, families = 4, 16
+
+	var wg, scrapers sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Scrapers: render the whole registry in a tight loop.
+	for i := 0; i < 2; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					reg.Expose(io.Discard)
+				}
+			}
+		}()
+	}
+
+	// Writers: register distinct families of every kind and exercise them.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < families; i++ {
+				p := fmt.Sprintf("race_w%d_f%d", w, i)
+				reg.Counter(p + "_total").Inc()
+				reg.Gauge(p + "_gauge").Set(int64(i))
+				reg.CounterVec(p+"_vec_total", "kind").With("a").Add(2)
+				reg.SummaryVec(p+"_seconds", "op").Observe(time.Millisecond, "x")
+				reg.Func(p+"_fn", "gauge", func() []Sample {
+					return []Sample{{Value: FormatFloat(float64(i))}}
+				})
+			}
+		}(w)
+	}
+
+	// Mounters: attach sub-registries mid-scrape.
+	for m := 0; m < 2; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			sub := NewRegistry()
+			sub.Counter(fmt.Sprintf("race_sub%d_total", m)).Inc()
+			reg.Mount(sub)
+		}(m)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("registry deadlocked under concurrent register/expose")
+	}
+	close(stop)
+	scrapers.Wait()
+
+	// Everything registered must now be visible in one exposition.
+	var b strings.Builder
+	reg.Expose(&b)
+	out := b.String()
+	for w := 0; w < writers; w++ {
+		for i := 0; i < families; i++ {
+			if want := fmt.Sprintf("race_w%d_f%d_total 1", w, i); !strings.Contains(out, want) {
+				t.Fatalf("exposition lost %q", want)
+			}
+		}
+	}
+	for m := 0; m < 2; m++ {
+		if want := fmt.Sprintf("race_sub%d_total 1", m); !strings.Contains(out, want) {
+			t.Errorf("exposition lost mounted family %q", want)
+		}
+	}
+}

@@ -119,6 +119,16 @@ func TraceFrom(ctx context.Context) *Trace {
 	return tr
 }
 
+// TraceIDFrom returns the ID of the trace carried by ctx, or "" — for
+// stamping records (flight-recorder observations) with the request that
+// produced them without carrying the whole trace around.
+func TraceIDFrom(ctx context.Context) string {
+	if tr := TraceFrom(ctx); tr != nil {
+		return tr.ID
+	}
+	return ""
+}
+
 // WithTrace attaches a trace to ctx.
 func WithTrace(ctx context.Context, tr *Trace) context.Context {
 	return context.WithValue(ctx, traceCtxKey, tr)

@@ -121,9 +121,13 @@ type SessionStatus struct {
 	Hosts            []platform.HostID `json:"hosts"`
 	Clusters         int               `json:"clusters"`
 	ExpiresInSeconds float64           `json:"expires_in_seconds"`
-	ViolationsTotal  int               `json:"violations_total"`
-	Rebinds          []RebindRecord    `json:"rebinds,omitempty"`
-	LastError        string            `json:"last_error,omitempty"`
+	// BoundAt is when the current lease was acquired (zero for leases
+	// persisted before the field existed); AgeSeconds is its age now.
+	BoundAt         time.Time      `json:"bound_at,omitzero"`
+	AgeSeconds      float64        `json:"age_seconds,omitempty"`
+	ViolationsTotal int            `json:"violations_total"`
+	Rebinds         []RebindRecord `json:"rebinds,omitempty"`
+	LastError       string         `json:"last_error,omitempty"`
 }
 
 // ReleaseResult reports a release routed through the reconciler.
@@ -158,6 +162,7 @@ type session struct {
 
 	status     Status
 	expires    time.Time
+	boundAt    time.Time
 	suspects   map[int]bool
 	violations int
 	rebinds    []RebindRecord
@@ -257,6 +262,7 @@ func (r *Reconciler) Track(out *broker.Outcome, req broker.Request) {
 		backend:  out.Backend,
 		status:   StatusBound,
 		expires:  out.Lease.Expires,
+		boundAt:  out.Lease.BoundAt,
 		suspects: make(map[int]bool),
 	}
 	s.setCollection(out.RC)
@@ -324,6 +330,10 @@ func (r *Reconciler) Status(id string) (SessionStatus, bool) {
 		if d := s.expires.Sub(now).Seconds(); d > 0 {
 			st.ExpiresInSeconds = d
 		}
+		st.BoundAt = s.boundAt
+		if !s.boundAt.IsZero() && now.After(s.boundAt) {
+			st.AgeSeconds = now.Sub(s.boundAt).Seconds()
+		}
 	}
 	return st, true
 }
@@ -331,6 +341,13 @@ func (r *Reconciler) Status(id string) (SessionStatus, bool) {
 // Release frees a tracked session's current lease. Found is false for IDs
 // the reconciler never saw (callers fall back to the bare broker).
 func (r *Reconciler) Release(id string) ReleaseResult {
+	return r.ReleaseObserved(context.Background(), id, 0)
+}
+
+// ReleaseObserved is Release carrying the request context (its trace ID
+// ends up on the lease's flight-recorder observation) and the
+// client-reported makespan in seconds (<= 0 means unreported).
+func (r *Reconciler) ReleaseObserved(ctx context.Context, id string, observedSeconds float64) ReleaseResult {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := r.lookupLocked(id)
@@ -346,7 +363,7 @@ func (r *Reconciler) Release(id string) ReleaseResult {
 	if terminal(s.status) {
 		return res
 	}
-	res.Released = r.cfg.Broker.Release(s.leaseID)
+	res.Released = r.cfg.Broker.ReleaseObserved(ctx, s.leaseID, observedSeconds)
 	r.endLocked(s, StatusReleased)
 	return res
 }
@@ -707,6 +724,7 @@ func (r *Reconciler) finishRebind(j rebindJob, out *broker.Outcome, err error, s
 		})
 		s.leaseID = out.Lease.ID
 		s.rung, s.backend, s.expires = out.Rung, out.Backend, out.Lease.Expires
+		s.boundAt = out.Lease.BoundAt
 		s.setCollection(out.RC)
 		s.suspects = make(map[int]bool)
 		s.lastErr = ""

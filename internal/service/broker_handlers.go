@@ -49,18 +49,23 @@ type SelectRequest struct {
 
 // SelectResponse is the POST /v1/select success body.
 type SelectResponse struct {
-	LeaseID            string               `json:"lease_id"`
-	FallbackDepth      int                  `json:"fallback_depth"`
-	Backend            string               `json:"backend"`
-	Heuristic          string               `json:"heuristic"`
-	RCSize             int                  `json:"rc_size"`
-	MinClockGHz        float64              `json:"min_clock_ghz"`
-	MaxClockGHz        float64              `json:"max_clock_ghz"`
-	Hosts              []platform.HostID    `json:"hosts"`
-	Clusters           int                  `json:"clusters"`
-	AvailableAtSeconds float64              `json:"available_at_seconds"`
-	ExpiresInSeconds   float64              `json:"expires_in_seconds"`
-	Trace              []broker.RungAttempt `json:"trace"`
+	LeaseID            string            `json:"lease_id"`
+	FallbackDepth      int               `json:"fallback_depth"`
+	Backend            string            `json:"backend"`
+	Heuristic          string            `json:"heuristic"`
+	RCSize             int               `json:"rc_size"`
+	MinClockGHz        float64           `json:"min_clock_ghz"`
+	MaxClockGHz        float64           `json:"max_clock_ghz"`
+	Hosts              []platform.HostID `json:"hosts"`
+	Clusters           int               `json:"clusters"`
+	AvailableAtSeconds float64           `json:"available_at_seconds"`
+	ExpiresInSeconds   float64           `json:"expires_in_seconds"`
+	// PredictedTurnAroundSeconds is the makespan the winning spec promises
+	// on the bound collection — the prediction the flight recorder scores
+	// when the lease ends. 0 when unavailable.
+	PredictedTurnAroundSeconds float64              `json:"predicted_turn_around_seconds,omitempty"`
+	BoundAt                    time.Time            `json:"bound_at,omitzero"`
+	Trace                      []broker.RungAttempt `json:"trace"`
 }
 
 // decodeSelectRequest parses a /v1/select body: the envelope, then the
@@ -186,24 +191,31 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	s.rec.Track(out, breq)
 	w.Header().Set("X-Fallback-Depth", fmt.Sprintf("%d", out.Rung))
 	writeJSON(w, http.StatusOK, SelectResponse{
-		LeaseID:            out.Lease.ID,
-		FallbackDepth:      out.Rung,
-		Backend:            out.Backend,
-		Heuristic:          out.Spec.Heuristic,
-		RCSize:             out.Spec.RCSize,
-		MinClockGHz:        out.Spec.MinClockGHz,
-		MaxClockGHz:        out.Spec.MaxClockGHz,
-		Hosts:              out.Lease.Hosts,
-		Clusters:           out.Clusters,
-		AvailableAtSeconds: out.AvailableAtSeconds,
-		ExpiresInSeconds:   time.Until(out.Lease.Expires).Seconds(),
-		Trace:              out.Trace,
+		LeaseID:                    out.Lease.ID,
+		FallbackDepth:              out.Rung,
+		Backend:                    out.Backend,
+		Heuristic:                  out.Spec.Heuristic,
+		RCSize:                     out.Spec.RCSize,
+		MinClockGHz:                out.Spec.MinClockGHz,
+		MaxClockGHz:                out.Spec.MaxClockGHz,
+		Hosts:                      out.Lease.Hosts,
+		Clusters:                   out.Clusters,
+		AvailableAtSeconds:         out.AvailableAtSeconds,
+		ExpiresInSeconds:           time.Until(out.Lease.Expires).Seconds(),
+		PredictedTurnAroundSeconds: out.Lease.PredictedTurnAround,
+		BoundAt:                    out.Lease.BoundAt,
+		Trace:                      out.Trace,
 	})
 }
 
 // ReleaseRequest is the POST /v1/release body.
 type ReleaseRequest struct {
 	LeaseID string `json:"lease_id"`
+	// ObservedSeconds, when positive, is the client-reported makespan of
+	// the work that ran on the lease — the flight recorder scores it
+	// against the bind-time prediction. Omitted, the observation falls back
+	// to the lease's wall-clock hold time.
+	ObservedSeconds float64 `json:"observed_seconds,omitempty"`
 }
 
 // handleRelease is POST /v1/release: free a lease's hosts.
@@ -218,11 +230,17 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "request has no lease_id")
 		return
 	}
+	if req.ObservedSeconds < 0 {
+		writeError(w, http.StatusBadRequest, "observed_seconds %v < 0", req.ObservedSeconds)
+		return
+	}
 	// Tracked sessions release through the reconciler: the client's handle
 	// may point at a lease that was transparently swapped, so the current
 	// lease is the one to free, and the response says whether that happened.
+	// The request context rides along so the release's trace ID lands on the
+	// lease's flight-recorder observation.
 	if s.rec != nil {
-		if rr := s.rec.Release(req.LeaseID); rr.Found {
+		if rr := s.rec.ReleaseObserved(r.Context(), req.LeaseID, req.ObservedSeconds); rr.Found {
 			if !rr.Released {
 				writeError(w, http.StatusNotFound, "unknown or expired lease %q", req.LeaseID)
 				return
@@ -236,7 +254,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if !s.brk.Release(req.LeaseID) {
+	if !s.brk.ReleaseObserved(r.Context(), req.LeaseID, req.ObservedSeconds) {
 		writeError(w, http.StatusNotFound, "unknown or expired lease %q", req.LeaseID)
 		return
 	}

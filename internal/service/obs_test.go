@@ -479,17 +479,51 @@ func TestDebugMuxTracesAndAccounting(t *testing.T) {
 	}
 }
 
+// TestEveryResponseCarriesTraceID walks every mounted public route —
+// success, client error, method-not-allowed, and unmatched paths alike —
+// and asserts each response carries an X-Trace-Id header. A row per route
+// keeps this honest: a new handler that bypasses the trace middleware
+// fails here, not in production.
 func TestEveryResponseCarriesTraceID(t *testing.T) {
-	s := newTestServer(t, nil)
-	for _, req := range []struct{ method, path string }{
-		{http.MethodGet, "/healthz"},
-		{http.MethodGet, "/metrics"},
-		{http.MethodGet, "/nope"},
-		{http.MethodPost, "/v1/spec"}, // 400, no body
-	} {
-		w := do(s, req.method, req.path, "")
+	s := newTestServer(t, func(c *Config) {
+		c.Recorder = obs.NewFlightRecorder(0, nil, nil)
+	})
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		// Happy paths (before a platform is registered where possible).
+		{http.MethodPost, "/v1/spec", specBody(""), http.StatusOK},
+		{http.MethodPost, "/v1/spec/batch", `{"requests": [` + specBody("") + `]}`, http.StatusOK},
+		{http.MethodGet, "/v1/observations", "", http.StatusOK},
+		{http.MethodGet, "/healthz", "", http.StatusOK},
+		{http.MethodGet, "/metrics", "", http.StatusOK},
+		// Client errors.
+		{http.MethodPost, "/v1/spec", "{not json", http.StatusBadRequest},
+		{http.MethodPost, "/v1/spec/batch", "", http.StatusBadRequest},
+		{http.MethodPost, "/v1/select", selectBody("", ""), http.StatusPreconditionFailed},
+		{http.MethodGet, "/v1/select/lease-00000001", "", http.StatusNotFound},
+		{http.MethodPost, "/v1/release", `{"lease_id": "nope"}`, http.StatusNotFound},
+		{http.MethodPut, "/v1/platform", "{not json", http.StatusBadRequest},
+		{http.MethodGet, "/v1/platform", "", http.StatusNotFound},
+		{http.MethodPost, "/v1/platform/events", "{}", http.StatusPreconditionFailed},
+		// /v1/advise is mounted only with an advisor backend; unmounted it
+		// falls through to the mux 404, which must still be traced.
+		{http.MethodPost, "/v1/advise", selectBody("", ""), http.StatusNotFound},
+		{http.MethodGet, "/v1/observations?limit=x", "", http.StatusBadRequest},
+		// Method mismatches and unmatched paths fall to the mux's own
+		// error responses, which must still be traced.
+		{http.MethodGet, "/v1/spec", "", http.StatusMethodNotAllowed},
+		{http.MethodDelete, "/healthz", "", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/nope", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		w := do(s, tc.method, tc.path, tc.body)
+		if w.Code != tc.want {
+			t.Errorf("%s %s = %d, want %d: %s", tc.method, tc.path, w.Code, tc.want, w.Body.String())
+		}
 		if id := w.Header().Get("X-Trace-Id"); len(id) != 32 {
-			t.Errorf("%s %s: X-Trace-Id = %q, want a 32-hex ID", req.method, req.path, id)
+			t.Errorf("%s %s (%d): X-Trace-Id = %q, want a 32-hex ID", tc.method, tc.path, w.Code, id)
 		}
 	}
 }

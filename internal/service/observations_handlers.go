@@ -1,0 +1,90 @@
+// GET /v1/observations: the flight recorder's read side. Serves the
+// in-memory ring of terminal lease events (release / expiry / rebind) —
+// newest first, filterable and paginated — with each row's trace_id linking
+// back to /debug/traces. The durable history past the ring lives in the
+// JSONL observation log under -obs-dir.
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"rsgen/internal/obs"
+)
+
+const (
+	defaultObservationsLimit = 100
+	maxObservationsLimit     = 1000
+)
+
+// ObservationsResponse is the GET /v1/observations body.
+type ObservationsResponse struct {
+	// Total counts observations ever recorded; Matched counts the ring
+	// entries passing the filter (the page is cut from these).
+	Total   uint64 `json:"total"`
+	Matched int    `json:"matched"`
+	// Offset and Count locate the returned page, newest first.
+	Offset int `json:"offset"`
+	Count  int `json:"count"`
+	// Observations is the page.
+	Observations []obs.Observation `json:"observations"`
+}
+
+// handleObservations is GET /v1/observations. Query parameters:
+//
+//	backend      exact selection-backend match
+//	fingerprint  exact DAG-fingerprint match (16 hex digits)
+//	since        RFC 3339 lower bound on the observation time
+//	limit        page size (default 100, max 1000)
+//	offset       rows to skip, newest first (default 0)
+func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	filter := obs.ObservationFilter{
+		Backend:     q.Get("backend"),
+		Fingerprint: q.Get("fingerprint"),
+	}
+	if v := q.Get("since"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid since %q: %v", v, err)
+			return
+		}
+		filter.Since = t
+	}
+	limit := defaultObservationsLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid limit %q", v)
+			return
+		}
+		limit = min(n, maxObservationsLimit)
+	}
+	offset := 0
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid offset %q", v)
+			return
+		}
+		offset = n
+	}
+
+	rows := s.recorder.Recent(filter)
+	resp := ObservationsResponse{
+		Total:        s.recorder.Total(),
+		Matched:      len(rows),
+		Offset:       offset,
+		Observations: []obs.Observation{},
+	}
+	if offset < len(rows) {
+		page := rows[offset:]
+		if len(page) > limit {
+			page = page[:limit]
+		}
+		resp.Observations = page
+	}
+	resp.Count = len(resp.Observations)
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -64,7 +64,7 @@ func (s *Server) handleSelectStatus(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if l, ok := s.brk.Lease(id); ok {
-		writeJSON(w, http.StatusOK, reconcile.SessionStatus{
+		st := reconcile.SessionStatus{
 			LeaseID:          l.ID,
 			CurrentLeaseID:   l.ID,
 			Status:           reconcile.StatusBound,
@@ -72,7 +72,12 @@ func (s *Server) handleSelectStatus(w http.ResponseWriter, r *http.Request) {
 			Backend:          l.Backend,
 			Hosts:            l.Hosts,
 			ExpiresInSeconds: time.Until(l.Expires).Seconds(),
-		})
+			BoundAt:          l.BoundAt,
+		}
+		if !l.BoundAt.IsZero() {
+			st.AgeSeconds = time.Since(l.BoundAt).Seconds()
+		}
+		writeJSON(w, http.StatusOK, st)
 		return
 	}
 	writeError(w, http.StatusNotFound, "unknown or expired lease %q", id)

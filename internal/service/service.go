@@ -94,6 +94,12 @@ type Config struct {
 	// status, transparent rebinds reported on release, and the
 	// rsgend_reconcile_* metric families. It must wrap the same broker.
 	Reconciler *reconcile.Reconciler
+	// Recorder, when set, enables the prediction-accuracy flight recorder:
+	// the broker's terminal lease events (release, TTL expiry, rebind) feed
+	// it, GET /v1/observations serves its ring, the rsgend_accuracy_* and
+	// rsgend_model_drift families are mounted, and /healthz grows an
+	// accuracy block.
+	Recorder *obs.FlightRecorder
 	// Moga, when set, enables the multi-objective selection backend: the
 	// internally built broker registers it as backend=moga, POST /v1/advise
 	// is mounted, and the rsgend_moga_* metric families are registered. A
@@ -156,6 +162,7 @@ type Server struct {
 	tracer   *obs.Tracer
 	brk      *broker.Broker
 	rec      *reconcile.Reconciler
+	recorder *obs.FlightRecorder
 	sem      chan struct{}
 	started  time.Time
 	draining atomic.Bool
@@ -189,17 +196,18 @@ func New(cfg Config) (*Server, error) {
 	reg := obs.NewRegistry()
 	m := newMetrics(reg, cache)
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		cache:   cache,
-		flight:  newFlightGroup(),
-		metrics: m,
-		reg:     reg,
-		ring:    obs.NewRing(cfg.TraceEntries),
-		brk:     brk,
-		rec:     cfg.Reconciler,
-		sem:     make(chan struct{}, cfg.MaxInflight),
-		started: time.Now(),
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		cache:    cache,
+		flight:   newFlightGroup(),
+		metrics:  m,
+		reg:      reg,
+		ring:     obs.NewRing(cfg.TraceEntries),
+		brk:      brk,
+		rec:      cfg.Reconciler,
+		recorder: cfg.Recorder,
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		started:  time.Now(),
 	}
 	// The broker's families mount after the service+eval prefix, preserving
 	// the pre-registry scrape layout; the genuinely new families go last.
@@ -208,6 +216,13 @@ func New(cfg Config) (*Server, error) {
 		// rsgend_reconcile_* appears in the scrape only when the loop is
 		// actually configured, mirroring the durable-store families.
 		reg.Mount(s.rec.Registry())
+	}
+	if s.recorder != nil {
+		// rsgend_accuracy_* / rsgend_model_drift appear only with a flight
+		// recorder configured, and the broker's terminal lease events start
+		// flowing into it.
+		reg.Mount(s.recorder.Registry())
+		brk.SetObservationSink(s.recorder.Record)
 	}
 	m.stage = reg.HistogramVec("rsgend_stage_duration_seconds", obs.DefBuckets, "stage")
 	reg.IntGaugeFunc("rsgend_draining", func() int64 {
@@ -246,6 +261,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("PUT /v1/platform", s.handlePlatformPut)
 	s.mux.HandleFunc("GET /v1/platform", s.handlePlatformGet)
 	s.mux.HandleFunc("POST /v1/platform/events", s.handlePlatformEvents)
+	if s.recorder != nil {
+		s.mux.HandleFunc("GET /v1/observations", s.handleObservations)
+	}
 	if cfg.Moga != nil {
 		s.mux.HandleFunc("POST /v1/advise", s.handleAdvise)
 	}
@@ -287,8 +305,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func metricPath(p string) string {
 	switch p {
 	case "/v1/spec", "/v1/spec/batch", "/v1/select", "/v1/release",
-		"/v1/advise", "/v1/platform", "/v1/platform/events", "/healthz",
-		"/metrics", "/debug/traces":
+		"/v1/advise", "/v1/platform", "/v1/platform/events",
+		"/v1/observations", "/healthz", "/metrics", "/debug/traces":
 		return p
 	}
 	if strings.HasPrefix(p, "/v1/select/") {
@@ -757,16 +775,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// (durable=false) when running on the in-memory store.
 		"store":             s.brk.Recovery(),
 		"selector_backends": s.brk.Backends(),
-		"leases": map[string]any{
-			"active_leases": stats.ActiveLeases,
-			"leased_hosts":  stats.LeasedHosts,
-		},
 	}
+	leases := map[string]any{
+		"active_leases": stats.ActiveLeases,
+		"leased_hosts":  stats.LeasedHosts,
+	}
+	if !stats.OldestBoundAt.IsZero() {
+		leases["oldest_bound_at"] = stats.OldestBoundAt
+		leases["oldest_lease_age_seconds"] = time.Since(stats.OldestBoundAt).Seconds()
+	}
+	body["leases"] = leases
 	if s.rec != nil {
 		body["reconcile"] = map[string]any{
 			"active_exclusions": s.rec.ActiveExclusions(),
 			"tracked_sessions":  s.rec.SessionCount(),
 		}
+	}
+	if s.recorder != nil {
+		body["accuracy"] = s.recorder.Accuracy().Snapshot()
 	}
 	writeJSON(w, http.StatusOK, body)
 }

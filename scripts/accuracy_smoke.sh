@@ -1,0 +1,219 @@
+#!/usr/bin/env bash
+# accuracy_smoke.sh — end-to-end smoke test for rsgend's prediction-accuracy
+# flight recorder (-obs-dir + /v1/observations + rsgend_accuracy_* metrics).
+#
+# Starts rsgend with a state directory AND an observation directory, binds a
+# lease via /v1/select (capturing the promised turn-around), SIGKILLs the
+# server mid-lease, restarts it on the same directories, and releases the
+# recovered lease with a client-reported makespan. The release must emit a
+# complete observation — predicted AND observed turn-around, the releasing
+# request's trace ID, end_reason "released" — visible in GET
+# /v1/observations, counted by rsgend_accuracy_* in /metrics, and appended
+# to the JSONL observation log on disk. The prediction annotations ride the
+# WAL through the crash: a lease bound before the SIGKILL still scores after
+# it.
+#
+# Then synthesizes model drift: a baseline of accurate releases (observed ==
+# promised) followed by a stream where the cluster runs 4x slower than
+# promised. The Page-Hinkley detector must flip rsgend_model_drift from 0 to
+# 1 and /healthz must latch drift in its accuracy block.
+#
+# Run from the repository root (make accuracy-smoke does this for you).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TESTDATA="$ROOT/cmd/rsgend/testdata"
+WORK="$(mktemp -d)"
+STATE="$WORK/state"
+OBSDIR="$WORK/observations"
+SRV_PID=""
+
+cleanup() {
+    if [[ -n "$SRV_PID" ]] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill -KILL "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# start LOGFILE — launch rsgend against $STATE/$OBSDIR and set ADDR/SRV_PID.
+start() {
+    local log="$1"
+    "$WORK/rsgend" -models "$WORK/models.json" -addr 127.0.0.1:0 \
+        -state-dir "$STATE" -obs-dir "$OBSDIR" 2>"$log" &
+    SRV_PID=$!
+    ADDR=""
+    for _ in $(seq 1 50); do
+        ADDR="$(sed -n 's#.*listening on http://##p' "$log" | head -n1)"
+        [[ -n "$ADDR" ]] && break
+        if ! kill -0 "$SRV_PID" 2>/dev/null; then
+            echo "accuracy-smoke: FAIL — server exited before binding" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [[ -z "$ADDR" ]]; then
+        echo "accuracy-smoke: FAIL — server never reported its address" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    grep -q "observation log at" "$log" || {
+        echo "accuracy-smoke: FAIL — server did not open the observation log" >&2
+        cat "$log" >&2
+        exit 1
+    }
+}
+
+# bind OUTFILE — POST the Figure III-2 select request, asserting a lease
+# with a positive promised turn-around; sets LEASE and PREDICTED.
+bind() {
+    local out="$1"
+    curl -sS -X POST --data-binary "@$TESTDATA/fig_iii2_select_request.json" \
+        "http://$ADDR/v1/select" -o "$out"
+    LEASE="$(jq -r '.lease_id' "$out")"
+    PREDICTED="$(jq -r '.predicted_turn_around_seconds' "$out")"
+    [[ "$LEASE" == lease-* ]] || {
+        echo "accuracy-smoke: FAIL — /v1/select returned no lease:" >&2
+        cat "$out" >&2
+        exit 1
+    }
+    jq -e '.predicted_turn_around_seconds > 0 and .bound_at != null' "$out" >/dev/null || {
+        echo "accuracy-smoke: FAIL — select response lacks prediction annotations:" >&2
+        cat "$out" >&2
+        exit 1
+    }
+}
+
+# release LEASE_ID OBSERVED_SECONDS — POST /v1/release with a reported makespan.
+release() {
+    curl -sS -X POST -d "{\"lease_id\": \"$1\", \"observed_seconds\": $2}" \
+        "http://$ADDR/v1/release" -o "$WORK/release.json"
+    jq -e '.released == true' "$WORK/release.json" >/dev/null || {
+        echo "accuracy-smoke: FAIL — release of $1 failed:" >&2
+        cat "$WORK/release.json" >&2
+        exit 1
+    }
+}
+
+echo "accuracy-smoke: building rsgend"
+go build -o "$WORK/rsgend" "$ROOT/cmd/rsgend"
+
+echo "accuracy-smoke: training smoke-scale models"
+"$WORK/rsgend" -train -models "$WORK/models.json" -scale smoke -seed 1
+
+echo "accuracy-smoke: starting rsgend with -state-dir and -obs-dir"
+start "$WORK/serve1.log"
+echo "accuracy-smoke: server up at $ADDR"
+
+echo "accuracy-smoke: registering a 2003-era inventory"
+curl -sS -X PUT -d '{"generate": {"clusters": 24, "year": 2003, "seed": 7}}' \
+    "http://$ADDR/v1/platform" -o "$WORK/platform.json"
+jq -e '.clusters == 24' "$WORK/platform.json" >/dev/null || {
+    echo "accuracy-smoke: FAIL — unexpected PUT /v1/platform response:" >&2
+    cat "$WORK/platform.json" >&2
+    exit 1
+}
+
+echo "accuracy-smoke: binding a lease (the promise made before the crash)"
+bind "$WORK/select.json"
+CRASH_LEASE="$LEASE"
+CRASH_PREDICTED="$PREDICTED"
+echo "accuracy-smoke: bound $CRASH_LEASE, promised ${CRASH_PREDICTED}s"
+
+echo "accuracy-smoke: SIGKILLing the server mid-lease (no drain)"
+kill -KILL "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+echo "accuracy-smoke: restarting on the same directories"
+start "$WORK/serve2.log"
+grep -q "recovered state from" "$WORK/serve2.log" || {
+    echo "accuracy-smoke: FAIL — restart did not report recovery" >&2
+    cat "$WORK/serve2.log" >&2
+    exit 1
+}
+
+echo "accuracy-smoke: releasing the recovered lease with an observed makespan"
+release "$CRASH_LEASE" 120.5
+
+echo "accuracy-smoke: the observation must be complete despite the crash"
+curl -sS "http://$ADDR/v1/observations" -o "$WORK/observations.json"
+jq -e --arg id "$CRASH_LEASE" --argjson pred "$CRASH_PREDICTED" '
+    .observations | map(select(.lease_id == $id)) | length == 1 and
+    .[0].end_reason == "released" and
+    .[0].predicted_seconds == $pred and
+    .[0].observed_seconds == 120.5 and
+    (.[0].trace_id | length) == 32 and
+    (.[0].fingerprint | length) == 16
+' "$WORK/observations.json" >/dev/null || {
+    echo "accuracy-smoke: FAIL — observation incomplete after crash recovery:" >&2
+    cat "$WORK/observations.json" >&2
+    exit 1
+}
+
+echo "accuracy-smoke: /metrics must expose the accuracy families"
+curl -sS "http://$ADDR/metrics" -o "$WORK/metrics.txt"
+for family in rsgend_accuracy_observations_total rsgend_accuracy_scored_total \
+    rsgend_accuracy_log_error_ewma rsgend_accuracy_abs_log_error rsgend_model_drift; do
+    grep -q "^$family" "$WORK/metrics.txt" || {
+        echo "accuracy-smoke: FAIL — $family missing from /metrics:" >&2
+        grep 'rsgend_accuracy\|rsgend_model' "$WORK/metrics.txt" >&2 || true
+        exit 1
+    }
+done
+grep -Eq '^rsgend_model_drift 0' "$WORK/metrics.txt" || {
+    echo "accuracy-smoke: FAIL — drift latched before the slow stream:" >&2
+    grep 'rsgend_model_drift' "$WORK/metrics.txt" >&2
+    exit 1
+}
+
+echo "accuracy-smoke: the JSONL observation log must hold the record"
+[[ -s "$OBSDIR/observations.jsonl" ]] || {
+    echo "accuracy-smoke: FAIL — $OBSDIR/observations.jsonl missing or empty" >&2
+    ls -la "$OBSDIR" >&2 || true
+    exit 1
+}
+grep -q "\"lease_id\":\"$CRASH_LEASE\"" "$OBSDIR/observations.jsonl" || {
+    echo "accuracy-smoke: FAIL — released lease not in the observation log:" >&2
+    cat "$OBSDIR/observations.jsonl" >&2
+    exit 1
+}
+
+echo "accuracy-smoke: baseline — releases that match their promises"
+for _ in $(seq 1 10); do
+    bind "$WORK/sel.json"
+    release "$LEASE" "$PREDICTED"
+done
+
+echo "accuracy-smoke: churn — the cluster now runs 4x slower than promised"
+DRIFTED=""
+for i in $(seq 1 30); do
+    bind "$WORK/sel.json"
+    release "$LEASE" "$(jq -n --argjson p "$PREDICTED" '$p * 4')"
+    curl -sS "http://$ADDR/metrics" -o "$WORK/metrics.txt"
+    if grep -Eq '^rsgend_model_drift 1' "$WORK/metrics.txt"; then
+        DRIFTED="$i"
+        break
+    fi
+done
+[[ -n "$DRIFTED" ]] || {
+    echo "accuracy-smoke: FAIL — drift gauge never flipped under 4x-slow churn:" >&2
+    grep 'rsgend_model_drift\|rsgend_accuracy' "$WORK/metrics.txt" >&2
+    exit 1
+}
+echo "accuracy-smoke: drift latched after $DRIFTED slow releases"
+
+echo "accuracy-smoke: /healthz must report the latched drift"
+curl -sS "http://$ADDR/healthz" -o "$WORK/healthz.json"
+jq -e '.accuracy.drift == true and .accuracy.scored >= 11' "$WORK/healthz.json" >/dev/null || {
+    echo "accuracy-smoke: FAIL — /healthz accuracy block wrong:" >&2
+    cat "$WORK/healthz.json" >&2
+    exit 1
+}
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || true
+SRV_PID=""
+
+echo "accuracy-smoke: PASS (complete observation across SIGKILL; drift latched under 4x-slow churn)"
